@@ -1,0 +1,411 @@
+// Benchmarks regenerating every table and figure of the paper (run
+// with `go test -bench=. -benchmem`), plus micro-benchmarks of the
+// core data structures and ablations of the design choices DESIGN.md
+// calls out (ε tradeoff, locality-aware migration, warmup).
+//
+// Each Benchmark<Artifact> executes the corresponding experiment at a
+// reduced scale and reports the headline quantity of that artifact via
+// b.ReportMetric, so `go test -bench` output doubles as a compact
+// reproduction record.
+package squall_test
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	squall "repro"
+	"repro/internal/experiments"
+	"repro/internal/join"
+	"repro/internal/matrix"
+)
+
+func benchOpts() experiments.Options { return experiments.Options{SF: 0.02, Seed: 2014} }
+
+func cell(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "*"), 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+// BenchmarkTable2 regenerates Table 2 (skew resilience) and reports
+// the Z4/Z0 runtime blow-up of SHJ versus Dynamic's.
+func BenchmarkTable2(b *testing.B) {
+	var shjBlowup, dynBlowup float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(benchOpts())[0].Rows
+		var z0SHJ, z4SHJ, z0Dyn, z4Dyn float64
+		for _, r := range rows {
+			if r[0] != "EQ5" {
+				continue
+			}
+			switch r[1] {
+			case "Z0":
+				z0SHJ, z0Dyn = cell(b, r[2]), cell(b, r[3])
+			case "Z4":
+				z4SHJ, z4Dyn = cell(b, r[2]), cell(b, r[3])
+			}
+		}
+		shjBlowup = z4SHJ / z0SHJ
+		dynBlowup = z4Dyn / z0Dyn
+	}
+	b.ReportMetric(shjBlowup, "SHJ-Z4/Z0")
+	b.ReportMetric(dynBlowup, "Dyn-Z4/Z0")
+}
+
+// BenchmarkFig6a reports the final Dynamic-vs-StaticMid ILF ratio of
+// the Fig. 6a growth curves.
+func BenchmarkFig6a(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6a(benchOpts())[0].Rows
+		final := rows[len(rows)-1]
+		ratio = cell(b, final[2]) / cell(b, final[3]) // StaticMid / Dynamic
+	}
+	b.ReportMetric(ratio, "Mid/Dyn-ILF")
+}
+
+// BenchmarkFig6b reports the same ratio from the final-ILF bar chart.
+func BenchmarkFig6b(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6b(benchOpts())[0].Rows
+		ratio = cell(b, rows[0][2]) / cell(b, rows[0][3])
+	}
+	b.ReportMetric(ratio, "Mid/Dyn-ILF")
+}
+
+// BenchmarkFig6c reports the StaticMid/Dynamic completion-time ratio.
+func BenchmarkFig6c(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6c(benchOpts())[0].Rows
+		final := rows[len(rows)-1]
+		ratio = cell(b, final[1]) / cell(b, final[2])
+	}
+	b.ReportMetric(ratio, "Mid/Dyn-time")
+}
+
+// BenchmarkFig6d reports the worst query's StaticMid/Dynamic runtime
+// ratio (the paper's "up to 4x faster").
+func BenchmarkFig6d(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = 0
+		for _, r := range experiments.Fig6d(benchOpts())[0].Rows {
+			if ratio := cell(b, r[1]) / cell(b, r[2]); ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	b.ReportMetric(worst, "max-Mid/Dyn")
+}
+
+// BenchmarkFig7a reports Dynamic's throughput advantage over StaticMid.
+func BenchmarkFig7a(b *testing.B) {
+	var adv float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7a(benchOpts())[0].Rows
+		adv = cell(b, rows[0][3]) / cell(b, rows[0][2])
+	}
+	b.ReportMetric(adv, "Dyn/Mid-tput")
+}
+
+// BenchmarkFig7b runs the live latency experiment and reports
+// Dynamic's mean latency in milliseconds.
+func BenchmarkFig7b(b *testing.B) {
+	var ms float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7b(benchOpts())[0].Rows
+		if rows[0][2] != "n/a" && rows[0][2] != "err" {
+			ms = cell(b, rows[0][2])
+		}
+	}
+	b.ReportMetric(ms, "Dyn-ms")
+}
+
+// BenchmarkFig7c reports how much of the (1,64)-point ILF gap remains
+// at the (8,8) point (the gap should close).
+func BenchmarkFig7c(b *testing.B) {
+	var closing float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7c(benchOpts())[0].Rows
+		first := cell(b, rows[0][1]) - cell(b, rows[0][2])
+		last := cell(b, rows[len(rows)-1][1]) - cell(b, rows[len(rows)-1][2])
+		closing = last / first
+	}
+	b.ReportMetric(closing, "gap-left")
+}
+
+// BenchmarkFig7d reports the throughput gap closing across the sweep.
+func BenchmarkFig7d(b *testing.B) {
+	var ratioAtSquare float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7d(benchOpts())[0].Rows
+		last := rows[len(rows)-1]
+		ratioAtSquare = cell(b, last[2]) / cell(b, last[1])
+	}
+	b.ReportMetric(ratioAtSquare, "Dyn/Mid-at-(8,8)")
+}
+
+// BenchmarkFig8a reports the weak-scalability time drift of EQ5
+// (last/first config; ~1.0 is perfect).
+func BenchmarkFig8a(b *testing.B) {
+	var drift float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig8a(benchOpts())[0].Rows
+		drift = cell(b, rows[len(rows)-1][1]) / cell(b, rows[0][1])
+	}
+	b.ReportMetric(drift, "EQ5-time-drift")
+}
+
+// BenchmarkFig8b reports EQ5's throughput scaling across the 8x sweep.
+func BenchmarkFig8b(b *testing.B) {
+	var scaling float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig8b(benchOpts())[0].Rows
+		scaling = cell(b, rows[len(rows)-1][1]) / cell(b, rows[0][1])
+	}
+	b.ReportMetric(scaling, "EQ5-tput-x")
+}
+
+// BenchmarkFig8c reports the worst post-warmup competitive ratio
+// across fluctuation factors (bound: 1.25).
+func BenchmarkFig8c(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		worst = 0
+		for _, r := range experiments.Fig8c(benchOpts())[0].Rows {
+			if v := cell(b, r[1]); v > worst {
+				worst = v
+			}
+		}
+	}
+	b.ReportMetric(worst, "max-ratio")
+}
+
+// BenchmarkFig8d reports the k=8 deviation from linear progress.
+func BenchmarkFig8d(b *testing.B) {
+	var dev float64
+	for i := 0; i < b.N; i++ {
+		tb := experiments.Fig8d(benchOpts())[0]
+		note := tb.Notes[len(tb.Notes)-1] // "k=8 max deviation from linear: X%"
+		f := strings.Fields(note)
+		dev = cell(b, strings.TrimSuffix(f[len(f)-1], "%"))
+	}
+	b.ReportMetric(dev, "k8-dev-%")
+}
+
+// --- Micro-benchmarks of the core machinery ---
+
+// BenchmarkOperatorEquiThroughput measures the live concurrent
+// operator end to end.
+func BenchmarkOperatorEquiThroughput(b *testing.B) {
+	var n atomic.Int64
+	op := squall.NewOperator(squall.Config{
+		J: 16, Pred: squall.EquiJoin("bench", nil), Adaptive: true, Warmup: 10000,
+		Emit: func(squall.Pair) { n.Add(1) },
+	})
+	op.Start()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		side := squall.SideR
+		if i%2 == 1 {
+			side = squall.SideS
+		}
+		op.Send(squall.Tuple{Rel: side, Key: rng.Int63n(1 << 20), Size: 8})
+	}
+	b.StopTimer()
+	if err := op.Finish(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimProcess measures the deterministic simulator's per-tuple
+// cost (the experiment harness hot path).
+func BenchmarkSimProcess(b *testing.B) {
+	sim := squall.NewSim(squall.SimConfig{J: 64, Adaptive: true, MatchWidth: 0})
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		side := squall.SideR
+		if i%3 == 0 {
+			side = squall.SideS
+		}
+		sim.Process(side, rng.Int63n(4096))
+	}
+}
+
+// BenchmarkLocalEquiAdd measures the local symmetric hash join.
+func BenchmarkLocalEquiAdd(b *testing.B) {
+	l := join.NewLocal(join.EquiJoin("bench", nil))
+	emit, _ := join.CountingEmit()
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel := matrix.SideR
+		if i%2 == 1 {
+			rel = matrix.SideS
+		}
+		l.Add(join.Tuple{Rel: rel, Key: rng.Int63n(1 << 16), Size: 8}, emit)
+	}
+}
+
+// BenchmarkOrderedIndexBandProbe measures the B-tree band index.
+func BenchmarkOrderedIndexBandProbe(b *testing.B) {
+	idx := join.NewOrderedIndex(5)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100000; i++ {
+		idx.Insert(join.Tuple{Rel: matrix.SideS, Key: rng.Int63n(1 << 20)})
+	}
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		idx.Probe(join.Tuple{Rel: matrix.SideR, Key: rng.Int63n(1 << 20)}, func(join.Tuple) { n++ })
+	}
+}
+
+// --- Ablations of the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationEpsilon sweeps Alg. 2's ε and reports the
+// optimality/communication tradeoff of Theorem 4.2: smaller ε migrates
+// more (higher traffic) but tracks the optimum more tightly.
+func BenchmarkAblationEpsilon(b *testing.B) {
+	for _, eps := range []float64{1.0, 0.5, 0.25} {
+		eps := eps
+		b.Run(strconv.FormatFloat(eps, 'f', 2, 64), func(b *testing.B) {
+			var migrated, worst float64
+			var migs int
+			for i := 0; i < b.N; i++ {
+				sim := squall.NewSim(squall.SimConfig{
+					J: 64, Adaptive: true, Epsilon: eps, Warmup: 2000,
+					MatchWidth: -1, SampleEvery: 200,
+				})
+				// Slow drift: the mix leans S-ward then R-ward in long
+				// waves, so a finer ε catches the drift earlier.
+				for t := 0; t < 200000; t++ {
+					if (t/40000)%2 == 0 && t%5 != 0 {
+						sim.Process(squall.SideS, 0)
+					} else {
+						sim.Process(squall.SideR, 0)
+					}
+				}
+				res := sim.Finish()
+				migrated = res.Migrated / float64(res.R+res.S)
+				migs = res.Migrations
+				// Post-warmup worst competitive ratio.
+				worst = 1
+				series := sim.Ratio.Series()
+				for k := 0; k < series.Len(); k++ {
+					if x, y := series.At(k); x > 6000 && y > worst {
+						worst = y
+					}
+				}
+			}
+			b.ReportMetric(migrated, "mig/tuple")
+			b.ReportMetric(float64(migs), "migrations")
+			b.ReportMetric(worst, "max-ratio")
+		})
+	}
+}
+
+// BenchmarkAblationLocalityAwareMigration compares the locality-aware
+// pairwise exchange (Lemma 4.4) against a naive full repartition of
+// all state, in migrated tuples per elementary step.
+func BenchmarkAblationLocalityAwareMigration(b *testing.B) {
+	const j = 64
+	var locality, naive float64
+	for i := 0; i < b.N; i++ {
+		locality, naive = 0, 0
+		r, s := int64(500000), int64(500000)
+		cur := matrix.Square(j)
+		for _, step := range cur.StepsTo(matrix.Mapping{N: 1, M: 64}) {
+			tr := matrix.NewTransition(cur, step)
+			// Locality-aware: each machine ships only its exchange-side
+			// partition to one partner.
+			locality += float64(j) * tr.MigrationVolume(float64(r), float64(s))
+			// Naive: every machine re-derives its full new state from
+			// scratch (ships everything it must hold afterward).
+			naive += float64(j) * step.ILF(float64(r), float64(s))
+			cur = step
+		}
+	}
+	b.ReportMetric(naive/locality, "naive/locality")
+}
+
+// BenchmarkAblationContentSensitiveBand compares the §6 future-work
+// prototype (dead-region pruning, content-sensitive) against the
+// adaptive grid operator on a uniform low-selectivity band join,
+// reporting the per-machine input (ILF) advantage the pruning buys on
+// uniform data — the flip side of its skew vulnerability.
+func BenchmarkAblationContentSensitiveBand(b *testing.B) {
+	const (
+		j      = 64
+		nTuple = 40000
+		domain = 64000
+	)
+	var bandILF, gridILF float64
+	for i := 0; i < b.N; i++ {
+		rb := squall.NewRangeBand(squall.RangeBandConfig{
+			Workers: j, Buckets: 2 * j, Lo: 0, Hi: domain, Width: 5,
+		})
+		rb.Start()
+		rng := rand.New(rand.NewSource(31))
+		for t := 0; t < nTuple; t++ {
+			side := squall.SideR
+			if t%2 == 1 {
+				side = squall.SideS
+			}
+			rb.Send(squall.Tuple{Rel: side, Key: rng.Int63n(domain), Size: 8})
+		}
+		if err := rb.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		bandILF = float64(rb.Metrics().MaxILFTuples())
+
+		sim := squall.NewSim(squall.SimConfig{J: j, Adaptive: true, Warmup: nTuple / 100, MatchWidth: -1})
+		for t := 0; t < nTuple; t++ {
+			side := squall.SideR
+			if t%2 == 1 {
+				side = squall.SideS
+			}
+			sim.Process(side, 0)
+		}
+		gridILF = sim.Finish().MaxILFTuples
+	}
+	b.ReportMetric(gridILF/bandILF, "grid/band-ILF")
+}
+
+// BenchmarkAblationWarmup quantifies the cold-start thrash the warmup
+// gate (§5.4) suppresses: without it, the controller chases the first
+// few tuples' ratio and migrates needlessly.
+func BenchmarkAblationWarmup(b *testing.B) {
+	run := func(warmup int64) int {
+		sim := squall.NewSim(squall.SimConfig{
+			J: 64, Adaptive: true, Warmup: warmup, MatchWidth: -1,
+		})
+		// A stream whose long-run mix is balanced but whose prefix is
+		// one-sided.
+		for i := 0; i < 2000; i++ {
+			sim.Process(squall.SideR, 0)
+		}
+		for i := 0; i < 100000; i++ {
+			sim.Process(squall.SideS, 0)
+			sim.Process(squall.SideR, 0)
+		}
+		return sim.Finish().Migrations
+	}
+	var with, without int
+	for i := 0; i < b.N; i++ {
+		without = run(0)
+		with = run(4000)
+	}
+	b.ReportMetric(float64(without), "migs-no-warmup")
+	b.ReportMetric(float64(with), "migs-warmup")
+}

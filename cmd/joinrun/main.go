@@ -1,0 +1,118 @@
+// Command joinrun executes one evaluation query on a chosen operator
+// over a freshly generated skewed TPC-H database and reports the
+// paper's §5 metrics: output size, per-machine ILF, total storage,
+// migrations, wall-clock time and throughput.
+//
+// Usage:
+//
+//	joinrun -query EQ5 -op dynamic -j 16 -sf 0.01 -zipf Z4
+//
+// Operators: dynamic, staticmid, staticopt, shj, grouped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/matrix"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+func main() {
+	query := flag.String("query", "EQ5", "query: EQ5, EQ7, BCI, BNCI, Fluct-Join")
+	opName := flag.String("op", "dynamic", "operator: dynamic, staticmid, staticopt, shj, grouped")
+	j := flag.Int("j", 16, "machine count (power of two except for grouped/shj)")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	zipf := flag.String("zipf", "Z0", "skew setting Z0..Z4")
+	seed := flag.Int64("seed", 42, "seed")
+	flag.Parse()
+
+	q, ok := workload.ByName(*query)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "joinrun: unknown query %q\n", *query)
+		os.Exit(2)
+	}
+	g := tpch.NewGen(tpch.Config{SF: *sf, Zipf: tpch.SkewZ(*zipf), Seed: *seed})
+	r, s := q.Cardinalities(g)
+
+	var out atomic.Int64
+	emit := func(join.Pair) { out.Add(1) }
+	send, finish, report := buildOperator(*opName, q, *j, r, s, *seed, emit)
+
+	start := time.Now()
+	var total int64
+	q.Stream(g, func(t join.Tuple) bool {
+		send(t)
+		total++
+		return true
+	})
+	if err := finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "joinrun: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("query      %s on %s (J=%d, SF=%.3f, %s)\n", q.Name, *opName, *j, *sf, *zipf)
+	fmt.Printf("input      |R|=%d |S|=%d (%d tuples)\n", r, s, total)
+	fmt.Printf("output     %d pairs\n", out.Load())
+	fmt.Printf("elapsed    %v (%.0f tuples/s)\n", elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds())
+	report()
+}
+
+// buildOperator wires the requested operator and returns its send,
+// finish and report hooks.
+func buildOperator(name string, q workload.Query, j int, r, s int64, seed int64, emit join.Emit) (func(join.Tuple), func() error, func()) {
+	switch name {
+	case "dynamic", "staticmid", "staticopt":
+		cfg := core.Config{J: j, Pred: q.Pred, Seed: seed, Emit: emit}
+		switch name {
+		case "dynamic":
+			cfg.Adaptive = true
+			cfg.Warmup = (r + s) / 100
+		case "staticopt":
+			cfg.Initial = matrix.Optimal(j, float64(r), float64(s))
+		}
+		op := core.NewOperator(cfg)
+		op.Start()
+		return op.Send, op.Finish, func() {
+			m := op.Metrics()
+			fmt.Printf("mapping    %v (migrations=%d)\n", op.DeployedMapping(), op.Migrations())
+			fmt.Printf("ILF        %d tuples/machine (max)\n", m.MaxILFTuples())
+			fmt.Printf("storage    %d bytes total, %d migrated tuples\n",
+				m.TotalStorageBytes(), m.TotalMigrated())
+		}
+	case "shj":
+		if q.Pred.Kind != join.Equi {
+			fmt.Fprintf(os.Stderr, "joinrun: SHJ supports only equi-joins\n")
+			os.Exit(2)
+		}
+		op := baseline.NewSHJ(baseline.SHJConfig{J: j, Pred: q.Pred, Emit: emit})
+		op.Start()
+		return op.Send, op.Finish, func() {
+			m := op.Metrics()
+			fmt.Printf("ILF        %d tuples/machine (max; mean %d)\n",
+				m.MaxILFTuples(), m.TotalInputTuples()/int64(j))
+		}
+	case "grouped":
+		op := core.NewGrouped(core.GroupedConfig{J: j, Pred: q.Pred, Adaptive: true,
+			Warmup: (r + s) / 100, Seed: seed, Emit: emit})
+		op.Start()
+		return op.Send, op.Finish, func() {
+			fmt.Printf("groups     %v mappings %v (migrations=%d)\n",
+				op.Groups(), op.GroupMappings(), op.Migrations())
+			fmt.Printf("ILF        %d tuples/machine (max)\n", op.MaxILFTuples())
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "joinrun: unknown operator %q\n", name)
+		os.Exit(2)
+		return nil, nil, nil
+	}
+}

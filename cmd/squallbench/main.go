@@ -1,0 +1,54 @@
+// Command squallbench regenerates the paper's evaluation artifacts
+// (Table 2 and Figures 6a–8d of Elseidy et al., VLDB 2014) and prints
+// them as aligned text tables.
+//
+// Usage:
+//
+//	squallbench [-sf 0.05] [-seed 2014] [ids...]
+//
+// With no ids, every experiment runs in order. Available ids:
+// table2 fig6a fig6b fig6c fig6d fig7a fig7b fig7c fig7d fig8a fig8b
+// fig8c fig8d.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0, "TPC-H scale factor (0 = experiment default)")
+	seed := flag.Int64("seed", 0, "data generation seed (0 = default)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	ids, registry := experiments.Registry()
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	run := flag.Args()
+	if len(run) == 0 {
+		run = ids
+	}
+	opts := experiments.Options{SF: *sf, Seed: *seed}
+	for _, id := range run {
+		runner, ok := registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "squallbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		for _, table := range runner(opts) {
+			table.Fprint(os.Stdout)
+		}
+		fmt.Printf("-- %s completed in %v --\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

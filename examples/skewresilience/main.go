@@ -1,0 +1,80 @@
+// Skewresilience: the Table 2 effect, live. A skewed equi-join (a few
+// very popular keys, Zipf-like) is run through the content-sensitive
+// symmetric hash join and through the content-insensitive adaptive
+// operator on the same number of machines. SHJ's hash partitioning
+// funnels the hot keys to a handful of workers; the grid operator's
+// random routing keeps every machine equally loaded.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+
+	squall "repro"
+)
+
+const (
+	machines = 16
+	tuples   = 60000
+	keys     = 2000
+)
+
+// zipfKey draws a key with approximately 1/rank mass.
+func zipfKey(rng *rand.Rand) int64 {
+	z := rng.ExpFloat64() * 1.7
+	k := int64(math.Exp(z))
+	if k >= keys {
+		k = keys - 1
+	}
+	return k
+}
+
+func run(name string, send func(squall.Tuple), finish func() error, m *squall.OperatorMetrics, out *atomic.Int64) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < tuples; i++ {
+		side := squall.SideR
+		if i%2 == 1 {
+			side = squall.SideS
+		}
+		send(squall.Tuple{Rel: side, Key: zipfKey(rng), Size: 16})
+	}
+	if err := finish(); err != nil {
+		panic(err)
+	}
+	// Imbalance is each operator's hottest machine against its own
+	// mean load (the grid operator's mean includes replication).
+	mean := m.TotalInputTuples() / int64(machines)
+	fmt.Printf("%-8s results=%-9d hottest machine=%6d tuples = %.2fx its mean load\n",
+		name, out.Load(), m.MaxILFTuples(), float64(m.MaxILFTuples())/float64(mean))
+}
+
+func main() {
+	fmt.Printf("skewed equi-join, %d machines, %d tuples, Zipf-like keys\n\n", machines, tuples)
+
+	var shjOut atomic.Int64
+	shj := squall.NewSHJ(squall.SHJConfig{
+		J:    machines,
+		Pred: squall.EquiJoin("skewed", nil),
+		Emit: func(squall.Pair) { shjOut.Add(1) },
+	})
+	shj.Start()
+	run("SHJ", shj.Send, shj.Finish, shj.Metrics(), &shjOut)
+
+	var dynOut atomic.Int64
+	dyn := squall.NewOperator(squall.Config{
+		J:        machines,
+		Pred:     squall.EquiJoin("skewed", nil),
+		Adaptive: true,
+		Warmup:   1000,
+		Emit:     func(squall.Pair) { dynOut.Add(1) },
+	})
+	dyn.Start()
+	run("Dynamic", dyn.Send, dyn.Finish, dyn.Metrics(), &dynOut)
+
+	fmt.Printf("\nBoth emit identical results; SHJ concentrates the hot keys on a few\n")
+	fmt.Printf("workers while Dynamic's random routing stays balanced (the Dynamic\n")
+	fmt.Printf("figure includes its replication: each tuple is stored on one row or\n")
+	fmt.Printf("column of the %v grid).\n", dyn.DeployedMapping())
+}

@@ -1,0 +1,167 @@
+// Package baseline implements the operators the paper's evaluation
+// compares against (§5): Shj, the content-sensitive parallel symmetric
+// hash join of [19][33] that partitions both inputs by join key, and
+// the static grid operators StaticMid and StaticOpt (which reuse the
+// core operator with adaptivity disabled). Shj balances perfectly on
+// uniform keys and needs no replication, but under skew a few workers
+// receive most of the data — the failure mode Table 2 quantifies.
+package baseline
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/join"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// SHJConfig configures a parallel symmetric hash join.
+type SHJConfig struct {
+	// J is the number of workers (any positive count; hash
+	// partitioning has no power-of-two restriction).
+	J int
+	// Pred must be an equi-join: SHJ partitions on the key and cannot
+	// evaluate band or theta predicates.
+	Pred join.Predicate
+	// Storage configures per-worker stores (memory cap, spill).
+	Storage storage.Config
+	// Emit receives results; must not block. nil counts internally.
+	Emit join.Emit
+	// QueueCap is the per-worker inbox capacity (default 1024).
+	QueueCap int
+}
+
+// SHJ is the baseline parallel symmetric hash join operator.
+type SHJ struct {
+	cfg     SHJConfig
+	met     *metrics.Operator
+	runner  dataflow.Runner
+	inboxes []chan join.Tuple
+	seq     atomic.Uint64
+	done    bool
+	stores  []*storage.Store
+}
+
+// NewSHJ builds the operator; call Start before Send.
+func NewSHJ(cfg SHJConfig) *SHJ {
+	if cfg.J <= 0 {
+		panic(fmt.Sprintf("baseline: SHJ J=%d", cfg.J))
+	}
+	if cfg.Pred.Kind != join.Equi {
+		panic(fmt.Sprintf("baseline: SHJ supports only equi-joins, got %v", cfg.Pred.Kind))
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 1024
+	}
+	if cfg.Emit == nil {
+		cfg.Emit = func(join.Pair) {}
+	}
+	s := &SHJ{cfg: cfg, met: metrics.NewOperator(cfg.J)}
+	for i := 0; i < cfg.J; i++ {
+		s.inboxes = append(s.inboxes, make(chan join.Tuple, cfg.QueueCap))
+		s.stores = append(s.stores, storage.NewStore(cfg.Pred, cfg.Storage))
+	}
+	return s
+}
+
+// Start launches the workers.
+func (s *SHJ) Start() {
+	for i := 0; i < s.cfg.J; i++ {
+		i := i
+		s.runner.Go(fmt.Sprintf("shj-worker-%d", i), func() error {
+			met := s.met.JoinerStats(i)
+			store := s.stores[i]
+			emit := func(p join.Pair) {
+				met.OutputPairs.Add(1)
+				s.cfg.Emit(p)
+			}
+			for t := range s.inboxes[i] {
+				met.InputTuples.Add(1)
+				met.InputBytes.Add(t.Bytes())
+				store.Add(t, emit)
+				met.StoredTuples.Store(int64(store.TotalLen()))
+				met.StoredBytes.Store(store.Bytes())
+				met.SpilledTuples.Store(store.Metrics.SpilledTuples.Load())
+			}
+			return nil
+		})
+	}
+}
+
+// Partition returns the worker a key hashes to.
+func (s *SHJ) Partition(key int64) int { return int(hash64(uint64(key)) % uint64(s.cfg.J)) }
+
+// Send routes one tuple to the worker owning its key. Content
+// sensitivity is the point: both relations partition on the join key,
+// so matching tuples always meet — and popular keys always collide.
+func (s *SHJ) Send(t join.Tuple) {
+	t.Seq = s.seq.Add(1)
+	s.inboxes[s.Partition(t.Key)] <- t
+}
+
+// Finish closes the input and waits for the workers.
+func (s *SHJ) Finish() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	for _, in := range s.inboxes {
+		close(in)
+	}
+	err := s.runner.Wait()
+	for _, st := range s.stores {
+		_ = st.Close()
+	}
+	return err
+}
+
+// Metrics exposes the per-worker counters.
+func (s *SHJ) Metrics() *metrics.Operator { return s.met }
+
+// hash64 is a 64-bit finalizer (splitmix64) giving a well-mixed
+// content-sensitive partition.
+func hash64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// StaticConfig configures the static grid baselines.
+type StaticConfig struct {
+	J       int
+	Pred    join.Predicate
+	Mapping matrix.Mapping // fixed mapping; zero means square (StaticMid)
+	Storage storage.Config
+	Emit    join.Emit
+	Latency *metrics.LatencySampler
+	Seed    int64
+}
+
+// NewStaticMid returns the StaticMid baseline: the core operator
+// pinned to the (√J,√J) mapping, the best content-insensitive guess
+// absent cardinality knowledge.
+func NewStaticMid(cfg StaticConfig) *core.Operator {
+	return core.NewOperator(core.Config{
+		J: cfg.J, Pred: cfg.Pred, Initial: matrix.Square(cfg.J),
+		Storage: cfg.Storage, Emit: cfg.Emit, Latency: cfg.Latency, Seed: cfg.Seed,
+	})
+}
+
+// NewStaticOpt returns the StaticOpt baseline: the core operator
+// pinned to the omniscient optimal mapping for the (known-in-advance)
+// cardinalities r and s — unattainable online, used as the yardstick.
+func NewStaticOpt(cfg StaticConfig, r, s int64) *core.Operator {
+	m := cfg.Mapping
+	if m == (matrix.Mapping{}) {
+		m = matrix.Optimal(cfg.J, float64(r), float64(s))
+	}
+	return core.NewOperator(core.Config{
+		J: cfg.J, Pred: cfg.Pred, Initial: m,
+		Storage: cfg.Storage, Emit: cfg.Emit, Latency: cfg.Latency, Seed: cfg.Seed,
+	})
+}

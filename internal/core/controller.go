@@ -1,0 +1,174 @@
+package core
+
+import (
+	"repro/internal/join"
+	"repro/internal/matrix"
+)
+
+// controller is the extra role of reshuffler 0 (§3.2): it watches its
+// own scaled cardinality estimates, runs the migration-decision
+// algorithm, and orchestrates mapping changes. Migrations to a target
+// several steps away execute as a chain of elementary steps, each a
+// full epoch change acknowledged by every joiner before the next
+// begins; this keeps at most two epochs live at any joiner, the
+// invariant Alg. 3's correctness rests on.
+type controller struct {
+	dec      *Decider
+	adaptive bool
+	// scale is the Alg. 1 scaled-increment factor: the controller sees
+	// a 1/numReshufflers sample of the input.
+	scale int64
+
+	ackCh   chan int
+	drainCh chan int
+
+	resh []chan ctrlMsg // control links to every reshuffler
+	op   *Operator
+
+	epoch       uint32
+	acksPending int
+	chain       []matrix.Mapping // remaining elementary steps
+	wantExpand  bool
+
+	sourceDone bool
+	drained    int
+	finished   bool
+	// deployed tracks the mapping actually running (the decider's
+	// Mapping() moves ahead to the chain target at decision time).
+	deployed matrix.Mapping
+	table    []int
+}
+
+func newController(dec *Decider, adaptive bool, numJoiners int, op *Operator) *controller {
+	table := make([]int, numJoiners)
+	for i := range table {
+		table[i] = i
+	}
+	return &controller{
+		dec:      dec,
+		adaptive: adaptive,
+		ackCh:    make(chan int, 4*numJoiners+16),
+		drainCh:  make(chan int, numJoiners+1),
+		op:       op,
+		deployed: dec.Mapping(),
+		table:    table,
+	}
+}
+
+// onTuple feeds the decision algorithm with one (scaled) observation
+// and possibly initiates a migration (Alg. 1 line 6). Nothing is
+// decided while a previous migration chain is still in flight.
+func (c *controller) onTuple(t join.Tuple) {
+	if !c.adaptive {
+		return
+	}
+	if t.Rel == matrix.SideR {
+		c.dec.Observe(c.scale, 0)
+	} else {
+		c.dec.Observe(0, c.scale)
+	}
+	if c.migrating() {
+		return
+	}
+	out := c.dec.Evaluate()
+	if out.Migrate {
+		c.chain = c.deployed.StepsTo(out.Target)
+	}
+	c.wantExpand = c.wantExpand || out.Expand
+	c.issueNext()
+}
+
+func (c *controller) migrating() bool { return c.acksPending > 0 }
+
+// issueNext launches the next elementary step of the pending chain, or
+// the pending expansion once the chain is exhausted.
+func (c *controller) issueNext() {
+	if c.migrating() || c.finished {
+		return
+	}
+	if len(c.chain) > 0 {
+		next := c.chain[0]
+		c.chain = c.chain[1:]
+		c.epoch++
+		c.table = stepTable(c.table, matrix.NewTransition(c.deployed, next))
+		c.deployed = next
+		c.acksPending = len(c.table)
+		c.op.met.Migrations.Add(1)
+		c.broadcast(ctrlMsg{kind: ctrlEpoch, epoch: c.epoch, mapping: next})
+		return
+	}
+	if c.wantExpand {
+		c.wantExpand = false
+		if max := c.op.cfg.MaxJoiners; max > 0 && len(c.table)*4 > max {
+			// Elastic growth is capped; stay at the current size.
+			c.tryFinish()
+			return
+		}
+		c.epoch++
+		newMapping := c.deployed.Expand()
+		// Spawn the three children of every joiner before any
+		// reshuffler adopts the new mapping, so signals and new-epoch
+		// tuples always find a live task.
+		c.op.spawnChildren(c.table, c.epoch, newMapping)
+		c.table = expandTable(c.table, c.deployed)
+		c.deployed = newMapping
+		c.dec.NoteExpanded()
+		c.acksPending = len(c.table)
+		c.op.met.Expansions.Add(1)
+		c.broadcast(ctrlMsg{kind: ctrlEpoch, epoch: c.epoch, mapping: newMapping, expand: true})
+		return
+	}
+	c.tryFinish()
+}
+
+func (c *controller) broadcast(m ctrlMsg) {
+	for _, ch := range c.resh {
+		ch <- m
+	}
+}
+
+// onAck counts joiner migration acknowledgments; when the epoch is
+// fully acknowledged the next step (or the finish) proceeds.
+func (c *controller) onAck(int) {
+	c.acksPending--
+	if c.acksPending == 0 {
+		c.dec.SetMapping(c.deployed)
+		// Re-examine under post-migration counts: if the stream
+		// drifted enough during the migration to fire a fresh
+		// checkpoint, re-plan toward the newer target; otherwise
+		// continue the committed chain.
+		if c.adaptive && !c.sourceDone {
+			if out := c.dec.Evaluate(); out.Checked {
+				if out.Migrate {
+					c.chain = c.deployed.StepsTo(out.Target)
+				}
+				c.wantExpand = c.wantExpand || out.Expand
+			}
+		}
+		c.issueNext()
+	}
+}
+
+// onSourceDrained notes that the controller's own input is exhausted.
+func (c *controller) onSourceDrained() {
+	c.sourceDone = true
+	c.chain = nil // abandon queued steps; finish the in-flight one only
+	c.wantExpand = false
+	c.tryFinish()
+}
+
+// onDrained counts plain reshufflers whose inputs are exhausted.
+func (c *controller) onDrained(int) {
+	c.drained++
+	c.tryFinish()
+}
+
+// tryFinish broadcasts the finish command once every input is drained
+// and no migration is in flight. Reshufflers then EOS their joiners.
+func (c *controller) tryFinish() {
+	if c.finished || !c.sourceDone || c.drained < len(c.resh)-1 || c.migrating() {
+		return
+	}
+	c.finished = true
+	c.broadcast(ctrlMsg{kind: ctrlFinish})
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/metrics"
+)
+
+func newTestSampler() *metrics.LatencySampler { return metrics.NewLatencySampler(16) }
+
+func runOperatorWithLatency(t *testing.T, cfg Config, tuples []join.Tuple) (int64, *Operator) {
+	t.Helper()
+	var n atomic.Int64
+	cfg.Emit = func(join.Pair) { n.Add(1) }
+	op := NewOperator(cfg)
+	op.Start()
+	for _, tp := range tuples {
+		op.Send(tp)
+	}
+	if err := op.Finish(); err != nil {
+		t.Fatalf("operator error: %v", err)
+	}
+	return n.Load(), op
+}

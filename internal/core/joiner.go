@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/join"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+)
+
+// joiner is one joiner task (§3.2): it stores its assigned partition
+// pair, joins incoming tuples against it, and participates in
+// migrations with the epoch protocol of Alg. 3.
+//
+// During a migration a joiner keeps three stores:
+//
+//	state      — τ ∪ ∆, the old-epoch state, placed per the old mapping
+//	mig.mu     — µ, state migrated in from peers, placed per the new mapping
+//	mig.dp     — ∆′, new-epoch arrivals, placed per the new mapping
+//
+// which compute the seven-way output decomposition of Lemma 4.6:
+// old-epoch arrivals probe state (parts 1–3) and, where kept under the
+// new mapping, ∆′ (part 5 and the local half of 4 via forwarding);
+// migrated-in tuples probe ∆′ (part 4); new-epoch arrivals probe µ, ∆′
+// and Keep(τ∪∆) (parts 4–7). On completion the three stores merge and
+// the discards of the splitting relation are applied (Alg. 3 line 29).
+type joiner struct {
+	id    int
+	pred  join.Predicate
+	numRe int // reshuffler count: signals to await per migration
+
+	cell    matrix.Cell
+	mapping matrix.Mapping
+	epoch   uint32
+	table   []int // joiner id per row-major cell of mapping
+
+	state *storage.Store
+	mig   *migState
+
+	dataIn    chan message
+	migIn     *dataflow.Queue[message]
+	migNotify chan struct{}
+
+	topo   *topology
+	ackCh  chan<- int
+	emit   join.Emit
+	met    *metrics.Joiner
+	stCfg  storage.Config
+	eos    int
+	exited bool
+}
+
+// migTarget is one destination of this joiner's outgoing state during
+// a migration, with the filter selecting which stored tuples it gets.
+type migTarget struct {
+	dest int
+	want func(side matrix.Side, u uint64) bool
+}
+
+// migState is the in-flight migration context.
+type migState struct {
+	epoch      uint32
+	newMapping matrix.Mapping
+	newCell    matrix.Cell
+	expand     bool
+	// keeps reports whether this machine retains a stored old-epoch
+	// tuple under the new mapping.
+	keeps   func(side matrix.Side, u uint64) bool
+	targets []migTarget
+	mu      *storage.Store // µ: migrated-in state
+	dp      *storage.Store // ∆′: new-epoch arrivals
+	// probeBuf holds probe-only new-epoch tuples (multi-group
+	// traffic) until the migration completes: a probe-only ∆′ tuple
+	// that passes through before a matching µ tuple lands would
+	// otherwise miss it — stored tuples repair such races by being
+	// probed later, probe-only tuples cannot. Arriving stored µ
+	// tuples probe this buffer; it is discarded at finalization.
+	probeBuf *join.Local
+	signals  int
+	// expectedDones is how many kMigDone messages finalization awaits:
+	// 1 for an elementary step (the partner) and for an expansion
+	// child (the parent); 0 for an expansion parent.
+	expectedDones int
+	dones         int
+}
+
+// run is the joiner task loop. Migrated tuples are processed at twice
+// the rate of new tuples when both are pending (§4.3.2), preserving the
+// 1.25 competitive ratio under non-blocking operation (Thm 4.6).
+func (w *joiner) run() error {
+	for !w.finished() {
+		progressed := false
+		for i := 0; i < 2; i++ {
+			if m, ok := w.migIn.TryPop(); ok {
+				w.handle(m)
+				progressed = true
+			}
+		}
+		select {
+		case m := <-w.dataIn:
+			w.handle(m)
+			progressed = true
+		default:
+		}
+		if !progressed {
+			select {
+			case m := <-w.dataIn:
+				w.handle(m)
+			case <-w.migNotify:
+			}
+		}
+	}
+	return nil
+}
+
+func (w *joiner) finished() bool { return w.eos >= w.numRe && w.mig == nil }
+
+func (w *joiner) handle(m message) {
+	switch m.kind {
+	case kEOS:
+		w.eos++
+	case kSignal:
+		w.onSignal(m)
+	case kTuple:
+		w.onTuple(m)
+	case kMigBegin:
+		w.ensureMig(m.epoch, m.mapping, m.expand)
+	case kMigTuple:
+		w.onMigTuple(m)
+	case kMigDone:
+		if w.mig == nil || w.mig.epoch != m.epoch {
+			panic(fmt.Sprintf("core: joiner %d got MigDone for epoch %d outside migration", w.id, m.epoch))
+		}
+		w.mig.dones++
+		w.maybeFinalize()
+	}
+}
+
+// onSignal processes one reshuffler's epoch-change signal. The first
+// signal starts the migration (Alg. 3 line 2: "Send τ for migration");
+// the last one guarantees no further old-epoch tuples will arrive
+// (line 4), at which point outgoing MigDone markers are flushed.
+func (w *joiner) onSignal(m message) {
+	w.ensureMig(m.epoch, m.mapping, m.expand)
+	w.mig.signals++
+	if w.mig.signals == w.numRe {
+		for _, tgt := range w.mig.targets {
+			w.topo.pushMig(tgt.dest, message{kind: kMigDone, epoch: w.mig.epoch, from: w.id})
+		}
+		w.maybeFinalize()
+	}
+}
+
+// ensureMig enters migration mode if not already in it, snapshotting
+// and forwarding τ. It is triggered by the first reshuffler signal or,
+// possibly earlier, by a peer's kMigBegin.
+func (w *joiner) ensureMig(epoch uint32, newMapping matrix.Mapping, expand bool) {
+	if w.mig != nil {
+		if w.mig.epoch != epoch {
+			panic(fmt.Sprintf("core: joiner %d: overlapping migrations %d and %d", w.id, w.mig.epoch, epoch))
+		}
+		return
+	}
+	if epoch != w.epoch+1 {
+		panic(fmt.Sprintf("core: joiner %d: epoch jump %d -> %d", w.id, w.epoch, epoch))
+	}
+	mig := &migState{
+		epoch:      epoch,
+		newMapping: newMapping,
+		expand:     expand,
+		mu:         storage.NewStore(w.pred, w.stCfg),
+		dp:         storage.NewStore(w.pred, w.stCfg),
+		probeBuf:   join.NewLocal(w.pred),
+	}
+	if expand {
+		e := matrix.NewExpansion(w.mapping)
+		if e.To != newMapping {
+			panic(fmt.Sprintf("core: joiner %d: expansion to %v but signaled %v", w.id, e.To, newMapping))
+		}
+		children := e.Children(w.cell)
+		mig.newCell = children[0] // the parent continues as child 0
+		mig.keeps = func(side matrix.Side, u uint64) bool { return e.Owns(children[0], side, u) }
+		for k := 1; k < 4; k++ {
+			child := children[k]
+			mig.targets = append(mig.targets, migTarget{
+				dest: childID(len(w.table), w.id, k-1),
+				want: func(side matrix.Side, u uint64) bool { return e.Owns(child, side, u) },
+			})
+		}
+		mig.expectedDones = 0
+	} else {
+		tr := matrix.NewTransition(w.mapping, newMapping)
+		mig.newCell = tr.NewCell(w.cell)
+		mig.keeps = func(side matrix.Side, u uint64) bool { return tr.Keeps(w.cell, side, u) }
+		partner := tr.Partner(w.cell)
+		mig.targets = []migTarget{{
+			dest: w.table[w.mapping.MachineOf(partner)],
+			want: func(side matrix.Side, u uint64) bool { return side == tr.Exchange },
+		}}
+		mig.expectedDones = 1
+	}
+	w.mig = mig
+
+	// Announce, then snapshot-and-send τ (Alg. 3 line 3). Subsequent
+	// old-epoch arrivals (∆) are forwarded individually on arrival.
+	for _, tgt := range mig.targets {
+		w.topo.pushMig(tgt.dest, message{kind: kMigBegin, epoch: epoch, mapping: newMapping, expand: expand, from: w.id})
+	}
+	for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
+		w.state.Scan(side, func(t join.Tuple) bool {
+			w.forwardMig(t, false)
+			return true
+		})
+	}
+}
+
+// forwardMig sends one old-epoch tuple to every migration target whose
+// filter selects it.
+func (w *joiner) forwardMig(t join.Tuple, probeOnly bool) {
+	for _, tgt := range w.mig.targets {
+		if tgt.want(t.Rel, t.U) {
+			w.topo.pushMig(tgt.dest, message{
+				kind: kMigTuple, tuple: t, epoch: w.mig.epoch, from: w.id, probeOnly: probeOnly,
+			})
+			if !probeOnly {
+				w.met.MigratedOut.Add(1)
+			}
+		}
+	}
+}
+
+// onTuple processes a data tuple from a reshuffler, dispatching on its
+// epoch tag: HandleTuple1/HandleTuple2 of Alg. 3 collapse into the two
+// migration branches here because the ∆-branch is unreachable once all
+// signals have arrived.
+func (w *joiner) onTuple(m message) {
+	t := m.tuple
+	w.met.InputTuples.Add(1)
+	w.met.InputBytes.Add(t.Bytes())
+	switch {
+	case w.mig == nil:
+		if m.epoch != w.epoch {
+			panic(fmt.Sprintf("core: joiner %d: tuple epoch %d outside migration (at %d)", w.id, m.epoch, w.epoch))
+		}
+		w.state.Probe(t, w.emit)
+		if !m.probeOnly {
+			w.state.Insert(t)
+		}
+	case m.epoch == w.epoch:
+		// ∆: old-epoch arrival during migration (Alg. 3 lines 15-20).
+		w.state.Probe(t, w.emit) // {t} ⋈ (τ ∪ ∆)
+		if w.mig.keeps(t.Rel, t.U) {
+			w.mig.dp.Probe(t, w.emit) // Keep(∆) ⋈ ∆′
+		}
+		w.forwardMig(t, m.probeOnly) // Migrated(∆) to peers
+		if !m.probeOnly {
+			w.state.Insert(t)
+		}
+	case m.epoch == w.mig.epoch:
+		// ∆′: new-epoch arrival (Alg. 3 lines 12-14 / 24-26).
+		w.mig.mu.Probe(t, w.emit) // {t} ⋈ µ
+		w.mig.dp.Probe(t, w.emit) // {t} ⋈ ∆′
+		w.probeKept(t)            // {t} ⋈ Keep(τ ∪ ∆)
+		if m.probeOnly {
+			// Remember the probe so later-arriving µ tuples can
+			// complete the {t} ⋈ µ part it could not see yet.
+			w.mig.probeBuf.Insert(t)
+		} else {
+			w.mig.dp.Insert(t)
+		}
+	default:
+		panic(fmt.Sprintf("core: joiner %d: tuple epoch %d, joiner epoch %d, migration epoch %d",
+			w.id, m.epoch, w.epoch, w.mig.epoch))
+	}
+	w.updateStored()
+}
+
+// probeKept joins t against the kept subset of the old-epoch state:
+// stored tuples that remain on this machine under the new mapping.
+func (w *joiner) probeKept(t join.Tuple) {
+	w.state.Probe(t, func(p join.Pair) {
+		stored := p.R
+		if t.Rel == matrix.SideR {
+			stored = p.S
+		}
+		if w.mig.keeps(stored.Rel, stored.U) {
+			w.emit(p)
+		}
+	})
+}
+
+// onMigTuple processes a migrated-in tuple: it joins only ∆′ (Alg. 3
+// lines 10-11); its joins against old-epoch state were computed under
+// the old mapping by the sender's side of the matrix.
+func (w *joiner) onMigTuple(m message) {
+	if w.mig == nil || m.epoch != w.mig.epoch {
+		panic(fmt.Sprintf("core: joiner %d: migration tuple for epoch %d outside migration", w.id, m.epoch))
+	}
+	t := m.tuple
+	w.met.InputTuples.Add(1)
+	w.met.InputBytes.Add(t.Bytes())
+	w.mig.dp.Probe(t, w.emit)
+	if !m.probeOnly {
+		// A stored µ tuple completes the pending probes of earlier
+		// probe-only ∆′ traffic (pairs owned by this group because
+		// the µ tuple is the older, stored one).
+		w.mig.probeBuf.Probe(t, w.emit)
+		w.mig.mu.Insert(t)
+		w.met.MigratedIn.Add(1)
+	}
+	w.updateStored()
+}
+
+// maybeFinalize completes the migration once no further old-epoch
+// tuples (all reshuffler signals) or migrated tuples (all MigDone
+// markers) can arrive: apply discards, merge µ and ∆′ into the state,
+// adopt the new mapping, and acknowledge the controller (Alg. 3
+// FinalizeMigration).
+func (w *joiner) maybeFinalize() {
+	mig := w.mig
+	if mig == nil || mig.signals < w.numRe || mig.dones < mig.expectedDones {
+		return
+	}
+	for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
+		side := side
+		w.state.Retain(side, func(t join.Tuple) bool { return mig.keeps(side, t.U) })
+	}
+	for _, src := range [2]*storage.Store{mig.mu, mig.dp} {
+		for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
+			src.Scan(side, func(t join.Tuple) bool {
+				w.state.Insert(t)
+				return true
+			})
+		}
+		_ = src.Close()
+	}
+	// Adopt the new placement.
+	if mig.expand {
+		w.table = expandTable(w.table, w.mapping)
+	} else {
+		w.table = stepTable(w.table, matrix.NewTransition(w.mapping, mig.newMapping))
+	}
+	w.mapping = mig.newMapping
+	w.cell = mig.newCell
+	w.epoch = mig.epoch
+	w.mig = nil
+	w.updateStored()
+	w.ackCh <- w.id
+}
+
+// updateStored refreshes the stored-state gauges.
+func (w *joiner) updateStored() {
+	tuples := int64(w.state.TotalLen())
+	bytes := w.state.Bytes()
+	if w.mig != nil {
+		tuples += int64(w.mig.mu.TotalLen() + w.mig.dp.TotalLen())
+		bytes += w.mig.mu.Bytes() + w.mig.dp.Bytes()
+	}
+	w.met.StoredTuples.Store(tuples)
+	w.met.StoredBytes.Store(bytes)
+	w.met.SpilledTuples.Store(w.state.Metrics.SpilledTuples.Load())
+}
+
+// childID returns the joiner id of the k-th (0-based) new child of
+// parent under an expansion from jBefore joiners.
+func childID(jBefore, parent, k int) int { return jBefore + 3*parent + k }
+
+// stepTable relabels a cell->joiner table across an elementary
+// migration step.
+func stepTable(old []int, tr matrix.Transition) []int {
+	nt := make([]int, len(old))
+	for idx, id := range old {
+		nt[tr.To.MachineOf(tr.NewCell(tr.From.CellOf(idx)))] = id
+	}
+	return nt
+}
+
+// expandTable relabels a cell->joiner table across a 1-to-4 expansion:
+// each parent keeps the top-left child cell; its three children take
+// the rest in the deterministic childID order.
+func expandTable(old []int, oldMap matrix.Mapping) []int {
+	e := matrix.NewExpansion(oldMap)
+	nt := make([]int, e.To.J())
+	for idx, id := range old {
+		ch := e.Children(oldMap.CellOf(idx))
+		nt[e.To.MachineOf(ch[0])] = id
+		for k := 1; k < 4; k++ {
+			nt[e.To.MachineOf(ch[k])] = childID(len(old), id, k-1)
+		}
+	}
+	return nt
+}

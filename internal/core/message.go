@@ -1,0 +1,72 @@
+// Package core implements the paper's primary contribution: the
+// intra-adaptive dataflow theta-join operator (§4 of Elseidy et al.,
+// VLDB 2014). The operator consists of J joiner tasks and a set of
+// reshuffler tasks, one of which doubles as the controller. It
+// continuously re-optimizes its (n,m)-mapping via the 1.25-competitive
+// migration-decision algorithm (Alg. 2), relocates state with the
+// locality-aware pairwise exchange (Fig. 3), and keeps processing new
+// tuples throughout migrations using the eventually-consistent epoch
+// protocol (Alg. 3). Elastic 1-to-4 expansion (Fig. 5) and the
+// power-of-two group decomposition for arbitrary machine counts
+// (§4.2.2) are layered on the same machinery.
+package core
+
+import (
+	"repro/internal/join"
+	"repro/internal/matrix"
+)
+
+// msgKind discriminates protocol messages.
+type msgKind uint8
+
+const (
+	// kTuple is a data tuple routed by a reshuffler.
+	kTuple msgKind = iota
+	// kSignal is an epoch-change signal a reshuffler sends each joiner
+	// when it adopts a new mapping; it separates old-epoch from
+	// new-epoch tuples on that reshuffler's FIFO link.
+	kSignal
+	// kEOS marks the end of a reshuffler's stream.
+	kEOS
+	// kMigBegin is the first message a migration sender emits; it lets
+	// a joiner learn of a migration from its partner before any
+	// reshuffler signal has reached it.
+	kMigBegin
+	// kMigTuple carries one relocated state tuple (the µ set).
+	kMigTuple
+	// kMigDone marks the end of a sender's migration stream.
+	kMigDone
+)
+
+// message is the single envelope exchanged on all operator links.
+type message struct {
+	kind    msgKind
+	tuple   join.Tuple
+	epoch   uint32
+	mapping matrix.Mapping // kSignal, kMigBegin: the target mapping
+	expand  bool           // kSignal, kMigBegin: elastic expansion step
+	from    int            // sender task id (reshuffler or joiner)
+	// probeOnly marks tuples that join against stored state but are
+	// not stored themselves: the cross-group traffic of the §4.2.2
+	// decomposition.
+	probeOnly bool
+}
+
+// ctrlKind discriminates controller->reshuffler commands.
+type ctrlKind uint8
+
+const (
+	// ctrlEpoch instructs reshufflers to adopt a new mapping.
+	ctrlEpoch ctrlKind = iota
+	// ctrlFinish instructs reshufflers to emit EOS and exit; sent only
+	// when the source is drained and no migration is in flight.
+	ctrlFinish
+)
+
+// ctrlMsg is a controller command.
+type ctrlMsg struct {
+	kind    ctrlKind
+	epoch   uint32
+	mapping matrix.Mapping
+	expand  bool
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataflow"
+	"repro/internal/join"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// topology holds the communication ports of every joiner. It grows
+// under elastic expansion; readers take a snapshot pointer, so routing
+// is lock-free on the hot path.
+type topology struct {
+	ports atomic.Pointer[[]*joinerPorts]
+}
+
+type joinerPorts struct {
+	dataIn    chan message
+	migIn     *dataflow.Queue[message]
+	migNotify chan struct{}
+}
+
+func newJoinerPorts(dataCap int) *joinerPorts {
+	return &joinerPorts{
+		dataIn:    make(chan message, dataCap),
+		migIn:     dataflow.NewQueue[message](),
+		migNotify: make(chan struct{}, 1),
+	}
+}
+
+func (tp *topology) add(ports []*joinerPorts) {
+	cur := tp.ports.Load()
+	var next []*joinerPorts
+	if cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, ports...)
+	tp.ports.Store(&next)
+}
+
+// pushData delivers a message on a joiner's (bounded) data link,
+// providing backpressure to reshufflers.
+func (tp *topology) pushData(id int, m message) { (*tp.ports.Load())[id].dataIn <- m }
+
+// pushMig delivers a message on a joiner's unbounded migration link.
+// Sends never block, which is what makes the pairwise state exchange
+// deadlock-free.
+func (tp *topology) pushMig(id int, m message) {
+	p := (*tp.ports.Load())[id]
+	p.migIn.Push(m)
+	select {
+	case p.migNotify <- struct{}{}:
+	default:
+	}
+}
+
+// Config configures an Operator.
+type Config struct {
+	// J is the number of joiners; it must be a power of two (use
+	// groups.go for arbitrary machine counts).
+	J int
+	// Pred is the join predicate.
+	Pred join.Predicate
+	// Initial is the starting mapping; zero value means the square
+	// (√J,√J) mapping, the paper's initialization for Dynamic and the
+	// fixed mapping of StaticMid.
+	Initial matrix.Mapping
+	// Adaptive enables the controller's migration decisions; false
+	// yields a static operator (the StaticMid/StaticOpt baselines).
+	Adaptive bool
+	// NumReshufflers defaults to J. The grouped operator uses 1 to
+	// obtain a total delivery order per group.
+	NumReshufflers int
+	// Epsilon is Alg. 2's ε; 0 means 1 (the 1.25-competitive setting).
+	Epsilon float64
+	// Warmup is the minimum (estimated) input before the first
+	// adaptation; the paper uses 500K tuples (§5.4).
+	Warmup int64
+	// MaxTuplesPerJoiner is the elasticity threshold M; 0 disables
+	// elastic expansion.
+	MaxTuplesPerJoiner int64
+	// MaxJoiners caps elastic growth: no expansion is taken that would
+	// push the joiner count above it. 0 means unlimited.
+	MaxJoiners int
+	// PadDummies enables physical dummy-tuple padding (§4.2.2).
+	PadDummies bool
+	// Storage configures the per-joiner store (memory cap, spill dir).
+	Storage storage.Config
+	// Emit receives join results; it must not block. nil counts
+	// results internally.
+	Emit join.Emit
+	// Latency, if non-nil, samples tuple latencies.
+	Latency *metrics.LatencySampler
+	// Seed makes the random routing reproducible.
+	Seed int64
+	// DataQueueCap is the per-joiner data inbox capacity (default 1024).
+	DataQueueCap int
+}
+
+func (c *Config) fill() {
+	if c.J <= 0 || c.J&(c.J-1) != 0 {
+		panic(fmt.Sprintf("core: J=%d is not a positive power of two", c.J))
+	}
+	if c.Initial == (matrix.Mapping{}) {
+		c.Initial = matrix.Square(c.J)
+	}
+	if !c.Initial.Valid() || c.Initial.J() != c.J {
+		panic(fmt.Sprintf("core: initial mapping %v invalid for J=%d", c.Initial, c.J))
+	}
+	if c.NumReshufflers <= 0 {
+		c.NumReshufflers = c.J
+	}
+	if c.DataQueueCap <= 0 {
+		c.DataQueueCap = 1024
+	}
+}
+
+// Operator is the adaptive (or, with Adaptive=false, static) parallel
+// online theta-join operator. Feed it interleaved R and S tuples with
+// Send; results flow to Config.Emit as they are discovered; Finish
+// drains and stops all tasks.
+type Operator struct {
+	cfg    Config
+	topo   *topology
+	met    *metrics.Operator
+	runner dataflow.Runner
+
+	// sources holds one input queue per reshuffler: Send deals tuples
+	// round-robin, modeling the paper's random tuple-to-reshuffler
+	// routing while guaranteeing every reshuffler (in particular the
+	// controller) sees an exact 1/numReshufflers sample at stream pace.
+	sources []chan sourceItem
+	ctl     *controller
+
+	mu      sync.Mutex
+	joiners []*joiner
+
+	seq     atomic.Uint64
+	started bool
+	done    bool
+}
+
+// NewOperator builds an operator; call Start before Send.
+func NewOperator(cfg Config) *Operator {
+	cfg.fill()
+	op := &Operator{
+		cfg:  cfg,
+		topo: &topology{},
+		met:  metrics.NewOperator(cfg.J),
+	}
+	op.sources = make([]chan sourceItem, cfg.NumReshufflers)
+	for i := range op.sources {
+		op.sources[i] = make(chan sourceItem, 512)
+	}
+	dec := NewDecider(DeciderConfig{
+		J:            cfg.J,
+		Initial:      cfg.Initial,
+		Epsilon:      cfg.Epsilon,
+		Warmup:       cfg.Warmup,
+		MaxPerJoiner: cfg.MaxTuplesPerJoiner,
+	})
+	op.ctl = newController(dec, cfg.Adaptive, cfg.J, op)
+	op.ctl.scale = int64(cfg.NumReshufflers)
+
+	ports := make([]*joinerPorts, cfg.J)
+	for i := range ports {
+		ports[i] = newJoinerPorts(cfg.DataQueueCap)
+	}
+	op.topo.add(ports)
+	for id := 0; id < cfg.J; id++ {
+		op.joiners = append(op.joiners, op.newJoiner(id, cfg.Initial.CellOf(id), cfg.Initial, 0, nil))
+	}
+	return op
+}
+
+// newJoiner constructs a joiner task; birth, when non-nil, pre-arms an
+// expansion child's migration state.
+func (op *Operator) newJoiner(id int, cell matrix.Cell, mapping matrix.Mapping, epoch uint32, birth *migState) *joiner {
+	op.met.Grow(id + 1)
+	table := append([]int(nil), op.ctl.table...)
+	w := &joiner{
+		id:      id,
+		pred:    op.cfg.Pred,
+		numRe:   op.cfg.NumReshufflers,
+		cell:    cell,
+		mapping: mapping,
+		epoch:   epoch,
+		table:   table,
+		state:   storage.NewStore(op.cfg.Pred, op.cfg.Storage),
+		topo:    op.topo,
+		ackCh:   op.ctl.ackCh,
+		met:     op.met.JoinerStats(id),
+		stCfg:   op.cfg.Storage,
+		mig:     birth,
+	}
+	ports := (*op.topo.ports.Load())[id]
+	w.dataIn = ports.dataIn
+	w.migIn = ports.migIn
+	w.migNotify = ports.migNotify
+	w.emit = op.emitFor(w)
+	return w
+}
+
+// emitFor wraps the user sink with per-joiner accounting and latency
+// sampling.
+func (op *Operator) emitFor(w *joiner) join.Emit {
+	user := op.cfg.Emit
+	lat := op.cfg.Latency
+	return func(p join.Pair) {
+		w.met.OutputPairs.Add(1)
+		if lat != nil {
+			newer := p.R.Seq
+			if p.S.Seq > newer {
+				newer = p.S.Seq
+			}
+			lat.Emit(newer)
+		}
+		if user != nil {
+			user(p)
+		}
+	}
+}
+
+// spawnChildren creates and starts the three children of every current
+// joiner for an elastic expansion. Called by the controller, before
+// the expansion epoch is broadcast.
+func (op *Operator) spawnChildren(table []int, epoch uint32, newMapping matrix.Mapping) {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	oldMapping := matrix.Mapping{N: newMapping.N / 2, M: newMapping.M / 2}
+	e := matrix.NewExpansion(oldMapping)
+	jBefore := len(table)
+
+	newPorts := make([]*joinerPorts, 3*jBefore)
+	for i := range newPorts {
+		newPorts[i] = newJoinerPorts(op.cfg.DataQueueCap)
+	}
+	op.topo.add(newPorts)
+
+	for idx, parent := range table {
+		children := e.Children(oldMapping.CellOf(idx))
+		for k := 1; k < 4; k++ {
+			id := childID(jBefore, parent, k-1)
+			cell := children[k]
+			birth := &migState{
+				epoch:         epoch,
+				newMapping:    newMapping,
+				newCell:       cell,
+				expand:        true,
+				keeps:         func(matrix.Side, uint64) bool { return true },
+				mu:            storage.NewStore(op.cfg.Pred, op.cfg.Storage),
+				dp:            storage.NewStore(op.cfg.Pred, op.cfg.Storage),
+				probeBuf:      join.NewLocal(op.cfg.Pred),
+				expectedDones: 1, // the parent's MigDone
+			}
+			w := op.newJoiner(id, cell, oldMapping, epoch-1, birth)
+			op.joiners = append(op.joiners, w)
+			op.runner.Go(fmt.Sprintf("joiner-%d", id), w.run)
+		}
+	}
+}
+
+// Start launches all tasks.
+func (op *Operator) Start() {
+	if op.started {
+		panic("core: Start called twice")
+	}
+	op.started = true
+	if op.cfg.Emit == nil {
+		op.cfg.Emit = func(join.Pair) {} // counting happens in emitFor
+	}
+	// Rebuild joiner emits now that Emit is final.
+	for _, w := range op.joiners {
+		w.emit = op.emitFor(w)
+	}
+	for _, w := range op.joiners {
+		op.runner.Go(fmt.Sprintf("joiner-%d", w.id), w.run)
+	}
+	for i := 0; i < op.cfg.NumReshufflers; i++ {
+		r := &reshuffler{
+			id:         i,
+			rng:        rand.New(rand.NewSource(op.cfg.Seed ^ int64(i)*0x9e3779b9)),
+			est:        stats.NewEstimator(op.cfg.NumReshufflers),
+			mapping:    op.cfg.Initial,
+			table:      append([]int(nil), op.ctl.table...),
+			source:     op.sources[i],
+			ctrlCh:     make(chan ctrlMsg, 16),
+			topo:       op.topo,
+			opm:        op.met,
+			lat:        op.cfg.Latency,
+			drainCh:    op.ctl.drainCh,
+			padDummies: op.cfg.PadDummies,
+		}
+		if i == 0 {
+			r.ctl = op.ctl
+		}
+		op.ctl.resh = append(op.ctl.resh, r.ctrlCh)
+		op.runner.Go(fmt.Sprintf("reshuffler-%d", i), r.run)
+	}
+}
+
+// Send feeds one tuple into the operator, assigning its ingestion
+// sequence number. It blocks when the operator is backlogged.
+func (op *Operator) Send(t join.Tuple) {
+	t.Seq = op.seq.Add(1)
+	op.deal(sourceItem{t: t})
+}
+
+// deal routes an item to a pseudo-random reshuffler (the paper's
+// "randomly routed to a reshuffler task"). The mix is a deterministic
+// function of the sequence number so runs are reproducible, and it
+// avoids phase-locking with periodic input patterns, which a plain
+// round-robin would alias against.
+func (op *Operator) deal(item sourceItem) {
+	h := item.t.Seq * 0x9e3779b97f4a7c15
+	idx := int((h >> 33) % uint64(len(op.sources)))
+	op.sources[idx] <- item
+}
+
+// sendProbe feeds a probe-only tuple (multi-group traffic); the caller
+// has already assigned Seq and U.
+func (op *Operator) sendProbe(t join.Tuple) {
+	op.deal(sourceItem{t: t, probeOnly: true})
+}
+
+// sendStored feeds a to-be-stored tuple with caller-assigned Seq/U.
+func (op *Operator) sendStored(t join.Tuple) {
+	op.deal(sourceItem{t: t})
+}
+
+// Finish closes the input and waits for all tasks to drain and stop.
+func (op *Operator) Finish() error {
+	if op.done {
+		return nil
+	}
+	op.done = true
+	for _, src := range op.sources {
+		close(src)
+	}
+	err := op.runner.Wait()
+	op.mu.Lock()
+	for _, w := range op.joiners {
+		_ = w.state.Close()
+	}
+	op.mu.Unlock()
+	return err
+}
+
+// Metrics exposes the operator's counters.
+func (op *Operator) Metrics() *metrics.Operator { return op.met }
+
+// NumJoiners returns the current joiner count (grows under expansion).
+func (op *Operator) NumJoiners() int {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	return len(op.joiners)
+}
+
+// DeployedMapping returns the mapping the operator ended up with. Only
+// meaningful after Finish.
+func (op *Operator) DeployedMapping() matrix.Mapping { return op.ctl.deployed }
+
+// Migrations returns the number of elementary migrations performed.
+func (op *Operator) Migrations() int64 { return op.met.Migrations.Load() }

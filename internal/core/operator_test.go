@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/matrix"
+)
+
+// runOperator pushes the given tuples through an operator and returns
+// the emitted result count.
+func runOperator(t *testing.T, cfg Config, tuples []join.Tuple) (int64, *Operator) {
+	t.Helper()
+	var n atomic.Int64
+	cfg.Emit = func(join.Pair) { n.Add(1) }
+	op := NewOperator(cfg)
+	op.Start()
+	for _, tp := range tuples {
+		op.Send(tp)
+	}
+	if err := op.Finish(); err != nil {
+		t.Fatalf("operator error: %v", err)
+	}
+	return n.Load(), op
+}
+
+func refCount(p join.Predicate, tuples []join.Tuple) int64 {
+	var rs, ss []join.Tuple
+	for _, t := range tuples {
+		if t.Rel == matrix.SideR {
+			rs = append(rs, t)
+		} else {
+			ss = append(ss, t)
+		}
+	}
+	var n int64
+	for _, r := range rs {
+		for _, s := range ss {
+			if p.Matches(r, s) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func mixedStream(rng *rand.Rand, nR, nS int, keys int64) []join.Tuple {
+	var out []join.Tuple
+	for i := 0; i < nR || i < nS; i++ {
+		if i < nR {
+			out = append(out, join.Tuple{Rel: matrix.SideR, Key: rng.Int63n(keys), Aux: rng.Int63n(100), Size: 8})
+		}
+		if i < nS {
+			out = append(out, join.Tuple{Rel: matrix.SideS, Key: rng.Int63n(keys), Aux: rng.Int63n(100), Size: 8})
+		}
+	}
+	return out
+}
+
+func TestStaticOperatorEquiJoinExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pred := join.EquiJoin("eq", nil)
+	tuples := mixedStream(rng, 2000, 2000, 97)
+	want := refCount(pred, tuples)
+	got, op := runOperator(t, Config{J: 16, Pred: pred, Seed: 7}, tuples)
+	if got != want {
+		t.Fatalf("static operator emitted %d, reference %d", got, want)
+	}
+	if op.Migrations() != 0 {
+		t.Fatalf("static operator migrated %d times", op.Migrations())
+	}
+}
+
+func TestStaticOperatorBandJoinExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pred := join.BandJoin("band", 2, func(r, s join.Tuple) bool { return r.Aux > 20 })
+	tuples := mixedStream(rng, 1500, 1500, 300)
+	want := refCount(pred, tuples)
+	got, _ := runOperator(t, Config{J: 4, Pred: pred, Seed: 3}, tuples)
+	if got != want {
+		t.Fatalf("band operator emitted %d, reference %d", got, want)
+	}
+}
+
+func TestStaticOperatorThetaJoinExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pred := join.ThetaJoin("neq", func(r, s join.Tuple) bool { return r.Key != s.Key })
+	tuples := mixedStream(rng, 300, 300, 10)
+	want := refCount(pred, tuples)
+	got, _ := runOperator(t, Config{J: 8, Pred: pred, Seed: 5}, tuples)
+	if got != want {
+		t.Fatalf("theta operator emitted %d, reference %d", got, want)
+	}
+}
+
+// The central correctness theorem (Thm 4.5): with adaptivity on and
+// multiple migrations happening mid-stream, the output is still exactly
+// the reference join — no lost and no duplicated pairs.
+func TestAdaptiveOperatorMigratesAndStaysExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pred := join.EquiJoin("eq", nil)
+	// Heavily lopsided stream: R tiny, S huge -> optimal mapping far
+	// from the square start; adaptation must migrate several steps.
+	var tuples []join.Tuple
+	for i := 0; i < 200; i++ {
+		tuples = append(tuples, join.Tuple{Rel: matrix.SideR, Key: rng.Int63n(50), Size: 8})
+	}
+	for i := 0; i < 12000; i++ {
+		tuples = append(tuples, join.Tuple{Rel: matrix.SideS, Key: rng.Int63n(50), Size: 8})
+	}
+	want := refCount(pred, tuples)
+	got, op := runOperator(t, Config{J: 16, Pred: pred, Adaptive: true, Warmup: 500, Seed: 11}, tuples)
+	if got != want {
+		t.Fatalf("adaptive operator emitted %d, reference %d (migrations=%d)", got, want, op.Migrations())
+	}
+	if op.Migrations() == 0 {
+		t.Fatal("expected at least one migration on a lopsided stream")
+	}
+	if m := op.DeployedMapping(); m.N >= m.M {
+		t.Fatalf("deployed mapping %v did not move toward (1,%d)", m, 16)
+	}
+}
+
+// Interleave the relations adversarially so migrations fire in both
+// directions (fluctuation), and verify exactness for all predicate
+// kinds.
+func TestAdaptiveOperatorFluctuationExact(t *testing.T) {
+	preds := []join.Predicate{
+		join.EquiJoin("eq", nil),
+		join.BandJoin("band", 1, nil),
+	}
+	for _, pred := range preds {
+		pred := pred
+		t.Run(pred.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			var tuples []join.Tuple
+			// Alternating bursts: R-heavy, then S-heavy, repeatedly.
+			for burst := 0; burst < 6; burst++ {
+				side := matrix.SideR
+				if burst%2 == 1 {
+					side = matrix.SideS
+				}
+				for i := 0; i < 2500; i++ {
+					tuples = append(tuples, join.Tuple{Rel: side, Key: rng.Int63n(400), Size: 8})
+				}
+			}
+			want := refCount(pred, tuples)
+			got, op := runOperator(t, Config{J: 8, Pred: pred, Adaptive: true, Seed: 13}, tuples)
+			if got != want {
+				t.Fatalf("emitted %d, reference %d (migrations=%d)", got, want, op.Migrations())
+			}
+			if op.Migrations() < 2 {
+				t.Fatalf("only %d migrations under fluctuation", op.Migrations())
+			}
+		})
+	}
+}
+
+func TestAdaptiveOperatorManySmallRuns(t *testing.T) {
+	pred := join.EquiJoin("eq", nil)
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		nR := 50 + rng.Intn(3000)
+		nS := 50 + rng.Intn(3000)
+		tuples := mixedStream(rng, nR, nS, 40)
+		want := refCount(pred, tuples)
+		got, op := runOperator(t, Config{J: 4, Pred: pred, Adaptive: true, Seed: seed}, tuples)
+		if got != want {
+			t.Fatalf("seed %d (R=%d S=%d migs=%d): emitted %d, reference %d",
+				seed, nR, nS, op.Migrations(), got, want)
+		}
+	}
+}
+
+// Elastic expansion (§4.2.2, Fig. 5): the operator quadruples its
+// joiners when per-joiner state exceeds M/2 and output stays exact.
+func TestElasticExpansionExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pred := join.EquiJoin("eq", nil)
+	tuples := mixedStream(rng, 3000, 3000, 80)
+	want := refCount(pred, tuples)
+	var n atomic.Int64
+	cfg := Config{
+		J: 4, Pred: pred, Adaptive: true, Seed: 17,
+		Warmup:             600, // first checkpoint lands past M/2 ...
+		MaxTuplesPerJoiner: 400, // ... forcing expansion mid-stream
+		Emit:               func(join.Pair) { n.Add(1) },
+	}
+	op := NewOperator(cfg)
+	op.Start()
+	for _, tp := range tuples {
+		op.Send(tp)
+	}
+	if err := op.Finish(); err != nil {
+		t.Fatalf("operator error: %v", err)
+	}
+	if op.Metrics().Expansions.Load() == 0 {
+		t.Fatal("expected an elastic expansion")
+	}
+	if op.NumJoiners() < 16 {
+		t.Fatalf("joiners after expansion: %d", op.NumJoiners())
+	}
+	if n.Load() != want {
+		t.Fatalf("emitted %d, reference %d", n.Load(), want)
+	}
+}
+
+// Dummy padding (§4.2.2): with one relation absurdly larger, dummies
+// keep the stored ratio within J without corrupting results.
+func TestDummyPaddingExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pred := join.EquiJoin("eq", nil)
+	var tuples []join.Tuple
+	for i := 0; i < 5; i++ {
+		tuples = append(tuples, join.Tuple{Rel: matrix.SideR, Key: rng.Int63n(10), Size: 8})
+	}
+	for i := 0; i < 4000; i++ {
+		tuples = append(tuples, join.Tuple{Rel: matrix.SideS, Key: rng.Int63n(10), Size: 8})
+	}
+	want := refCount(pred, tuples)
+	got, op := runOperator(t, Config{J: 4, Pred: pred, Adaptive: true, PadDummies: true, Seed: 19}, tuples)
+	if got != want {
+		t.Fatalf("emitted %d, reference %d", got, want)
+	}
+	if op.Metrics().DummyTuples.Load() == 0 {
+		t.Fatal("no dummies injected despite extreme ratio")
+	}
+}
+
+// Every input tuple must be counted by the ILF of some joiner, and the
+// adaptive operator's max ILF should beat the static square mapping on
+// a lopsided stream (the Fig. 6a effect).
+func TestAdaptiveILFBeatsStaticMid(t *testing.T) {
+	pred := join.EquiJoin("eq", nil)
+	rng := rand.New(rand.NewSource(8))
+	var tuples []join.Tuple
+	for i := 0; i < 400; i++ {
+		tuples = append(tuples, join.Tuple{Rel: matrix.SideR, Key: rng.Int63n(100), Size: 8})
+	}
+	for i := 0; i < 25000; i++ {
+		tuples = append(tuples, join.Tuple{Rel: matrix.SideS, Key: rng.Int63n(100), Size: 8})
+	}
+	// Warmup covers the R prefix so adaptation reacts to the true
+	// (lopsided) mix rather than the cold-start prefix, as in §5.4.
+	_, static := runOperator(t, Config{J: 16, Pred: pred, Seed: 23}, tuples)
+	_, dynamic := runOperator(t, Config{J: 16, Pred: pred, Adaptive: true, Warmup: 2000, Seed: 23}, tuples)
+	s := static.Metrics().MaxILFTuples()
+	d := dynamic.Metrics().MaxILFTuples()
+	if d >= s {
+		t.Fatalf("adaptive ILF %d not better than static %d", d, s)
+	}
+}
+
+func TestOperatorConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{J: 0, Pred: join.EquiJoin("eq", nil)},
+		{J: 12, Pred: join.EquiJoin("eq", nil)},
+		{J: 16, Pred: join.EquiJoin("eq", nil), Initial: matrix.Mapping{N: 2, M: 4}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			NewOperator(cfg)
+		}()
+	}
+}
+
+func TestOperatorLatencySamplerWired(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pred := join.EquiJoin("eq", nil)
+	tuples := mixedStream(rng, 800, 800, 5)
+	lat := newTestSampler()
+	_, _ = runOperatorWithLatency(t, Config{J: 4, Pred: pred, Seed: 31, Latency: lat}, tuples)
+	if lat.Count() == 0 {
+		t.Fatal("no latency samples captured")
+	}
+	if mean, ok := lat.Mean(); !ok || mean < 0 {
+		t.Fatalf("mean latency %v ok=%v", mean, ok)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/join"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// reshuffler is one reshuffler task (§3.2): it pulls tuples from the
+// shared source (random assignment of tuples to reshufflers), draws
+// the routing value u, maintains its decentralized cardinality
+// estimates (Alg. 1), and fans each tuple out to the joiners of its
+// row or column partition. Reshuffler 0 additionally runs the
+// controller (see controller.go).
+type reshuffler struct {
+	id  int
+	rng *rand.Rand
+	est *stats.Estimator
+
+	mapping matrix.Mapping
+	table   []int
+	epoch   uint32
+
+	source  <-chan sourceItem
+	ctrlCh  chan ctrlMsg
+	topo    *topology
+	opm     *metrics.Operator
+	lat     *metrics.LatencySampler
+	ctl     *controller // non-nil on the controller reshuffler
+	drainCh chan<- int
+
+	// padDummies enables the §4.2.2 dummy-tuple padding: when the
+	// local cardinality-ratio estimate exceeds J, pad the smaller
+	// relation so Lemma 4.1's precondition holds physically.
+	padDummies bool
+}
+
+// sourceItem is one operator input: a tuple plus the probe-only flag
+// used by the multi-group decomposition.
+type sourceItem struct {
+	t         join.Tuple
+	probeOnly bool
+}
+
+func (r *reshuffler) run() error {
+	for {
+		select {
+		case c := <-r.ctrlCh:
+			if r.applyCtrl(c) {
+				return nil
+			}
+		case item, ok := <-r.source:
+			if !ok {
+				return r.drainLoop()
+			}
+			r.ingest(item)
+		case ack, okAck := <-r.ackChan():
+			if okAck {
+				r.ctl.onAck(ack)
+			}
+		case d := <-r.drainChan():
+			r.ctl.onDrained(d)
+		}
+	}
+}
+
+// ackChan returns the controller's ack channel, or nil (never ready)
+// on plain reshufflers.
+func (r *reshuffler) ackChan() <-chan int {
+	if r.ctl == nil {
+		return nil
+	}
+	return r.ctl.ackCh
+}
+
+func (r *reshuffler) drainChan() <-chan int {
+	if r.ctl == nil {
+		return nil
+	}
+	return r.ctl.drainCh
+}
+
+// drainLoop runs after this reshuffler's input is exhausted: it
+// reports to the controller and keeps forwarding epoch signals until
+// the controller declares the operator finished, at which point it
+// EOS-es every joiner. A reshuffler must not exit earlier — joiners
+// wait for its signals during any still-running migration.
+func (r *reshuffler) drainLoop() error {
+	if r.ctl != nil {
+		r.ctl.onSourceDrained()
+	} else {
+		r.drainCh <- r.id
+	}
+	for {
+		select {
+		case c := <-r.ctrlCh:
+			if r.applyCtrl(c) {
+				return nil
+			}
+		case ack, ok := <-r.ackChan():
+			if ok {
+				r.ctl.onAck(ack)
+			}
+		case d := <-r.drainChan():
+			r.ctl.onDrained(d)
+		}
+	}
+}
+
+// applyCtrl handles a controller command, returning true on finish.
+func (r *reshuffler) applyCtrl(c ctrlMsg) bool {
+	switch c.kind {
+	case ctrlFinish:
+		for _, id := range r.table {
+			r.topo.pushData(id, message{kind: kEOS, from: r.id})
+		}
+		return true
+	case ctrlEpoch:
+		if c.expand {
+			r.table = expandTable(r.table, r.mapping)
+			r.mapping = r.mapping.Expand()
+		} else {
+			tr := matrix.NewTransition(r.mapping, c.mapping)
+			r.table = stepTable(r.table, tr)
+			r.mapping = c.mapping
+		}
+		r.epoch = c.epoch
+		// Signal every joiner of the new grid (including expansion
+		// children) before routing anything under the new mapping.
+		for _, id := range r.table {
+			r.topo.pushData(id, message{kind: kSignal, epoch: c.epoch, mapping: r.mapping, expand: c.expand, from: r.id})
+		}
+	}
+	return false
+}
+
+// ingest processes one input tuple: statistics, controller decision,
+// then routing (Alg. 1).
+func (r *reshuffler) ingest(item sourceItem) {
+	t := item.t
+	if t.Rel == matrix.SideR {
+		r.est.ObserveR()
+	} else {
+		r.est.ObserveS()
+	}
+	if r.lat != nil {
+		r.lat.Arrive(t.Seq)
+	}
+	if r.ctl != nil {
+		r.ctl.onTuple(t)
+	}
+	r.route(t, item.probeOnly)
+	if r.padDummies {
+		r.maybePad()
+	}
+}
+
+// route assigns the tuple a random partition of its relation and
+// forwards it to every joiner of that partition (m machines for an R
+// tuple, n for an S tuple).
+func (r *reshuffler) route(t join.Tuple, probeOnly bool) {
+	if t.U == 0 {
+		t.U = r.rng.Uint64()
+	}
+	msg := message{kind: kTuple, tuple: t, epoch: r.epoch, from: r.id, probeOnly: probeOnly}
+	if t.Rel == matrix.SideR {
+		row := r.mapping.RowOf(t.U)
+		for c := 0; c < r.mapping.M; c++ {
+			r.topo.pushData(r.table[row*r.mapping.M+c], msg)
+		}
+		r.opm.RoutedMessages.Add(int64(r.mapping.M))
+	} else {
+		col := r.mapping.ColOf(t.U)
+		for row := 0; row < r.mapping.N; row++ {
+			r.topo.pushData(r.table[row*r.mapping.M+col], msg)
+		}
+		r.opm.RoutedMessages.Add(int64(r.mapping.N))
+	}
+}
+
+// maybePad injects at most one dummy tuple into the smaller relation
+// when the local estimate of the cardinality ratio exceeds J. Dummies
+// are routed and stored like real tuples but never match a predicate,
+// physically maintaining 1/J ≤ |R|/|S| ≤ J (§4.2.2).
+func (r *reshuffler) maybePad() {
+	snap := r.est.Snapshot()
+	j := int64(r.mapping.J())
+	var side matrix.Side
+	switch {
+	case snap.R > j*snap.S && snap.S >= 0:
+		side = matrix.SideS
+	case snap.S > j*snap.R && snap.R >= 0:
+		side = matrix.SideR
+	default:
+		return
+	}
+	dummy := join.Tuple{Rel: side, Dummy: true, Size: 1}
+	if side == matrix.SideR {
+		r.est.ObserveR()
+	} else {
+		r.est.ObserveS()
+	}
+	if r.ctl != nil {
+		r.ctl.onTuple(dummy)
+	}
+	r.opm.DummyTuples.Add(1)
+	r.route(dummy, false)
+}

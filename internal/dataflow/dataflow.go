@@ -1,0 +1,179 @@
+// Package dataflow is the minimal stream-processing substrate the
+// operator runs on — the role Storm plays for Squall in the paper's
+// evaluation (§5). It provides FIFO links with per-sender ordering,
+// an unbounded MPSC queue for migration traffic (so joiners never
+// deadlock exchanging state), a task runner with panic capture, and a
+// token-bucket rate limiter for source pacing. Everything is built on
+// goroutines and channels: one joiner task plus one reshuffler task per
+// simulated machine, exactly like the paper's task assignment.
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Queue is an unbounded multi-producer single-consumer FIFO. Sends
+// never block, which is essential for the non-blocking migration
+// protocol: two joiners exchanging state must never block on each
+// other's inboxes. Per-producer FIFO order is preserved (each producer
+// appends under the same lock).
+type Queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+	count  int64
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends an item. Push on a closed queue is a no-op (late
+// messages during shutdown are dropped deliberately).
+func (q *Queue[T]) Push(v T) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, v)
+		q.count++
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// Pop removes the head item, blocking until one is available or the
+// queue is closed and drained; ok is false in the latter case.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// TryPop removes the head item without blocking; ok is false if the
+// queue is currently empty (whether or not it is closed).
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Count returns the total number of items ever pushed, a cheap message
+// counter for network-traffic accounting.
+func (q *Queue[T]) Count() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Close marks the queue closed and wakes blocked consumers. Close is
+// idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// Runner manages a set of goroutines and collects the first error or
+// panic. It plays the part of the Storm worker supervisor.
+type Runner struct {
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	errs []error
+}
+
+// Go launches fn under the runner. Panics are converted to errors so a
+// task crash fails the topology instead of the process.
+func (r *Runner) Go(name string, fn func() error) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer func() {
+			if p := recover(); p != nil {
+				r.record(fmt.Errorf("dataflow: task %s panicked: %v", name, p))
+			}
+		}()
+		if err := fn(); err != nil {
+			r.record(fmt.Errorf("dataflow: task %s: %w", name, err))
+		}
+	}()
+}
+
+func (r *Runner) record(err error) {
+	r.mu.Lock()
+	r.errs = append(r.errs, err)
+	r.mu.Unlock()
+}
+
+// Wait blocks until all tasks finish and returns the first recorded
+// error, if any.
+func (r *Runner) Wait() error {
+	r.wg.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.errs) > 0 {
+		return r.errs[0]
+	}
+	return nil
+}
+
+// Errs returns all recorded errors after Wait.
+func (r *Runner) Errs() []error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]error(nil), r.errs...)
+}
+
+// RateLimiter paces a source to a fixed tuple rate using coarse
+// sleeping, sufficient for the "input data rates are set such that
+// joiners are fully utilized" setting of §5. A zero or negative rate
+// means unlimited.
+type RateLimiter struct {
+	perSec  int
+	start   time.Time
+	emitted int64
+}
+
+// NewRateLimiter returns a limiter at perSec items per second.
+func NewRateLimiter(perSec int) *RateLimiter {
+	return &RateLimiter{perSec: perSec, start: time.Now()}
+}
+
+// Take blocks until the next item may be emitted.
+func (l *RateLimiter) Take() {
+	if l.perSec <= 0 {
+		return
+	}
+	l.emitted++
+	due := l.start.Add(time.Duration(l.emitted * int64(time.Second) / int64(l.perSec)))
+	if d := time.Until(due); d > 0 {
+		time.Sleep(d)
+	}
+}

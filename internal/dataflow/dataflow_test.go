@@ -1,0 +1,162 @@
+package dataflow
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]()
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if q.Count() != 100 {
+		t.Fatalf("Count=%d", q.Count())
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := NewQueue[string]()
+	done := make(chan string)
+	go func() {
+		v, _ := q.Pop()
+		done <- v
+	}()
+	time.Sleep(5 * time.Millisecond)
+	q.Push("x")
+	select {
+	case v := <-done:
+		if v != "x" {
+			t.Fatalf("got %q", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Pop did not wake")
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue[int]()
+	q.Push(1)
+	q.Close()
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatal("items pushed before close must drain")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop after drain of closed queue should fail")
+	}
+	q.Push(2) // dropped
+	if q.Len() != 0 {
+		t.Fatal("push after close should be dropped")
+	}
+	q.Close() // idempotent
+}
+
+func TestQueueTryPop(t *testing.T) {
+	q := NewQueue[int]()
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty should fail")
+	}
+	q.Push(7)
+	if v, ok := q.TryPop(); !ok || v != 7 {
+		t.Fatal("TryPop should return the item")
+	}
+}
+
+func TestQueuePerProducerOrder(t *testing.T) {
+	q := NewQueue[[2]int]() // [producer, seq]
+	const producers, per = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Push([2]int{p, i})
+			}
+		}(p)
+	}
+	wg.Wait()
+	q.Close()
+	last := make([]int, producers)
+	for i := range last {
+		last[i] = -1
+	}
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if v[1] != last[v[0]]+1 {
+			t.Fatalf("producer %d out of order: %d after %d", v[0], v[1], last[v[0]])
+		}
+		last[v[0]] = v[1]
+	}
+	for p, l := range last {
+		if l != per-1 {
+			t.Fatalf("producer %d drained to %d", p, l)
+		}
+	}
+}
+
+func TestRunnerCollectsErrors(t *testing.T) {
+	var r Runner
+	sentinel := errors.New("boom")
+	r.Go("ok", func() error { return nil })
+	r.Go("bad", func() error { return sentinel })
+	err := r.Wait()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Wait err = %v", err)
+	}
+	if len(r.Errs()) != 1 {
+		t.Fatalf("Errs = %v", r.Errs())
+	}
+}
+
+func TestRunnerCapturesPanic(t *testing.T) {
+	var r Runner
+	r.Go("panicky", func() error { panic("kaboom") })
+	err := r.Wait()
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestRunnerNoError(t *testing.T) {
+	var r Runner
+	for i := 0; i < 10; i++ {
+		r.Go("worker", func() error { return nil })
+	}
+	if err := r.Wait(); err != nil {
+		t.Fatalf("Wait = %v", err)
+	}
+}
+
+func TestRateLimiterPacing(t *testing.T) {
+	l := NewRateLimiter(1000) // 1k/s -> 50 items ≈ 50ms
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		l.Take()
+	}
+	if el := time.Since(start); el < 30*time.Millisecond {
+		t.Fatalf("50 items at 1k/s took only %v", el)
+	}
+}
+
+func TestRateLimiterUnlimited(t *testing.T) {
+	l := NewRateLimiter(0)
+	start := time.Now()
+	for i := 0; i < 1e6; i++ {
+		l.Take()
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("unlimited limiter throttled: %v", el)
+	}
+}

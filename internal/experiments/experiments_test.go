@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// small returns quick options for CI-sized runs.
+func small() Options { return Options{SF: 0.02, Seed: 7} }
+
+func parseCell(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "*"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids, m := Registry()
+	want := []string{"fig6a", "fig6b", "fig6c", "fig6d", "fig7a", "fig7b", "fig7c", "fig7d",
+		"fig8a", "fig8b", "fig8c", "fig8d", "table2"}
+	if len(ids) != len(want) {
+		t.Fatalf("registry ids %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("registry ids %v, want %v", ids, want)
+		}
+		if m[id] == nil {
+			t.Fatalf("no runner for %s", id)
+		}
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tb := Table{ID: "x", Title: "demo", Header: []string{"a", "bb"},
+		Rows: [][]string{{"1", "2"}}, Notes: []string{"note"}}
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Table 2's shape: SHJ degrades sharply with skew while Dynamic stays
+// flat; StaticMid is consistently slower than Dynamic.
+func TestTable2Shape(t *testing.T) {
+	tabs := Table2(small())
+	if len(tabs) != 1 {
+		t.Fatalf("tables %d", len(tabs))
+	}
+	rows := tabs[0].Rows
+	if len(rows) != 10 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, q := range []string{"EQ5", "EQ7"} {
+		var z0SHJ, z4SHJ, z0Dyn, z4Dyn, z4Mid float64
+		var z4SHJspill bool
+		for _, r := range rows {
+			if r[0] != q {
+				continue
+			}
+			switch r[1] {
+			case "Z0":
+				z0SHJ = parseCell(t, r[2])
+				z0Dyn = parseCell(t, r[3])
+			case "Z4":
+				z4SHJ = parseCell(t, r[2])
+				z4Dyn = parseCell(t, r[3])
+				z4Mid = parseCell(t, r[4])
+				z4SHJspill = strings.HasSuffix(r[2], "*")
+			}
+		}
+		if z4SHJ < 5*z0SHJ {
+			t.Errorf("%s: SHJ not hurt by skew: Z0=%v Z4=%v", q, z0SHJ, z4SHJ)
+		}
+		if !z4SHJspill {
+			t.Errorf("%s: SHJ at Z4 did not spill", q)
+		}
+		if z4Dyn > 2.5*z0Dyn {
+			t.Errorf("%s: Dynamic not skew-resilient: Z0=%v Z4=%v", q, z0Dyn, z4Dyn)
+		}
+		if z4Mid <= z4Dyn {
+			t.Errorf("%s: StaticMid %v not worse than Dynamic %v", q, z4Mid, z4Dyn)
+		}
+		if z4SHJ < 3*z4Dyn {
+			t.Errorf("%s: SHJ at Z4 (%v) should be far above Dynamic (%v)", q, z4SHJ, z4Dyn)
+		}
+	}
+}
+
+// Fig. 6a's shape: Dynamic's ILF growth is far below StaticMid's and
+// close to StaticOpt's by the end of the stream.
+func TestFig6aShape(t *testing.T) {
+	tabs := Fig6a(small())
+	rows := tabs[0].Rows
+	final := rows[len(rows)-1]
+	shj := parseCell(t, final[1])
+	mid := parseCell(t, final[2])
+	dyn := parseCell(t, final[3])
+	opt := parseCell(t, final[4])
+	if dyn >= mid {
+		t.Errorf("Dynamic ILF %v not below StaticMid %v", dyn, mid)
+	}
+	if dyn > 1.6*opt {
+		t.Errorf("Dynamic ILF %v not close to StaticOpt %v", dyn, opt)
+	}
+	if shj <= mid {
+		t.Errorf("SHJ max ILF %v should exceed StaticMid %v on Z4 data", shj, mid)
+	}
+	// Monotone growth along the stream.
+	for col := 1; col <= 4; col++ {
+		last := -1.0
+		for _, r := range rows {
+			v := parseCell(t, r[col])
+			if v < last-1e-9 {
+				t.Fatalf("column %d not monotone", col)
+			}
+			last = v
+		}
+	}
+}
+
+func TestFig6bShape(t *testing.T) {
+	tabs := Fig6b(small())
+	if len(tabs) != 2 {
+		t.Fatalf("tables %d", len(tabs))
+	}
+	for _, r := range tabs[0].Rows {
+		mid := parseCell(t, r[2])
+		dyn := parseCell(t, r[3])
+		opt := parseCell(t, r[4])
+		if dyn > mid+1e-9 {
+			t.Errorf("%s: Dynamic ILF %v above StaticMid %v", r[0], dyn, mid)
+		}
+		if dyn > 2*opt+1 {
+			t.Errorf("%s: Dynamic ILF %v far from StaticOpt %v", r[0], dyn, opt)
+		}
+	}
+}
+
+func TestFig6cdShape(t *testing.T) {
+	rows := Fig6c(small())[0].Rows
+	final := rows[len(rows)-1]
+	mid := parseCell(t, final[1])
+	dyn := parseCell(t, final[2])
+	if dyn >= mid {
+		t.Errorf("Dynamic time %v not below StaticMid %v", dyn, mid)
+	}
+	for _, r := range Fig6d(small())[0].Rows {
+		mid := parseCell(t, r[1])
+		dyn := parseCell(t, r[2])
+		opt := parseCell(t, r[3])
+		if dyn > mid+1e-9 {
+			t.Errorf("%s: Dynamic %v slower than StaticMid %v", r[0], dyn, mid)
+		}
+		if opt > dyn+1e-9 {
+			t.Errorf("%s: StaticOpt %v slower than Dynamic %v", r[0], opt, dyn)
+		}
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	for _, r := range Fig7a(small())[0].Rows {
+		mid := parseCell(t, r[2])
+		dyn := parseCell(t, r[3])
+		if dyn < mid {
+			t.Errorf("%s: Dynamic throughput %v below StaticMid %v", r[0], dyn, mid)
+		}
+		if r[1] != "-" && (r[0] == "EQ5" || r[0] == "EQ7") {
+			shj := parseCell(t, r[1])
+			if shj > dyn {
+				t.Errorf("%s: SHJ throughput %v above Dynamic %v on skewed data", r[0], shj, dyn)
+			}
+		}
+	}
+}
+
+func TestFig7cdShape(t *testing.T) {
+	rows := Fig7c(small())[0].Rows
+	if rows[0][0] != "(1,64)" || rows[len(rows)-1][0] != "(8,8)" {
+		t.Fatalf("sweep order: %v", rows)
+	}
+	gapFirst := parseCell(t, rows[0][1]) - parseCell(t, rows[0][2])
+	gapLast := parseCell(t, rows[len(rows)-1][1]) - parseCell(t, rows[len(rows)-1][2])
+	if gapFirst <= gapLast {
+		t.Errorf("ILF gap did not close: first %v last %v", gapFirst, gapLast)
+	}
+	for _, r := range Fig7d(small())[0].Rows {
+		mid := parseCell(t, r[1])
+		dyn := parseCell(t, r[2])
+		if dyn+1e-9 < mid*0.95 {
+			t.Errorf("%s: Dynamic throughput %v below StaticMid %v", r[0], dyn, mid)
+		}
+	}
+}
+
+func TestFig8abShape(t *testing.T) {
+	tabs := Fig8a(small())
+	if len(tabs) != 2 {
+		t.Fatalf("tables %d", len(tabs))
+	}
+	inMem, outCore := tabs[0], tabs[1]
+	for i := range inMem.Rows {
+		for c := 1; c <= 3; c++ {
+			im := parseCell(t, inMem.Rows[i][c])
+			oc := parseCell(t, outCore.Rows[i][c])
+			if oc < 3*im {
+				t.Errorf("row %d col %d: out-of-core %v not far above in-memory %v", i, c, oc, im)
+			}
+			if !strings.HasSuffix(outCore.Rows[i][c], "*") {
+				t.Errorf("out-of-core cell missing spill mark: %q", outCore.Rows[i][c])
+			}
+		}
+	}
+	// Weak scalability: time per step should not blow up (allow the
+	// BNCI ILF drift the paper itself reports).
+	for c := 1; c <= 2; c++ { // EQ5, EQ7
+		first := parseCell(t, inMem.Rows[0][c])
+		last := parseCell(t, inMem.Rows[len(inMem.Rows)-1][c])
+		if last > 1.6*first {
+			t.Errorf("col %d: weak scalability broken: %v -> %v", c, first, last)
+		}
+	}
+	// Throughput roughly doubles per step for EQ5.
+	tb := Fig8b(small())[0]
+	t0 := parseCell(t, tb.Rows[0][1])
+	t3 := parseCell(t, tb.Rows[3][1])
+	if t3 < 4*t0 {
+		t.Errorf("EQ5 throughput scaling %v -> %v below ~8x", t0, t3)
+	}
+}
+
+func TestFig8cShape(t *testing.T) {
+	rows := Fig8c(small())[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		max := parseCell(t, r[1])
+		if max > 1.25+1e-6 {
+			t.Errorf("k=%s: ratio %v exceeds 1.25", r[0], max)
+		}
+	}
+	// Larger k must force at least as many migrations as k=2.
+	m2 := parseCell(t, rows[0][3])
+	m8 := parseCell(t, rows[3][3])
+	if m8 < m2 {
+		t.Errorf("migrations k=8 (%v) below k=2 (%v)", m8, m2)
+	}
+}
+
+func TestFig8dShape(t *testing.T) {
+	tb := Fig8d(small())[0]
+	if len(tb.Rows) != 10 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	// Progress must be monotone and near-linear for every k.
+	for c := 1; c <= 4; c++ {
+		var ys []float64
+		for _, r := range tb.Rows {
+			ys = append(ys, parseCell(t, r[c]))
+		}
+		for i := 1; i < len(ys); i++ {
+			if ys[i] < ys[i-1] {
+				t.Fatalf("col %d not monotone", c)
+			}
+		}
+		// Blocking-sim migrations appear as steps and the mapping's
+		// replication factor differs between the fluctuation phase and
+		// the single-relation tail, so allow moderate deviation; the
+		// paper-level claim is "no superlinear blowup".
+		if dev := maxLinearDeviation(ys); dev > 0.35 {
+			t.Errorf("col %d deviates %.1f%% from linear", c, dev*100)
+		}
+	}
+}
+
+func TestSHJLiveProbe(t *testing.T) {
+	if tp := shjThroughputProbe(small()); tp <= 0 {
+		t.Fatalf("live SHJ throughput %v", tp)
+	}
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig7a reproduces Fig. 7a: average operator throughput for the four
+// queries (tuples per kilo work unit).
+func Fig7a(o Options) []Table {
+	o.fill()
+	const j = 64
+	t := Table{
+		ID:     "fig7a",
+		Title:  fmt.Sprintf("Average throughput (tuples/work unit), J=%d, SF=%.2f", j, o.SF),
+		Header: []string{"Query", "SHJ", "StaticMid", "Dynamic", "StaticOpt"},
+		Notes: []string{
+			"paper: Dynamic ≈ StaticOpt, ≥2x StaticMid, ~100x SHJ on skewed equi-joins;",
+			"gaps shrink on BCI where join computation dominates.",
+		},
+	}
+	for _, q := range workload.All() {
+		z := 1.0
+		if q.Pred.Kind == join.Band {
+			z = 0
+		}
+		g := gen(o, o.SF, z)
+		// Table-2-style memory budget so SHJ's hot workers pay the
+		// overflow penalty the paper observes.
+		r, s := q.Cardinalities(g)
+		cost := metrics.DefaultCostModel(int64(2.5 * optimalILFTuples(j, r, s)))
+		res := fig6Operators(q, g, j, cost, true)
+		cell := func(name string) string {
+			rr, ok := res[name]
+			if !ok {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", rr.Throughput)
+		}
+		t.Rows = append(t.Rows, []string{q.Name, cell("SHJ"), cell("StaticMid"), cell("Dynamic"), cell("StaticOpt")})
+	}
+	return []Table{t}
+}
+
+// Fig7b reproduces Fig. 7b: average tuple latency. This experiment
+// runs the live concurrent operator (goroutine joiners, channel
+// links) at reduced scale and reports wall-clock latencies, the one
+// quantity the deterministic sim cannot express.
+func Fig7b(o Options) []Table {
+	o.fill()
+	const j = 16
+	sf := o.SF / 5 // latency runs are live; keep them brisk
+	if sf <= 0 {
+		sf = 0.01
+	}
+	t := Table{
+		ID:     "fig7b",
+		Title:  fmt.Sprintf("Average tuple latency (ms), live run, J=%d, SF=%.3f", j, sf),
+		Header: []string{"Query", "StaticMid", "Dynamic", "StaticOpt"},
+		Notes: []string{
+			"paper: adaptivity costs at most 5-20ms of latency over StaticMid;",
+			"absolute values depend on host load; compare columns, not runs.",
+		},
+	}
+	for _, q := range workload.All() {
+		z := 1.0
+		if q.Pred.Kind == join.Band {
+			z = 0
+		}
+		g := gen(o, sf, z)
+		r, s := q.Cardinalities(g)
+		row := []string{q.Name}
+		for _, mode := range []string{"StaticMid", "Dynamic", "StaticOpt"} {
+			lat := metrics.NewLatencySampler(8)
+			cfg := core.Config{
+				J: j, Pred: q.Pred, Seed: o.Seed, Latency: lat,
+				Emit: func(join.Pair) {},
+			}
+			switch mode {
+			case "Dynamic":
+				cfg.Adaptive = true
+				cfg.Warmup = warmupFor(r + s)
+			case "StaticOpt":
+				cfg.Initial = optimalMapping(j, r, s)
+			}
+			op := core.NewOperator(cfg)
+			op.Start()
+			q.Stream(g, func(tp join.Tuple) bool {
+				op.Send(tp)
+				return true
+			})
+			if err := op.Finish(); err != nil {
+				row = append(row, "err")
+				continue
+			}
+			if mean, ok := lat.Mean(); ok {
+				row = append(row, fmt.Sprintf("%.2f", float64(mean)/float64(time.Millisecond)))
+			} else {
+				row = append(row, "n/a")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}
+}
+
+// fig7Sweep builds the §5.2 "different optimal mappings" datasets: the
+// smaller input grows until the optimal mapping moves from (1,64)
+// through (8,8).
+func fig7Sweep(o Options, j int) []struct {
+	Opt  matrix.Mapping
+	R, S int64
+} {
+	base := int64(200000 * o.SF * 10)
+	out := []struct {
+		Opt  matrix.Mapping
+		R, S int64
+	}{}
+	for _, n := range []int{1, 2, 4, 8} {
+		// Optimal n for (r,s) needs r/n ≈ s/m, i.e. r ≈ s*n^2/J.
+		r := base * int64(n*n) / int64(j)
+		out = append(out, struct {
+			Opt  matrix.Mapping
+			R, S int64
+		}{matrix.Mapping{N: n, M: j / n}, r, base})
+	}
+	return out
+}
+
+// fig7Run replays a synthetic uniform equi-join with the given
+// cardinalities under one operator configuration.
+func fig7Run(r, s int64, cfg core.SimConfig) core.Result {
+	cfg.MatchWidth = -1
+	cfg.SizeR, cfg.SizeS = 16, 120
+	sim := core.NewSim(cfg)
+	// Proportional interleave, S-heavy.
+	acc := int64(0)
+	for i := int64(0); i < s; i++ {
+		sim.Process(matrix.SideS, i)
+		acc += r
+		for acc >= s {
+			sim.Process(matrix.SideR, i)
+			acc -= s
+		}
+	}
+	return sim.Finish()
+}
+
+// Fig7c reproduces Fig. 7c: final ILF per machine as the optimal
+// mapping slides from (1,64) to (8,8) — the StaticMid gap closes as
+// the optimum approaches the square mapping.
+func Fig7c(o Options) []Table {
+	o.fill()
+	const j = 64
+	t := Table{
+		ID:     "fig7c",
+		Title:  fmt.Sprintf("Final ILF per machine (MB) vs optimal mapping, J=%d", j),
+		Header: []string{"Optimal", "StaticMid", "Dynamic", "StaticOpt"},
+		Notes:  []string{"paper: the StaticMid/Dynamic ILF gap shrinks to ~0 at (8,8), where Dynamic pays only its adaptivity overhead."},
+	}
+	for _, c := range fig7Sweep(o, j) {
+		mid := fig7Run(c.R, c.S, core.SimConfig{J: j})
+		dyn := fig7Run(c.R, c.S, core.SimConfig{J: j, Adaptive: true, Warmup: warmupFor(c.R + c.S)})
+		opt := fig7Run(c.R, c.S, core.SimConfig{J: j, Initial: c.Opt})
+		t.Rows = append(t.Rows, []string{
+			c.Opt.String(), mb(mid.MaxILFBytes), mb(dyn.MaxILFBytes), mb(opt.MaxILFBytes),
+		})
+	}
+	return []Table{t}
+}
+
+// Fig7d reproduces Fig. 7d: throughput under the same sweep.
+func Fig7d(o Options) []Table {
+	o.fill()
+	const j = 64
+	t := Table{
+		ID:     "fig7d",
+		Title:  fmt.Sprintf("Average throughput (tuples/work unit) vs optimal mapping, J=%d", j),
+		Header: []string{"Optimal", "StaticMid", "Dynamic", "StaticOpt"},
+		Notes:  []string{"paper: performance gap between StaticMid and Dynamic closes as the optimum approaches (8,8)."},
+	}
+	for _, c := range fig7Sweep(o, j) {
+		mid := fig7Run(c.R, c.S, core.SimConfig{J: j})
+		dyn := fig7Run(c.R, c.S, core.SimConfig{J: j, Adaptive: true, Warmup: warmupFor(c.R + c.S)})
+		opt := fig7Run(c.R, c.S, core.SimConfig{J: j, Initial: c.Opt})
+		t.Rows = append(t.Rows, []string{
+			c.Opt.String(),
+			fmt.Sprintf("%.2f", mid.Throughput),
+			fmt.Sprintf("%.2f", dyn.Throughput),
+			fmt.Sprintf("%.2f", opt.Throughput),
+		})
+	}
+	return []Table{t}
+}
+
+// shjThroughputProbe exists to keep the SHJ live path exercised by the
+// experiment tests without inflating Fig. 7 runtimes: a tiny live SHJ
+// run returning its measured throughput.
+func shjThroughputProbe(o Options) float64 {
+	g := gen(o, 0.005, 1.0)
+	q := workload.EQ5()
+	var n atomic.Int64
+	shj := baseline.NewSHJ(baseline.SHJConfig{J: 8, Pred: q.Pred, Emit: func(join.Pair) { n.Add(1) }})
+	shj.Start()
+	start := time.Now()
+	var total int64
+	q.Stream(g, func(tp join.Tuple) bool {
+		shj.Send(tp)
+		total++
+		return true
+	})
+	if err := shj.Finish(); err != nil {
+		return 0
+	}
+	el := time.Since(start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(total) / el
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Table2 reproduces Table 2 (skew resilience): runtime of EQ5 and EQ7
+// under Zipf skew Z0..Z4 on J=16 machines for SHJ, Dynamic and
+// StaticMid, with [*] marking overflow to disk. The paper's shape:
+// SHJ wins slightly on uniform data (no replication), collapses by two
+// orders of magnitude once skew concentrates its hash partitions;
+// Dynamic is flat across all skews; StaticMid pays a constant
+// replication factor and spills where its square-mapping ILF exceeds
+// memory.
+func Table2(o Options) []Table {
+	o.fill()
+	const j = 16
+	queries := []workload.Query{workload.EQ5(), workload.EQ7()}
+	skews := []string{"Z0", "Z1", "Z2", "Z3", "Z4"}
+
+	t := Table{
+		ID:     "table2",
+		Title:  fmt.Sprintf("Runtime (work units), J=%d, SF=%.2f; [*] = overflow to disk", j, o.SF),
+		Header: []string{"Query", "Zipf", "SHJ", "Dynamic", "StaticMid"},
+		Notes: []string{
+			"paper: SHJ best at Z0..Z1, 30-70x worse at Z3..Z4 (spills);",
+			"Dynamic flat across skews; StaticMid 3-10x Dynamic, spilling under its inflated ILF.",
+		},
+	}
+
+	for _, q := range queries {
+		// Memory budget: generous for the optimal mapping, tight for
+		// the square one — the Table 2 regime (16 machines, 2GB heap).
+		g0 := gen(o, o.SF, 0)
+		r, s := q.Cardinalities(g0)
+		optILF := optimalILFTuples(j, r, s)
+		memCap := int64(2.0 * optILF)
+		cost := metrics.DefaultCostModel(memCap)
+
+		for _, zn := range skews {
+			g := gen(o, o.SF, zipfOf(zn))
+			shj := runSHJ(q, g, j, cost)
+
+			_, dyn := runGrid(q, g, core.SimConfig{
+				J: j, Adaptive: true, Warmup: warmupFor(r + s), Cost: cost,
+			})
+			_, mid := runGrid(q, g, core.SimConfig{J: j, Cost: cost})
+
+			t.Rows = append(t.Rows, []string{
+				q.Name, zn,
+				spillMark(units(shj.Makespan), shj.Spilled),
+				spillMark(units(dyn.Makespan), dyn.Spilled),
+				spillMark(units(mid.Makespan), mid.Spilled),
+			})
+		}
+	}
+	return []Table{t}
+}
+
+func zipfOf(name string) float64 {
+	switch name {
+	case "Z0":
+		return 0
+	case "Z1":
+		return 0.25
+	case "Z2":
+		return 0.5
+	case "Z3":
+		return 0.75
+	default:
+		return 1.0
+	}
+}
+
+// optimalILFTuples is the omniscient per-joiner input under the
+// optimal mapping.
+func optimalILFTuples(j int, r, s int64) float64 {
+	return optimalMapping(j, r, s).ILF(float64(r), float64(s))
+}

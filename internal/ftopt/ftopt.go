@@ -1,0 +1,294 @@
+// Package ftopt implements the fault-tolerance protocol of §4.3.3:
+// the paper extends its operator with FTOpt's [39] upstream-backup /
+// checkpoint scheme to obtain exactly-once semantics end to end. The
+// protocol is established per producer/consumer link:
+//
+//   - the producer retains every sent tuple in a replay buffer until
+//     the consumer acknowledges it;
+//   - the consumer takes responsibility for received tuples by
+//     checkpointing its state (plus the last-seen sequence number per
+//     producer) to stable storage, then acknowledging;
+//   - on failure, a node reloads its latest checkpoint and asks each
+//     upstream producer to replay everything after the last sequence
+//     number the checkpoint had seen; duplicates arriving from
+//     conservative replays are filtered by the same sequence numbers.
+//
+// Migrations change who talks to whom, so the link registry (the set
+// of active producer ids) is part of the checkpointed state, as the
+// paper notes ("communication pairs may vary due to the different
+// migrations, and hence, this information also needs to be
+// preserved").
+//
+// The package is a self-contained substrate with simulated failures;
+// wiring it under every operator link is mechanical (each reshuffler
+// and joiner becomes a Producer/Consumer pair) and orthogonal to the
+// join logic, exactly as the paper treats it.
+package ftopt
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a producer or consumer task.
+type NodeID string
+
+// Message is one sequenced unit on a link.
+type Message[T any] struct {
+	From NodeID
+	Seq  uint64 // per-link, starting at 1
+	Item T
+}
+
+// Producer is the upstream half of the protocol: it sequences
+// outgoing tuples per consumer and retains them until acknowledged.
+type Producer[T any] struct {
+	id NodeID
+
+	mu      sync.Mutex
+	nextSeq map[NodeID]uint64
+	pending map[NodeID][]Message[T] // unacked, ascending by Seq
+}
+
+// NewProducer returns an empty producer.
+func NewProducer[T any](id NodeID) *Producer[T] {
+	return &Producer[T]{
+		id:      id,
+		nextSeq: make(map[NodeID]uint64),
+		pending: make(map[NodeID][]Message[T]),
+	}
+}
+
+// ID returns the producer's id.
+func (p *Producer[T]) ID() NodeID { return p.id }
+
+// Send sequences an item for the consumer and retains it for replay.
+// The returned message is what the transport should deliver.
+func (p *Producer[T]) Send(to NodeID, item T) Message[T] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextSeq[to]++
+	m := Message[T]{From: p.id, Seq: p.nextSeq[to], Item: item}
+	p.pending[to] = append(p.pending[to], m)
+	return m
+}
+
+// Ack releases every retained message for the consumer with sequence
+// number <= upTo. Acks are cumulative and idempotent.
+func (p *Producer[T]) Ack(from NodeID, upTo uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	buf := p.pending[from]
+	i := sort.Search(len(buf), func(i int) bool { return buf[i].Seq > upTo })
+	p.pending[from] = append([]Message[T](nil), buf[i:]...)
+}
+
+// Replay returns every retained message for the consumer with
+// sequence number > after, in order — the recovery path ("the
+// producer has to replay only the missing portion of the stream").
+func (p *Producer[T]) Replay(to NodeID, after uint64) []Message[T] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	buf := p.pending[to]
+	i := sort.Search(len(buf), func(i int) bool { return buf[i].Seq > after })
+	return append([]Message[T](nil), buf[i:]...)
+}
+
+// PendingCount returns the number of retained (unacked) messages for
+// a consumer, for tests and backpressure accounting.
+func (p *Producer[T]) PendingCount(to NodeID) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending[to])
+}
+
+// Snapshot is a consumer checkpoint: its application state, the
+// last-seen sequence number per producer link, and the link registry
+// as of the checkpoint's epoch.
+type Snapshot[S any] struct {
+	State    S
+	LastSeen map[NodeID]uint64
+	// Epoch records the operator epoch the link set belongs to, so a
+	// recovery during a migration re-establishes the right pairs.
+	Epoch uint32
+	Links []NodeID
+}
+
+// Store persists consumer snapshots. Implementations must be
+// all-or-nothing: a Load after a torn Save must return the previous
+// snapshot.
+type Store[S any] interface {
+	Save(Snapshot[S]) error
+	Load() (Snapshot[S], bool, error)
+}
+
+// MemStore is an in-memory Store for tests and single-process runs.
+type MemStore[S any] struct {
+	mu    sync.Mutex
+	snap  Snapshot[S]
+	ok    bool
+	saves int
+	// FailNextSave injects a crash before the write takes effect.
+	FailNextSave bool
+}
+
+// Save stores the snapshot atomically.
+func (m *MemStore[S]) Save(s Snapshot[S]) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.FailNextSave {
+		m.FailNextSave = false
+		return fmt.Errorf("ftopt: injected save failure")
+	}
+	// Deep-copy the map so later consumer mutation can't tear it.
+	cp := s
+	cp.LastSeen = make(map[NodeID]uint64, len(s.LastSeen))
+	for k, v := range s.LastSeen {
+		cp.LastSeen[k] = v
+	}
+	cp.Links = append([]NodeID(nil), s.Links...)
+	m.snap, m.ok = cp, true
+	m.saves++
+	return nil
+}
+
+// Load returns the latest snapshot.
+func (m *MemStore[S]) Load() (Snapshot[S], bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snap, m.ok, nil
+}
+
+// Saves returns how many checkpoints completed.
+func (m *MemStore[S]) Saves() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.saves
+}
+
+// Consumer is the downstream half: it deduplicates deliveries by
+// sequence number, folds accepted items into its state, and takes
+// responsibility by checkpointing.
+type Consumer[T any, S any] struct {
+	id      NodeID
+	store   Store[S]
+	apply   func(S, T) S
+	initial S
+
+	mu       sync.Mutex
+	state    S
+	lastSeen map[NodeID]uint64
+	epoch    uint32
+	// sinceCkpt counts accepted items since the last checkpoint.
+	sinceCkpt int
+}
+
+// NewConsumer returns a consumer folding items into state with apply.
+func NewConsumer[T any, S any](id NodeID, store Store[S], initial S, apply func(S, T) S) *Consumer[T, S] {
+	return &Consumer[T, S]{
+		id: id, store: store, apply: apply, initial: initial,
+		state: initial, lastSeen: make(map[NodeID]uint64),
+	}
+}
+
+// ID returns the consumer's id.
+func (c *Consumer[T, S]) ID() NodeID { return c.id }
+
+// Deliver offers one message; duplicates (seq <= lastSeen for the
+// link) are rejected, giving exactly-once application under
+// conservative replays.
+func (c *Consumer[T, S]) Deliver(m Message[T]) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.Seq <= c.lastSeen[m.From] {
+		return false
+	}
+	if m.Seq != c.lastSeen[m.From]+1 {
+		// Links are FIFO; a gap means the transport lost a message the
+		// producer still retains. Reject so recovery replays it.
+		return false
+	}
+	c.lastSeen[m.From] = m.Seq
+	c.state = c.apply(c.state, m.Item)
+	c.sinceCkpt++
+	return true
+}
+
+// SetEpoch records the operator epoch for subsequent checkpoints.
+func (c *Consumer[T, S]) SetEpoch(e uint32) {
+	c.mu.Lock()
+	c.epoch = e
+	c.mu.Unlock()
+}
+
+// State returns the current folded state.
+func (c *Consumer[T, S]) State() S {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// LastSeen returns the last accepted sequence number for a link.
+func (c *Consumer[T, S]) LastSeen(from NodeID) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastSeen[from]
+}
+
+// Checkpoint persists the state and returns the ack vector the caller
+// must forward to each producer ("the consumer can fulfill its
+// responsibility by checkpointing to stable storage"). On save
+// failure, no acks are produced and the producers retain their
+// buffers.
+func (c *Consumer[T, S]) Checkpoint(links []NodeID) (acks map[NodeID]uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := Snapshot[S]{State: c.state, LastSeen: c.lastSeen, Epoch: c.epoch, Links: links}
+	if err := c.store.Save(snap); err != nil {
+		return nil, err
+	}
+	c.sinceCkpt = 0
+	acks = make(map[NodeID]uint64, len(c.lastSeen))
+	for id, seq := range c.lastSeen {
+		acks[id] = seq
+	}
+	return acks, nil
+}
+
+// SinceCheckpoint returns accepted items since the last checkpoint.
+func (c *Consumer[T, S]) SinceCheckpoint() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sinceCkpt
+}
+
+// Recover reloads the latest checkpoint, discarding all state
+// accepted after it, and returns the replay cursor per link plus the
+// checkpointed link registry. The caller then requests Replay(after)
+// from every producer.
+func (c *Consumer[T, S]) Recover() (replayAfter map[NodeID]uint64, links []NodeID, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap, ok, err := c.store.Load()
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ok {
+		// No checkpoint yet: everything replays from the beginning.
+		c.state = c.initial
+		c.lastSeen = make(map[NodeID]uint64)
+		c.sinceCkpt = 0
+		return map[NodeID]uint64{}, nil, nil
+	}
+	c.state = snap.State
+	c.lastSeen = make(map[NodeID]uint64, len(snap.LastSeen))
+	replayAfter = make(map[NodeID]uint64, len(snap.LastSeen))
+	for id, seq := range snap.LastSeen {
+		c.lastSeen[id] = seq
+		replayAfter[id] = seq
+	}
+	c.epoch = snap.Epoch
+	c.sinceCkpt = 0
+	return replayAfter, snap.Links, nil
+}

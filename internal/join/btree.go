@@ -1,0 +1,181 @@
+package join
+
+// OrderedIndex is a B-tree keyed on Tuple.Key supporting range probes,
+// used for band joins (the paper's joiners use "balanced binary trees
+// for band joins", §5). A B-tree is used instead of a binary tree for
+// cache friendliness; the interface contract is identical.
+type OrderedIndex struct {
+	width int64
+	root  *btreeNode
+	n     int
+	bytes int64
+}
+
+const btreeDegree = 32 // max children; max keys = 2*degree - 1
+
+type btreeNode struct {
+	items    []Tuple      // sorted by Key (stable by insertion among equals)
+	children []*btreeNode // len(children) == len(items)+1 for internal nodes
+}
+
+func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
+
+// NewOrderedIndex returns an empty ordered index whose Probe matches
+// stored keys within +-width of the probe key.
+func NewOrderedIndex(width int64) *OrderedIndex {
+	return &OrderedIndex{width: width, root: &btreeNode{}}
+}
+
+// Len returns the number of stored tuples.
+func (o *OrderedIndex) Len() int { return o.n }
+
+// Bytes returns the accounted stored volume.
+func (o *OrderedIndex) Bytes() int64 { return o.bytes }
+
+// Insert stores t, keeping keys ordered.
+func (o *OrderedIndex) Insert(t Tuple) {
+	o.n++
+	o.bytes += t.Bytes()
+	if len(o.root.items) == 2*btreeDegree-1 {
+		old := o.root
+		o.root = &btreeNode{children: []*btreeNode{old}}
+		o.root.splitChild(0)
+	}
+	o.root.insertNonFull(t)
+}
+
+// splitChild splits the full child at index i, lifting its median item
+// into n.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := btreeDegree - 1
+	median := child.items[mid]
+
+	right := &btreeNode{}
+	right.items = append(right.items, child.items[mid+1:]...)
+	child.items = child.items[:mid]
+	if !child.leaf() {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+
+	n.items = append(n.items, Tuple{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *btreeNode) insertNonFull(t Tuple) {
+	// Find the rightmost position among equal keys so insertion order
+	// is preserved for duplicates.
+	i := upperBound(n.items, t.Key)
+	if n.leaf() {
+		n.items = append(n.items, Tuple{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = t
+		return
+	}
+	if len(n.children[i].items) == 2*btreeDegree-1 {
+		n.splitChild(i)
+		if t.Key > n.items[i].Key {
+			i++
+		}
+	}
+	n.children[i].insertNonFull(t)
+}
+
+// upperBound returns the first index whose key is strictly greater
+// than k.
+func upperBound(items []Tuple, k int64) int {
+	lo, hi := 0, len(items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if items[mid].Key <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBound returns the first index whose key is >= k.
+func lowerBound(items []Tuple, k int64) int {
+	lo, hi := 0, len(items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if items[mid].Key < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Probe enumerates stored tuples with Key in [probe.Key-width,
+// probe.Key+width].
+func (o *OrderedIndex) Probe(probe Tuple, fn func(Tuple)) {
+	lo := probe.Key - o.width
+	hi := probe.Key + o.width
+	o.root.rangeScan(lo, hi, fn)
+}
+
+func (n *btreeNode) rangeScan(lo, hi int64, fn func(Tuple)) {
+	i := lowerBound(n.items, lo)
+	if n.leaf() {
+		for ; i < len(n.items) && n.items[i].Key <= hi; i++ {
+			fn(n.items[i])
+		}
+		return
+	}
+	for ; i < len(n.items) && n.items[i].Key <= hi; i++ {
+		n.children[i].rangeScan(lo, hi, fn)
+		fn(n.items[i])
+	}
+	n.children[i].rangeScan(lo, hi, fn)
+}
+
+// Scan visits all stored tuples in key order.
+func (o *OrderedIndex) Scan(fn func(Tuple) bool) { o.root.scan(fn) }
+
+func (n *btreeNode) scan(fn func(Tuple) bool) bool {
+	for i, it := range n.items {
+		if !n.leaf() && !n.children[i].scan(fn) {
+			return false
+		}
+		if !fn(it) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.items)].scan(fn)
+	}
+	return true
+}
+
+// Retain keeps only tuples passing keep. The tree is rebuilt in bulk:
+// migration discards remove large contiguous fractions of the state, so
+// a rebuild is both simpler and faster than item-wise deletion.
+func (o *OrderedIndex) Retain(keep func(Tuple) bool) int {
+	kept := make([]Tuple, 0, o.n)
+	o.Scan(func(t Tuple) bool {
+		if keep(t) {
+			kept = append(kept, t)
+		}
+		return true
+	})
+	removed := o.n - len(kept)
+	o.root = &btreeNode{}
+	o.n = 0
+	o.bytes = 0
+	// Keys are already sorted; insertion keeps the tree balanced
+	// enough (right-leaning fill) for the migration use case.
+	for _, t := range kept {
+		o.Insert(t)
+	}
+	return removed
+}

@@ -1,0 +1,156 @@
+package join
+
+// Index stores tuples of one relation and enumerates the stored tuples
+// that structurally match a probe tuple from the opposite relation.
+// Indexes are not safe for concurrent use; each joiner task owns its
+// indexes exclusively, matching the shared-nothing model.
+type Index interface {
+	// Insert stores a tuple.
+	Insert(t Tuple)
+	// Probe calls fn for every stored tuple that structurally matches
+	// the probe tuple under the predicate the index was built for.
+	// Residual filtering is the caller's job.
+	Probe(probe Tuple, fn func(stored Tuple))
+	// Len returns the number of stored tuples.
+	Len() int
+	// Bytes returns the accounted storage volume of stored tuples.
+	Bytes() int64
+	// Scan calls fn for every stored tuple, in unspecified order,
+	// until fn returns false. Used by migration to enumerate state.
+	Scan(fn func(Tuple) bool)
+	// Retain keeps only tuples for which keep returns true, returning
+	// the number removed. Used by migration discards.
+	Retain(keep func(Tuple) bool) int
+}
+
+// NewIndex returns the appropriate index implementation for a
+// predicate: hash for equi, ordered (B-tree) for band, scan for theta.
+func NewIndex(p Predicate) Index {
+	switch p.Kind {
+	case Equi:
+		return NewHashIndex()
+	case Band:
+		return NewOrderedIndex(p.Width)
+	default:
+		return NewScanIndex()
+	}
+}
+
+// HashIndex is a multimap from join key to tuples, the storage half of
+// a symmetric hash join [42].
+type HashIndex struct {
+	m     map[int64][]Tuple
+	n     int
+	bytes int64
+}
+
+// NewHashIndex returns an empty hash index.
+func NewHashIndex() *HashIndex { return &HashIndex{m: make(map[int64][]Tuple)} }
+
+// Insert stores t under its key.
+func (h *HashIndex) Insert(t Tuple) {
+	h.m[t.Key] = append(h.m[t.Key], t)
+	h.n++
+	h.bytes += t.Bytes()
+}
+
+// Probe enumerates stored tuples with key equal to the probe's key.
+func (h *HashIndex) Probe(probe Tuple, fn func(Tuple)) {
+	for _, t := range h.m[probe.Key] {
+		fn(t)
+	}
+}
+
+// Len returns the number of stored tuples.
+func (h *HashIndex) Len() int { return h.n }
+
+// Bytes returns the accounted stored volume.
+func (h *HashIndex) Bytes() int64 { return h.bytes }
+
+// Scan visits all stored tuples.
+func (h *HashIndex) Scan(fn func(Tuple) bool) {
+	for _, ts := range h.m {
+		for _, t := range ts {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// Retain drops tuples failing keep.
+func (h *HashIndex) Retain(keep func(Tuple) bool) int {
+	removed := 0
+	for k, ts := range h.m {
+		w := ts[:0]
+		for _, t := range ts {
+			if keep(t) {
+				w = append(w, t)
+			} else {
+				removed++
+				h.bytes -= t.Bytes()
+			}
+		}
+		if len(w) == 0 {
+			delete(h.m, k)
+		} else {
+			h.m[k] = w
+		}
+	}
+	h.n -= removed
+	return removed
+}
+
+// ScanIndex stores tuples in arrival order and matches every stored
+// tuple on probe: the storage half of a nested-loop theta join. Joiners
+// fall back to it for arbitrary predicates, where no index structure
+// can restrict candidates.
+type ScanIndex struct {
+	ts    []Tuple
+	bytes int64
+}
+
+// NewScanIndex returns an empty scan index.
+func NewScanIndex() *ScanIndex { return &ScanIndex{} }
+
+// Insert appends t.
+func (s *ScanIndex) Insert(t Tuple) { s.ts = append(s.ts, t); s.bytes += t.Bytes() }
+
+// Probe enumerates every stored tuple: all are structural candidates
+// under a theta predicate.
+func (s *ScanIndex) Probe(_ Tuple, fn func(Tuple)) {
+	for _, t := range s.ts {
+		fn(t)
+	}
+}
+
+// Len returns the number of stored tuples.
+func (s *ScanIndex) Len() int { return len(s.ts) }
+
+// Bytes returns the accounted stored volume.
+func (s *ScanIndex) Bytes() int64 { return s.bytes }
+
+// Scan visits all stored tuples in insertion order.
+func (s *ScanIndex) Scan(fn func(Tuple) bool) {
+	for _, t := range s.ts {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Retain drops tuples failing keep.
+func (s *ScanIndex) Retain(keep func(Tuple) bool) int {
+	w := s.ts[:0]
+	removed := 0
+	for _, t := range s.ts {
+		if keep(t) {
+			w = append(w, t)
+		} else {
+			removed++
+			s.bytes -= t.Bytes()
+		}
+	}
+	s.ts = w
+	return removed
+}

@@ -1,0 +1,116 @@
+package join
+
+import "repro/internal/matrix"
+
+// Local is a local non-blocking symmetric join over one partition pair
+// (R_i, S_j): the generalization of the symmetric hash join [42] that
+// every joiner task runs. When a new tuple arrives it first probes the
+// stored tuples of the opposite relation (emitting matches) and is then
+// stored for future probes. Because every pair meets exactly once —
+// when the later of the two arrives — the output is exactly
+// R_i ⋈ S_j with no duplicates, regardless of arrival interleaving.
+type Local struct {
+	pred Predicate
+	r, s Index
+}
+
+// NewLocal returns an empty local join for the predicate.
+func NewLocal(p Predicate) *Local {
+	return &Local{pred: p, r: NewIndex(p), s: NewIndex(p)}
+}
+
+// Pred returns the join predicate.
+func (l *Local) Pred() Predicate { return l.pred }
+
+// Add processes a new tuple: probe the opposite side, then store.
+func (l *Local) Add(t Tuple, emit Emit) {
+	l.Probe(t, emit)
+	l.Insert(t)
+}
+
+// Probe joins t against the stored tuples of the opposite relation
+// without storing t. Used for probe-only traffic in the multi-group
+// scheme (§4.2.2) and by the epoch protocol, which controls storage
+// placement itself.
+func (l *Local) Probe(t Tuple, emit Emit) {
+	if t.Dummy {
+		return
+	}
+	if t.Rel == matrix.SideR {
+		l.s.Probe(t, func(stored Tuple) {
+			if l.pred.Matches(t, stored) {
+				emit(Pair{R: t, S: stored})
+			}
+		})
+	} else {
+		l.r.Probe(t, func(stored Tuple) {
+			if l.pred.Matches(stored, t) {
+				emit(Pair{R: stored, S: t})
+			}
+		})
+	}
+}
+
+// Insert stores t without probing.
+func (l *Local) Insert(t Tuple) {
+	if t.Rel == matrix.SideR {
+		l.r.Insert(t)
+	} else {
+		l.s.Insert(t)
+	}
+}
+
+// ProbeAgainst joins t against the stored tuples of the *other* local
+// join's opposite side. Used by the epoch protocol to join new-epoch
+// tuples against kept old-epoch state held in a separate Local.
+func (l *Local) ProbeAgainst(t Tuple, other *Local, emit Emit) { other.Probe(t, emit) }
+
+// Len returns the stored tuple counts per side.
+func (l *Local) Len(side matrix.Side) int {
+	if side == matrix.SideR {
+		return l.r.Len()
+	}
+	return l.s.Len()
+}
+
+// TotalLen returns the total stored tuple count.
+func (l *Local) TotalLen() int { return l.r.Len() + l.s.Len() }
+
+// Bytes returns the total accounted stored volume.
+func (l *Local) Bytes() int64 { return l.r.Bytes() + l.s.Bytes() }
+
+// SideBytes returns the accounted stored volume for one side.
+func (l *Local) SideBytes(side matrix.Side) int64 {
+	if side == matrix.SideR {
+		return l.r.Bytes()
+	}
+	return l.s.Bytes()
+}
+
+// Scan visits stored tuples of one side.
+func (l *Local) Scan(side matrix.Side, fn func(Tuple) bool) {
+	if side == matrix.SideR {
+		l.r.Scan(fn)
+	} else {
+		l.s.Scan(fn)
+	}
+}
+
+// Retain keeps only the tuples of the given side passing keep,
+// returning the number discarded. The other side is untouched.
+func (l *Local) Retain(side matrix.Side, keep func(Tuple) bool) int {
+	if side == matrix.SideR {
+		return l.r.Retain(keep)
+	}
+	return l.s.Retain(keep)
+}
+
+// Drain moves every stored tuple of both sides out of the join,
+// invoking fn for each, and leaves the join empty. Used when merging
+// epoch sets after a migration completes.
+func (l *Local) Drain(fn func(Tuple)) {
+	l.r.Scan(func(t Tuple) bool { fn(t); return true })
+	l.s.Scan(func(t Tuple) bool { fn(t); return true })
+	l.r = NewIndex(l.pred)
+	l.s = NewIndex(l.pred)
+}

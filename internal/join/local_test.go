@@ -1,0 +1,202 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// referenceJoin computes R ⋈ S by nested loops over the full inputs.
+func referenceJoin(p Predicate, rs, ss []Tuple) int {
+	n := 0
+	for _, r := range rs {
+		for _, s := range ss {
+			if p.Matches(r, s) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func randTuples(rng *rand.Rand, rel matrix.Side, n int, keyRange int64) []Tuple {
+	ts := make([]Tuple, n)
+	for i := range ts {
+		ts[i] = Tuple{Rel: rel, Key: rng.Int63n(keyRange), Aux: rng.Int63n(100), Size: 8, U: rng.Uint64()}
+	}
+	return ts
+}
+
+// The symmetric join must produce exactly the reference join output for
+// any interleaving of the two inputs.
+func TestLocalEquiMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := EquiJoin("eq", nil)
+	rs := randTuples(rng, matrix.SideR, 300, 50)
+	ss := randTuples(rng, matrix.SideS, 400, 50)
+	want := referenceJoin(p, rs, ss)
+
+	l := NewLocal(p)
+	emit, n := CountingEmit()
+	// Random interleave.
+	ri, si := 0, 0
+	for ri < len(rs) || si < len(ss) {
+		if si >= len(ss) || (ri < len(rs) && rng.Intn(2) == 0) {
+			l.Add(rs[ri], emit)
+			ri++
+		} else {
+			l.Add(ss[si], emit)
+			si++
+		}
+	}
+	if int(*n) != want {
+		t.Fatalf("symmetric join output %d, reference %d", *n, want)
+	}
+}
+
+func TestLocalBandMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := BandJoin("band", 2, func(r, s Tuple) bool { return r.Aux > 10 })
+	rs := randTuples(rng, matrix.SideR, 250, 200)
+	ss := randTuples(rng, matrix.SideS, 250, 200)
+	want := referenceJoin(p, rs, ss)
+
+	l := NewLocal(p)
+	emit, n := CountingEmit()
+	for i := 0; i < len(rs); i++ {
+		l.Add(rs[i], emit)
+		l.Add(ss[i], emit)
+	}
+	if int(*n) != want {
+		t.Fatalf("band join output %d, reference %d", *n, want)
+	}
+}
+
+func TestLocalThetaMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// The paper's Fig. 1a predicate: r != s.
+	p := ThetaJoin("neq", func(r, s Tuple) bool { return r.Key != s.Key })
+	rs := randTuples(rng, matrix.SideR, 100, 20)
+	ss := randTuples(rng, matrix.SideS, 100, 20)
+	want := referenceJoin(p, rs, ss)
+
+	l := NewLocal(p)
+	emit, n := CountingEmit()
+	for i := range rs {
+		l.Add(ss[i], emit)
+		l.Add(rs[i], emit)
+	}
+	if int(*n) != want {
+		t.Fatalf("theta join output %d, reference %d", *n, want)
+	}
+}
+
+func TestLocalProbeDoesNotStore(t *testing.T) {
+	l := NewLocal(EquiJoin("eq", nil))
+	emit, n := CountingEmit()
+	l.Probe(mkTuple(matrix.SideR, 1), emit)
+	if l.TotalLen() != 0 {
+		t.Fatal("probe stored a tuple")
+	}
+	l.Insert(mkTuple(matrix.SideS, 1))
+	l.Probe(mkTuple(matrix.SideR, 1), emit)
+	l.Probe(mkTuple(matrix.SideR, 1), emit)
+	if *n != 2 {
+		t.Fatalf("emitted %d, want 2", *n)
+	}
+	if l.Len(matrix.SideR) != 0 || l.Len(matrix.SideS) != 1 {
+		t.Fatalf("lens R=%d S=%d", l.Len(matrix.SideR), l.Len(matrix.SideS))
+	}
+}
+
+func TestLocalDummyTuplesNeverMatch(t *testing.T) {
+	l := NewLocal(EquiJoin("eq", nil))
+	emit, n := CountingEmit()
+	l.Add(Tuple{Rel: matrix.SideR, Key: 7, Dummy: true}, emit)
+	l.Add(Tuple{Rel: matrix.SideS, Key: 7}, emit)
+	l.Add(Tuple{Rel: matrix.SideR, Key: 7}, emit)
+	// Only the real R should join the real S.
+	if *n != 1 {
+		t.Fatalf("emitted %d, want 1", *n)
+	}
+}
+
+func TestLocalRetainAndBytes(t *testing.T) {
+	l := NewLocal(EquiJoin("eq", nil))
+	for i := int64(0); i < 10; i++ {
+		l.Insert(Tuple{Rel: matrix.SideR, Key: i, Size: 8, U: uint64(i)})
+		l.Insert(Tuple{Rel: matrix.SideS, Key: i, Size: 4, U: uint64(i)})
+	}
+	if l.Bytes() != 10*8+10*4 {
+		t.Fatalf("Bytes=%d", l.Bytes())
+	}
+	if l.SideBytes(matrix.SideR) != 80 || l.SideBytes(matrix.SideS) != 40 {
+		t.Fatalf("SideBytes R=%d S=%d", l.SideBytes(matrix.SideR), l.SideBytes(matrix.SideS))
+	}
+	removed := l.Retain(matrix.SideS, func(t Tuple) bool { return t.U < 5 })
+	if removed != 5 || l.Len(matrix.SideS) != 5 || l.Len(matrix.SideR) != 10 {
+		t.Fatalf("removed=%d lens R=%d S=%d", removed, l.Len(matrix.SideR), l.Len(matrix.SideS))
+	}
+}
+
+func TestLocalDrain(t *testing.T) {
+	l := NewLocal(BandJoin("b", 1, nil))
+	for i := int64(0); i < 6; i++ {
+		l.Insert(Tuple{Rel: matrix.SideR, Key: i})
+		l.Insert(Tuple{Rel: matrix.SideS, Key: i})
+	}
+	var drained int
+	l.Drain(func(Tuple) { drained++ })
+	if drained != 12 || l.TotalLen() != 0 {
+		t.Fatalf("drained=%d remaining=%d", drained, l.TotalLen())
+	}
+}
+
+// Property: for random small inputs and any of the three predicate
+// kinds, the symmetric join equals the reference join.
+func TestQuickLocalEqualsReference(t *testing.T) {
+	f := func(rKeys, sKeys []uint8, kind uint8) bool {
+		var p Predicate
+		switch kind % 3 {
+		case 0:
+			p = EquiJoin("eq", nil)
+		case 1:
+			p = BandJoin("band", 3, nil)
+		default:
+			p = ThetaJoin("gt", func(r, s Tuple) bool { return r.Key > s.Key })
+		}
+		var rs, ss []Tuple
+		for _, k := range rKeys {
+			rs = append(rs, Tuple{Rel: matrix.SideR, Key: int64(k % 32)})
+		}
+		for _, k := range sKeys {
+			ss = append(ss, Tuple{Rel: matrix.SideS, Key: int64(k % 32)})
+		}
+		l := NewLocal(p)
+		emit, n := CountingEmit()
+		for _, tp := range rs {
+			l.Add(tp, emit)
+		}
+		for _, tp := range ss {
+			l.Add(tp, emit)
+		}
+		return int(*n) == referenceJoin(p, rs, ss)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	if EquiJoin("", nil).String() != "equi" {
+		t.Error("unnamed equi")
+	}
+	if BandJoin("my-band", 1, nil).String() != "my-band" {
+		t.Error("named predicate")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind string")
+	}
+}

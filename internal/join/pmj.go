@@ -1,0 +1,130 @@
+package join
+
+import (
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// PMJ is a progressive-merge-join-style local algorithm [15][16]
+// (Dittrich et al.): the sort-based non-blocking join the paper lists
+// as a joiner-pluggable alternative, natural for band and inequality
+// predicates. Arriving tuples accumulate in an in-memory run; when the
+// run reaches its budget it is sorted, joined against all sealed runs
+// of the opposite relation, and sealed itself. Early results flow from
+// the in-run symmetric join; sealed-run merges produce the rest.
+//
+// The implementation keeps sealed runs in memory (the paper's joiners
+// operate in memory and delegate overflow to the storage engine); the
+// algorithmic structure — bounded unsorted frontier, sorted sealed
+// runs, merge-based matching — is PMJ's.
+type PMJ struct {
+	pred Predicate
+	// runBudget caps the unsorted frontier per side.
+	runBudget int
+
+	curR, curS       []Tuple   // active (unsorted) runs
+	sealedR, sealedS [][]Tuple // sorted sealed runs
+}
+
+// NewPMJ returns a PMJ with the given per-side run budget (minimum 1).
+func NewPMJ(p Predicate, runBudget int) *PMJ {
+	if runBudget < 1 {
+		runBudget = 1
+	}
+	return &PMJ{pred: p, runBudget: runBudget}
+}
+
+// Add processes one tuple, emitting every new result pair exactly once.
+func (p *PMJ) Add(t Tuple, emit Emit) {
+	if t.Dummy {
+		return
+	}
+	if t.Rel == matrix.SideR {
+		// Join against the opposite active run and all sealed S runs.
+		for _, s := range p.curS {
+			if p.pred.Matches(t, s) {
+				emit(Pair{R: t, S: s})
+			}
+		}
+		for _, run := range p.sealedS {
+			p.probeRun(run, t, emit)
+		}
+		p.curR = append(p.curR, t)
+		if len(p.curR) >= p.runBudget {
+			p.sealR()
+		}
+	} else {
+		for _, r := range p.curR {
+			if p.pred.Matches(r, t) {
+				emit(Pair{R: r, S: t})
+			}
+		}
+		for _, run := range p.sealedR {
+			p.probeRun(run, t, emit)
+		}
+		p.curS = append(p.curS, t)
+		if len(p.curS) >= p.runBudget {
+			p.sealS()
+		}
+	}
+}
+
+// probeRun matches one tuple against a sorted sealed run, using binary
+// search to bound the scan for equi and band predicates.
+func (p *PMJ) probeRun(run []Tuple, t Tuple, emit Emit) {
+	lo, hi := 0, len(run)
+	if p.pred.Kind != Theta {
+		w := p.pred.Width
+		lo = sort.Search(len(run), func(i int) bool { return run[i].Key >= t.Key-w })
+		hi = sort.Search(len(run), func(i int) bool { return run[i].Key > t.Key+w })
+	}
+	for i := lo; i < hi; i++ {
+		if t.Rel == matrix.SideR {
+			if p.pred.Matches(t, run[i]) {
+				emit(Pair{R: t, S: run[i]})
+			}
+		} else {
+			if p.pred.Matches(run[i], t) {
+				emit(Pair{R: run[i], S: t})
+			}
+		}
+	}
+}
+
+// sealR sorts and seals the active R run. Pairs between this run and
+// the opposite state were already produced while the run was active,
+// so sealing emits nothing.
+func (p *PMJ) sealR() {
+	run := p.curR
+	sort.SliceStable(run, func(i, j int) bool { return run[i].Key < run[j].Key })
+	p.sealedR = append(p.sealedR, run)
+	p.curR = nil
+}
+
+func (p *PMJ) sealS() {
+	run := p.curS
+	sort.SliceStable(run, func(i, j int) bool { return run[i].Key < run[j].Key })
+	p.sealedS = append(p.sealedS, run)
+	p.curS = nil
+}
+
+// Len returns stored tuple counts per side (active + sealed).
+func (p *PMJ) Len(side matrix.Side) int {
+	if side == matrix.SideR {
+		n := len(p.curR)
+		for _, run := range p.sealedR {
+			n += len(run)
+		}
+		return n
+	}
+	n := len(p.curS)
+	for _, run := range p.sealedS {
+		n += len(run)
+	}
+	return n
+}
+
+// Runs returns the number of sealed runs per side, exposing the merge
+// structure for tests and instrumentation.
+func (p *PMJ) Runs() (r, s int) { return len(p.sealedR), len(p.sealedS) }

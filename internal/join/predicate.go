@@ -1,0 +1,92 @@
+package join
+
+import "fmt"
+
+// Kind classifies the structure of a join predicate. The joiner picks
+// its local index by kind: hash index for equi, ordered index for band,
+// exhaustive scan for theta.
+type Kind uint8
+
+const (
+	// Equi joins tuples with equal keys.
+	Equi Kind = iota
+	// Band joins tuples whose keys differ by at most Width.
+	Band
+	// Theta joins tuples by an arbitrary predicate over both tuples.
+	Theta
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Equi:
+		return "equi"
+	case Band:
+		return "band"
+	case Theta:
+		return "theta"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Predicate is a join condition. Matches must be symmetric in the sense
+// that it is always called with an R tuple first and an S tuple second.
+//
+// Kind and Width are structural hints: for Equi the joiner only probes
+// equal keys; for Band it probes keys within [s.Key-Width, s.Key+Width];
+// Residual (if non-nil) is evaluated on candidate pairs produced by the
+// structural probe. For Theta, every stored tuple is a candidate and
+// Residual is the whole predicate.
+type Predicate struct {
+	Kind  Kind
+	Width int64 // band half-width; 0 for equi
+	// Residual is the filter applied to structurally matching pairs.
+	// nil means all structural matches join.
+	Residual func(r, s Tuple) bool
+	// Name labels the predicate in logs and experiment output.
+	Name string
+}
+
+// Matches reports whether r and s join: the structural condition plus
+// the residual filter. Dummy padding tuples never match.
+func (p Predicate) Matches(r, s Tuple) bool {
+	if r.Dummy || s.Dummy {
+		return false
+	}
+	switch p.Kind {
+	case Equi:
+		if r.Key != s.Key {
+			return false
+		}
+	case Band:
+		d := r.Key - s.Key
+		if d < -p.Width || d > p.Width {
+			return false
+		}
+	}
+	return p.Residual == nil || p.Residual(r, s)
+}
+
+func (p Predicate) String() string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return p.Kind.String()
+}
+
+// EquiJoin returns an equi-join predicate on Key with an optional
+// residual filter.
+func EquiJoin(name string, residual func(r, s Tuple) bool) Predicate {
+	return Predicate{Kind: Equi, Residual: residual, Name: name}
+}
+
+// BandJoin returns a band-join predicate |r.Key - s.Key| <= width with
+// an optional residual filter.
+func BandJoin(name string, width int64, residual func(r, s Tuple) bool) Predicate {
+	return Predicate{Kind: Band, Width: width, Residual: residual, Name: name}
+}
+
+// ThetaJoin returns an arbitrary theta-join predicate.
+func ThetaJoin(name string, pred func(r, s Tuple) bool) Predicate {
+	return Predicate{Kind: Theta, Residual: pred, Name: name}
+}

@@ -1,0 +1,125 @@
+package join
+
+import (
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// Ripple is a local online ripple join [21] (Haas & Hellerstein,
+// SIGMOD'99): the non-blocking generalization of nested loops that the
+// paper lists among the algorithms a joiner task may adopt (§3.2).
+// Beyond producing exact results incrementally (every pair meets
+// exactly once, like Local), it maintains the running aggregate and
+// confidence-interval machinery ripple joins exist for: an online
+// estimate of the final join size while the inputs are still
+// streaming.
+//
+// The estimator treats the tuples seen so far as simple random samples
+// of the eventual relations (the operator's content-insensitive
+// shuffling makes per-partition arrival order random, so the
+// assumption matches the deployment): if r of |R| and s of |S| tuples
+// have arrived and k pairs matched, the final size estimate is
+// k * (|R|/r) * (|S|/s), with a CLT-based confidence interval.
+type Ripple struct {
+	pred Predicate
+	r, s Index
+	// matched counts pairs emitted so far.
+	matched int64
+	// sumSqR accumulates per-R-tuple match counts for the variance
+	// estimate (and symmetrically sumSqS).
+	matchOfR map[uint64]int64
+	matchOfS map[uint64]int64
+}
+
+// NewRipple returns an empty ripple join for the predicate.
+func NewRipple(p Predicate) *Ripple {
+	return &Ripple{
+		pred:     p,
+		r:        NewIndex(p),
+		s:        NewIndex(p),
+		matchOfR: make(map[uint64]int64),
+		matchOfS: make(map[uint64]int64),
+	}
+}
+
+// Add processes one tuple: probe the opposite side, emit matches,
+// store, and update the aggregate state.
+func (rj *Ripple) Add(t Tuple, emit Emit) {
+	if t.Dummy {
+		return
+	}
+	if t.Rel == matrix.SideR {
+		rj.s.Probe(t, func(stored Tuple) {
+			if rj.pred.Matches(t, stored) {
+				emit(Pair{R: t, S: stored})
+				rj.matched++
+				rj.matchOfR[t.Seq]++
+				rj.matchOfS[stored.Seq]++
+			}
+		})
+		rj.r.Insert(t)
+	} else {
+		rj.r.Probe(t, func(stored Tuple) {
+			if rj.pred.Matches(stored, t) {
+				emit(Pair{R: stored, S: t})
+				rj.matched++
+				rj.matchOfR[stored.Seq]++
+				rj.matchOfS[t.Seq]++
+			}
+		})
+		rj.s.Insert(t)
+	}
+}
+
+// Seen returns the number of tuples stored per side.
+func (rj *Ripple) Seen() (r, s int) { return rj.r.Len(), rj.s.Len() }
+
+// Matched returns the exact number of result pairs produced so far.
+func (rj *Ripple) Matched() int64 { return rj.matched }
+
+// Estimate extrapolates the final join cardinality assuming the full
+// relations have totalR and totalS tuples. Returns the point estimate
+// and the half-width of an approximate confidence interval at the
+// given z-score (1.96 for 95%). Before any data arrives the estimate
+// is zero with infinite half-width.
+func (rj *Ripple) Estimate(totalR, totalS int64, z float64) (est, half float64) {
+	r, s := rj.r.Len(), rj.s.Len()
+	if r == 0 || s == 0 {
+		return 0, math.Inf(1)
+	}
+	scale := float64(totalR) / float64(r) * float64(totalS) / float64(s)
+	est = float64(rj.matched) * scale
+
+	// Variance via the per-tuple match-count dispersion: the ripple
+	// estimator's dominant variance terms are the between-R-tuple and
+	// between-S-tuple variability of match counts [21]. The matched
+	// count k = sum of per-tuple matches, so Var(k) is approximated by
+	// r*varR + s*varS and the estimate scales k by `scale`.
+	varR := dispersion(rj.matchOfR, r)
+	varS := dispersion(rj.matchOfS, s)
+	se := math.Sqrt(varR*float64(r)+varS*float64(s)) * scale
+	return est, z * se
+}
+
+// dispersion returns the sample variance of per-tuple match counts,
+// counting tuples with zero matches.
+func dispersion(m map[uint64]int64, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	var sum int64
+	for _, v := range m {
+		sum += v
+	}
+	mean := float64(sum) / float64(n)
+	var ss float64
+	for _, v := range m {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	// Tuples absent from the map matched zero times.
+	zeros := n - len(m)
+	ss += float64(zeros) * mean * mean
+	return ss / float64(n-1)
+}

@@ -1,0 +1,77 @@
+// Package join provides the tuple model, join predicates, and the local
+// non-blocking join algorithms that each joiner task runs on its
+// assigned partition pair (§3.2 of Elseidy et al., VLDB 2014). Any
+// non-blocking local algorithm can be plugged into a joiner; this
+// package supplies the three the evaluation needs: a symmetric hash
+// index for equi-joins, an ordered index for band joins, and a scan
+// index for arbitrary theta predicates.
+package join
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Tuple is the unit of data flowing through the operator. Queries
+// pre-extract the join attribute into Key (hash key for equi-joins,
+// band attribute for band joins) and one secondary attribute into Aux
+// so residual predicates can run without decoding payloads on the hot
+// path.
+type Tuple struct {
+	// Rel is the side of the join matrix the tuple belongs to.
+	Rel matrix.Side
+	// Key is the primary join attribute.
+	Key int64
+	// Aux carries a secondary attribute for residual predicates.
+	Aux int64
+	// Size is the tuple's size in bytes for ILF and storage accounting.
+	// Payload need not be materialized for Size to be meaningful.
+	Size int32
+	// U is the routing randomness drawn once at ingestion. The tuple's
+	// partition under any (n,m)-mapping is a bit prefix of U, which is
+	// what makes migration keep/discard/exchange sets deterministic.
+	U uint64
+	// Seq is a monotone ingestion sequence number (used for latency
+	// sampling and the sequenced multi-group mode).
+	Seq uint64
+	// Dummy marks padding tuples injected to keep the cardinality
+	// ratio within J (§4.2.2); they never match any predicate.
+	Dummy bool
+	// Payload optionally carries the encoded source row.
+	Payload []byte
+}
+
+func (t Tuple) String() string {
+	return fmt.Sprintf("%v{key=%d aux=%d u=%x}", t.Rel, t.Key, t.Aux, t.U)
+}
+
+// Bytes returns the accounting size of the tuple: Size if set,
+// otherwise the length of the payload, with a floor of 1 so that
+// tuple-count and byte-volume metrics never silently vanish.
+func (t Tuple) Bytes() int64 {
+	if t.Size > 0 {
+		return int64(t.Size)
+	}
+	if len(t.Payload) > 0 {
+		return int64(len(t.Payload))
+	}
+	return 1
+}
+
+// Pair is one join result: the matched R and S tuples.
+type Pair struct {
+	R, S Tuple
+}
+
+// Emit receives join results. Implementations must be cheap; joiners
+// call it inline while processing tuples.
+type Emit func(Pair)
+
+// CountingEmit returns an Emit that only counts results, plus the
+// counter. Useful for benchmarks where materializing output would
+// dominate.
+func CountingEmit() (Emit, *int64) {
+	n := new(int64)
+	return func(Pair) { *n++ }, n
+}

@@ -1,0 +1,362 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMappingValid(t *testing.T) {
+	valid := []Mapping{{1, 1}, {1, 64}, {8, 8}, {64, 1}, {2, 4}}
+	for _, g := range valid {
+		if !g.Valid() {
+			t.Errorf("%v should be valid", g)
+		}
+	}
+	invalid := []Mapping{{0, 8}, {8, 0}, {3, 4}, {4, 3}, {-2, 2}, {6, 6}}
+	for _, g := range invalid {
+		if g.Valid() {
+			t.Errorf("%v should be invalid", g)
+		}
+	}
+}
+
+func TestCellMachineRoundTrip(t *testing.T) {
+	for _, g := range []Mapping{{1, 16}, {4, 4}, {16, 1}, {2, 8}} {
+		for id := 0; id < g.J(); id++ {
+			c := g.CellOf(id)
+			if c.Row < 0 || c.Row >= g.N || c.Col < 0 || c.Col >= g.M {
+				t.Fatalf("%v: CellOf(%d) = %v out of range", g, id, c)
+			}
+			if back := g.MachineOf(c); back != id {
+				t.Fatalf("%v: MachineOf(CellOf(%d)) = %d", g, id, back)
+			}
+		}
+	}
+}
+
+func TestRowColMachinesCoverExactlyOnce(t *testing.T) {
+	g := Mapping{N: 4, M: 8}
+	seen := make(map[int]int)
+	for r := 0; r < g.N; r++ {
+		for _, id := range g.RowMachines(r) {
+			seen[id]++
+		}
+	}
+	for id := 0; id < g.J(); id++ {
+		if seen[id] != 1 {
+			t.Fatalf("machine %d covered %d times by rows", id, seen[id])
+		}
+	}
+	seen = make(map[int]int)
+	for c := 0; c < g.M; c++ {
+		for _, id := range g.ColMachines(c) {
+			seen[id]++
+		}
+	}
+	for id := 0; id < g.J(); id++ {
+		if seen[id] != 1 {
+			t.Fatalf("machine %d covered %d times by cols", id, seen[id])
+		}
+	}
+}
+
+// A row set and a column set always intersect in exactly one machine:
+// this is what guarantees every (r,s) pair is evaluated exactly once.
+func TestRowColIntersectSingleMachine(t *testing.T) {
+	g := Mapping{N: 8, M: 4}
+	for r := 0; r < g.N; r++ {
+		rows := make(map[int]bool)
+		for _, id := range g.RowMachines(r) {
+			rows[id] = true
+		}
+		for c := 0; c < g.M; c++ {
+			n := 0
+			for _, id := range g.ColMachines(c) {
+				if rows[id] {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Fatalf("row %d x col %d intersect in %d machines", r, c, n)
+			}
+		}
+	}
+}
+
+func TestRowOfColOfRange(t *testing.T) {
+	g := Mapping{N: 8, M: 4}
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, g.N)
+	for i := 0; i < 100000; i++ {
+		u := rng.Uint64()
+		r := g.RowOf(u)
+		if r < 0 || r >= g.N {
+			t.Fatalf("RowOf out of range: %d", r)
+		}
+		counts[r]++
+		c := g.ColOf(u)
+		if c < 0 || c >= g.M {
+			t.Fatalf("ColOf out of range: %d", c)
+		}
+	}
+	// Uniformity: each row should get roughly 1/N of tuples.
+	for r, n := range counts {
+		frac := float64(n) / 100000
+		if frac < 0.10 || frac > 0.15 {
+			t.Errorf("row %d frequency %.3f far from 0.125", r, frac)
+		}
+	}
+}
+
+func TestRowOfDegenerate(t *testing.T) {
+	g := Mapping{N: 1, M: 16}
+	for _, u := range []uint64{0, 1, math.MaxUint64} {
+		if r := g.RowOf(u); r != 0 {
+			t.Fatalf("RowOf(%d) with N=1 = %d, want 0", u, r)
+		}
+	}
+}
+
+// Doubling a dimension refines partitions: the parent of a tuple's
+// partition under 2n rows is its partition under n rows.
+func TestPartitionRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n <= 32; n *= 2 {
+		coarse := Mapping{N: n, M: 64 / n}
+		fine := Mapping{N: 2 * n, M: 64 / n}
+		for i := 0; i < 2000; i++ {
+			u := rng.Uint64()
+			if fine.RowOf(u)>>1 != coarse.RowOf(u) {
+				t.Fatalf("n=%d u=%x: fine row %d not a refinement of coarse row %d",
+					n, u, fine.RowOf(u), coarse.RowOf(u))
+			}
+		}
+	}
+}
+
+func TestILF(t *testing.T) {
+	g := Mapping{N: 8, M: 8}
+	// Paper's Fig. 2 example: 1GB and 64GB on 64 machines.
+	if got := g.ILF(1, 64); math.Abs(got-8.125) > 1e-12 {
+		t.Errorf("(8,8) ILF(1,64) = %v, want 8.125", got)
+	}
+	flat := Mapping{N: 1, M: 64}
+	if got := flat.ILF(1, 64); math.Abs(got-2) > 1e-12 {
+		t.Errorf("(1,64) ILF(1,64) = %v, want 2", got)
+	}
+}
+
+func TestOptimalMatchesFig2(t *testing.T) {
+	if got := Optimal(64, 1, 64); got != (Mapping{N: 1, M: 64}) {
+		t.Errorf("Optimal(64,1,64) = %v, want (1,64)", got)
+	}
+	if got := Optimal(64, 64, 64); got != (Mapping{N: 8, M: 8}) {
+		t.Errorf("Optimal(64,64,64) = %v, want (8,8)", got)
+	}
+	if got := Optimal(64, 64, 1); got != (Mapping{N: 64, M: 1}) {
+		t.Errorf("Optimal(64,64,1) = %v, want (64,1)", got)
+	}
+}
+
+func TestOptimalIsExhaustiveMinimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		j := 1 << rng.Intn(9) // 1..256
+		r := rng.Float64()*1e6 + 1
+		s := rng.Float64()*1e6 + 1
+		best := Optimal(j, r, s)
+		for n := 1; n <= j; n *= 2 {
+			g := Mapping{N: n, M: j / n}
+			if g.ILF(r, s) < best.ILF(r, s)-1e-9 {
+				t.Fatalf("Optimal(%d,%v,%v)=%v but %v has smaller ILF", j, r, s, best, g)
+			}
+		}
+	}
+}
+
+func TestOptimalPanicsOnBadJ(t *testing.T) {
+	for _, j := range []int{0, -4, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Optimal(%d) did not panic", j)
+				}
+			}()
+			Optimal(j, 1, 1)
+		}()
+	}
+}
+
+func TestSquare(t *testing.T) {
+	cases := map[int]Mapping{
+		1:   {1, 1},
+		4:   {2, 2},
+		16:  {4, 4},
+		64:  {8, 8},
+		2:   {1, 2},
+		8:   {2, 4},
+		128: {8, 16},
+	}
+	for j, want := range cases {
+		if got := Square(j); got != want {
+			t.Errorf("Square(%d) = %v, want %v", j, got, want)
+		}
+	}
+}
+
+// Theorem 3.2: the grid-layout semi-perimeter is at most ~1.07x the
+// lower bound 2*sqrt(rs/J) whenever the cardinality ratio is within J.
+func TestTheorem32SemiPerimeterBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	worst := 0.0
+	for i := 0; i < 20000; i++ {
+		j := 1 << (1 + rng.Intn(8)) // 2..256
+		r := math.Exp(rng.Float64() * 14)
+		s := math.Exp(rng.Float64() * 14)
+		ratio := r / s
+		if ratio > float64(j) || ratio < 1/float64(j) {
+			continue // outside the theorem's precondition
+		}
+		g := Optimal(j, r, s)
+		got := g.SemiPerimeter(r, s) / LowerBoundSemiPerimeter(j, r, s)
+		if got > worst {
+			worst = got
+		}
+		if got > GridBoundRatio+1e-9 {
+			t.Fatalf("J=%d r=%.1f s=%.1f: semi-perimeter ratio %.5f exceeds bound %.5f",
+				j, r, s, got, GridBoundRatio)
+		}
+	}
+	if worst < 1.0 {
+		t.Fatalf("worst ratio %v below 1: bound test vacuous", worst)
+	}
+}
+
+// Theorem 3.2 (area): per-machine area is exactly |R||S|/J under any
+// grid mapping.
+func TestAreaIsOptimal(t *testing.T) {
+	for n := 1; n <= 64; n *= 2 {
+		g := Mapping{N: n, M: 64 / n}
+		if got := g.Area(1000, 5000); got != 1000*5000/64.0 {
+			t.Errorf("%v area = %v", g, got)
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := Mapping{N: 4, M: 4}
+	nb := g.Neighbors()
+	if len(nb) != 2 || nb[0] != (Mapping{2, 8}) || nb[1] != (Mapping{8, 2}) {
+		t.Errorf("Neighbors(%v) = %v", g, nb)
+	}
+	edge := Mapping{N: 1, M: 16}
+	nb = edge.Neighbors()
+	if len(nb) != 1 || nb[0] != (Mapping{2, 8}) {
+		t.Errorf("Neighbors(%v) = %v", edge, nb)
+	}
+}
+
+// Lemma 4.2: after growth bounded by the current cardinalities, the
+// optimal mapping is within one step of the previous optimal mapping.
+func TestLemma42OneStepOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		j := 1 << (1 + rng.Intn(7))
+		r := rng.Float64()*1e5 + float64(j)
+		s := rng.Float64()*1e5 + float64(j)
+		// Precondition of Lemma 4.1: sizes within a factor of J.
+		if r/s > float64(j) || s/r > float64(j) {
+			continue
+		}
+		g := Optimal(j, r, s)
+		dr := rng.Float64() * r // |dR| <= |R|
+		ds := rng.Float64() * s
+		opt := Optimal(j, r+dr, s+ds)
+		if opt == g {
+			continue
+		}
+		ok := false
+		for _, nb := range g.Neighbors() {
+			if nb == opt {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("J=%d (%v,%v)+(%v,%v): optimal jumped %v -> %v", j, r, s, dr, ds, g, opt)
+		}
+	}
+}
+
+func TestBestStep(t *testing.T) {
+	g := Mapping{N: 8, M: 8}
+	// Far more S than R: step toward fewer rows.
+	step, moved := g.BestStep(1, 1000)
+	if !moved || step != (Mapping{4, 16}) {
+		t.Errorf("BestStep(1,1000) = %v moved=%v", step, moved)
+	}
+	// Balanced: stay.
+	step, moved = g.BestStep(500, 500)
+	if moved {
+		t.Errorf("BestStep(500,500) moved to %v", step)
+	}
+}
+
+func TestBestStepConvergesToOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		j := 1 << (1 + rng.Intn(8))
+		r := rng.Float64()*1e6 + 1
+		s := rng.Float64()*1e6 + 1
+		g := Square(j)
+		for steps := 0; ; steps++ {
+			next, moved := g.BestStep(r, s)
+			if !moved {
+				break
+			}
+			g = next
+			if steps > 20 {
+				t.Fatalf("BestStep did not converge for J=%d r=%v s=%v", j, r, s)
+			}
+		}
+		if opt := Optimal(j, r, s); g.ILF(r, s) > opt.ILF(r, s)+1e-9 {
+			t.Fatalf("converged to %v (ILF %v) but optimal %v (ILF %v)", g, g.ILF(r, s), opt, opt.ILF(r, s))
+		}
+	}
+}
+
+func TestStepsTo(t *testing.T) {
+	g := Mapping{N: 8, M: 8}
+	steps := g.StepsTo(Mapping{N: 1, M: 64})
+	want := []Mapping{{4, 16}, {2, 32}, {1, 64}}
+	if len(steps) != len(want) {
+		t.Fatalf("StepsTo = %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("StepsTo = %v, want %v", steps, want)
+		}
+	}
+	if n := len(g.StepsTo(g)); n != 0 {
+		t.Errorf("StepsTo(self) has %d steps", n)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	if got := (Mapping{2, 2}).Expand(); got != (Mapping{4, 4}) {
+		t.Errorf("Expand = %v", got)
+	}
+}
+
+func TestQuickOptimalNeverWorseThanSquare(t *testing.T) {
+	f := func(rRaw, sRaw uint32, jExp uint8) bool {
+		j := 1 << (jExp % 9)
+		r := float64(rRaw%1e6) + 1
+		s := float64(sRaw%1e6) + 1
+		return Optimal(j, r, s).ILF(r, s) <= Square(j).ILF(r, s)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

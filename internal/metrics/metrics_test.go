@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOperatorAggregates(t *testing.T) {
+	m := NewOperator(4)
+	for i := 0; i < 4; i++ {
+		j := m.JoinerStats(i)
+		j.InputTuples.Store(int64(100 * (i + 1)))
+		j.InputBytes.Store(int64(1000 * (i + 1)))
+		j.StoredBytes.Store(int64(10 * (i + 1)))
+		j.OutputPairs.Store(int64(i))
+		j.MigratedOut.Store(int64(i))
+	}
+	if m.MaxILFTuples() != 400 || m.MaxILFBytes() != 4000 {
+		t.Fatalf("ILF %d/%d", m.MaxILFTuples(), m.MaxILFBytes())
+	}
+	if m.TotalStorageBytes() != 100 {
+		t.Fatalf("storage %d", m.TotalStorageBytes())
+	}
+	if m.TotalInputTuples() != 1000 {
+		t.Fatalf("input %d", m.TotalInputTuples())
+	}
+	if m.TotalOutputPairs() != 6 || m.TotalMigrated() != 6 {
+		t.Fatalf("output %d migrated %d", m.TotalOutputPairs(), m.TotalMigrated())
+	}
+	if m.AnySpill() {
+		t.Fatal("no joiner spilled")
+	}
+	m.JoinerStats(2).SpilledTuples.Store(5)
+	if !m.AnySpill() {
+		t.Fatal("spill not detected")
+	}
+}
+
+func TestOperatorGrow(t *testing.T) {
+	m := NewOperator(2)
+	m.Grow(8)
+	if m.NumJoiners() != 8 {
+		t.Fatalf("NumJoiners %d", m.NumJoiners())
+	}
+	m.Grow(4) // shrink is a no-op
+	if m.NumJoiners() != 8 {
+		t.Fatal("Grow shrank")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := CostModel{InputCost: 1, OutputCost: 0.5, SpillFactor: 10, MemCapTuples: 100}
+	j := &Joiner{}
+	j.InputTuples.Store(50)
+	j.OutputPairs.Store(10)
+	if got := c.JoinerWork(j); got != 55 {
+		t.Fatalf("in-memory work %v", got)
+	}
+	j.InputTuples.Store(150) // 50 over the cap at 10x
+	want := 150.0 + 10*0.5 + 50*9
+	if got := c.JoinerWork(j); got != want {
+		t.Fatalf("spilled work %v, want %v", got, want)
+	}
+}
+
+func TestCostModelMakespanAndSpills(t *testing.T) {
+	m := NewOperator(3)
+	c := DefaultCostModel(100)
+	m.JoinerStats(0).InputTuples.Store(50)
+	m.JoinerStats(1).InputTuples.Store(80)
+	m.JoinerStats(2).InputTuples.Store(60)
+	if c.Spills(m) {
+		t.Fatal("no spill expected")
+	}
+	mk := c.Makespan(m)
+	if mk != 80 {
+		t.Fatalf("makespan %v", mk)
+	}
+	m.JoinerStats(1).InputTuples.Store(200)
+	if !c.Spills(m) {
+		t.Fatal("spill expected")
+	}
+	if c.Makespan(m) <= 200 {
+		t.Fatal("spill penalty missing from makespan")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 30)
+	s.Add(3, 20)
+	if s.Len() != 3 || s.MaxY() != 30 {
+		t.Fatalf("len=%d max=%v", s.Len(), s.MaxY())
+	}
+	if x, y := s.At(1); x != 2 || y != 30 {
+		t.Fatalf("At(1) = %v,%v", x, y)
+	}
+}
+
+func TestLatencySampler(t *testing.T) {
+	l := NewLatencySampler(4)
+	if l.Sampled(3) || !l.Sampled(8) {
+		t.Fatal("sampling rule wrong")
+	}
+	l.Arrive(8)
+	time.Sleep(2 * time.Millisecond)
+	l.Emit(8)
+	l.Emit(9)  // not sampled
+	l.Emit(12) // sampled but never arrived: ignored
+	if l.Count() != 1 {
+		t.Fatalf("count %d", l.Count())
+	}
+	mean, ok := l.Mean()
+	if !ok || mean < time.Millisecond {
+		t.Fatalf("mean %v ok=%v", mean, ok)
+	}
+	q, ok := l.Quantile(0.99)
+	if !ok || q < mean/2 {
+		t.Fatalf("quantile %v", q)
+	}
+}
+
+func TestLatencySamplerEmpty(t *testing.T) {
+	l := NewLatencySampler(1)
+	if _, ok := l.Mean(); ok {
+		t.Fatal("mean of empty sampler")
+	}
+	if _, ok := l.Quantile(0.5); ok {
+		t.Fatal("quantile of empty sampler")
+	}
+	disabled := NewLatencySampler(0)
+	if disabled.Sampled(0) {
+		t.Fatal("rate 0 must disable sampling")
+	}
+}
+
+func TestRatioTracker(t *testing.T) {
+	var r RatioTracker
+	r.Observe(1, 1.0)
+	r.Observe(2, 1.2)
+	r.Observe(3, 1.1)
+	if r.Max() != 1.2 {
+		t.Fatalf("max %v", r.Max())
+	}
+	if r.Series().Len() != 3 {
+		t.Fatalf("series len %d", r.Series().Len())
+	}
+}
+
+func TestThroughputGuard(t *testing.T) {
+	if Throughput(100, 0) <= 0 {
+		t.Fatal("zero makespan should give +inf")
+	}
+	if Throughput(100, 50) != 2 {
+		t.Fatal("throughput math")
+	}
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEstimatorScaling(t *testing.T) {
+	e := NewEstimator(16)
+	for i := 0; i < 10; i++ {
+		e.ObserveR()
+	}
+	for i := 0; i < 3; i++ {
+		e.ObserveS()
+	}
+	if e.R() != 160 || e.S() != 48 {
+		t.Fatalf("R=%d S=%d", e.R(), e.S())
+	}
+	if e.Total() != 208 {
+		t.Fatalf("Total=%d", e.Total())
+	}
+	lr, ls := e.Local()
+	if lr != 10 || ls != 3 {
+		t.Fatalf("Local=%d,%d", lr, ls)
+	}
+}
+
+func TestEstimatorPanicsOnBadJ(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewEstimator(0)
+}
+
+// The scaled estimate from a random 1/J thinning must converge to the
+// true cardinality.
+func TestEstimatorConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const j = 16
+	const trueR = 200000
+	e := NewEstimator(j)
+	for i := 0; i < trueR; i++ {
+		if rng.Intn(j) == 0 { // tuple routed to this reshuffler
+			e.ObserveR()
+		}
+	}
+	got := float64(e.R())
+	if math.Abs(got-trueR)/trueR > 0.05 {
+		t.Fatalf("estimate %v too far from %v", got, trueR)
+	}
+	if e.RelStdErr() > 0.02 {
+		t.Fatalf("rel std err %v unexpectedly large", e.RelStdErr())
+	}
+}
+
+func TestRelStdErrEmptySample(t *testing.T) {
+	e := NewEstimator(4)
+	if !math.IsInf(e.RelStdErr(), 1) {
+		t.Error("empty sample should have infinite error")
+	}
+}
+
+func TestConfidenceIntervalCoversEstimate(t *testing.T) {
+	e := NewEstimator(8)
+	for i := 0; i < 100; i++ {
+		e.ObserveR()
+	}
+	lo, hi := e.ConfidenceInterval(1.96)
+	if lo > e.R() || hi < e.R() {
+		t.Fatalf("interval [%d,%d] does not cover estimate %d", lo, hi, e.R())
+	}
+	if lo < 0 {
+		t.Fatal("negative lower bound")
+	}
+}
+
+func TestConfidenceIntervalEmpty(t *testing.T) {
+	e := NewEstimator(8)
+	lo, hi := e.ConfidenceInterval(1.96)
+	if lo != 0 || hi <= 0 {
+		t.Fatalf("empty interval [%d,%d]", lo, hi)
+	}
+}
+
+func TestSnapshotRatio(t *testing.T) {
+	s := Snapshot{R: 100, S: 50}
+	if s.Ratio() != 2 {
+		t.Fatalf("ratio %v", s.Ratio())
+	}
+	if (Snapshot{R: 7, S: 0}).Ratio() != 7 {
+		t.Fatal("zero-S ratio should floor denominator at 1")
+	}
+}
+
+func TestHistogramObserveEstimate(t *testing.T) {
+	h := NewHistogram(4, 10, 0, 100)
+	for i := 0; i < 5; i++ {
+		h.Observe(15) // bucket 1
+	}
+	if got := h.Estimate(12); got != 20 {
+		t.Fatalf("Estimate=%d want 20", got)
+	}
+	if got := h.Estimate(55); got != 0 {
+		t.Fatalf("empty bucket Estimate=%d", got)
+	}
+	if got := h.Estimate(-5); got != 0 {
+		t.Fatalf("out-of-range Estimate=%d", got)
+	}
+}
+
+func TestHistogramClampsEdges(t *testing.T) {
+	h := NewHistogram(1, 4, 0, 8)
+	h.Observe(-100)
+	h.Observe(1000)
+	if h.Estimate(0) != 1 || h.Estimate(7) != 1 {
+		t.Fatal("edge observations not clamped into first/last buckets")
+	}
+}
+
+func TestHistogramSkew(t *testing.T) {
+	uniform := NewHistogram(1, 4, 0, 4)
+	for k := int64(0); k < 4; k++ {
+		uniform.Observe(k)
+	}
+	if s := uniform.Skew(); s != 1 {
+		t.Fatalf("uniform skew %v", s)
+	}
+	skewed := NewHistogram(1, 4, 0, 4)
+	for i := 0; i < 97; i++ {
+		skewed.Observe(0)
+	}
+	skewed.Observe(1)
+	skewed.Observe(2)
+	skewed.Observe(3)
+	if s := skewed.Skew(); s < 3 {
+		t.Fatalf("skewed skew %v too small", s)
+	}
+	if NewHistogram(1, 4, 0, 4).Skew() != 1 {
+		t.Fatal("empty histogram skew should be 1")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(2, 4, 0, 8)
+	b := NewHistogram(2, 4, 0, 8)
+	a.Observe(1)
+	b.Observe(1)
+	b.Observe(7)
+	a.Merge(b)
+	if a.Estimate(1) != 4 || a.Estimate(7) != 2 {
+		t.Fatalf("merged estimates %d,%d", a.Estimate(1), a.Estimate(7))
+	}
+}
+
+func TestHistogramMergePanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewHistogram(1, 4, 0, 8).Merge(NewHistogram(1, 8, 0, 8))
+}

@@ -1,0 +1,350 @@
+// Package storage provides the per-joiner tuple store with a bounded
+// in-memory tier and a disk-spill tier, substituting for the BerkeleyDB
+// backend the paper integrates ("joiners perform the local join in
+// memory, but if it runs out of memory it begins spilling to disk",
+// §5). The store keeps full tuples and join indexes in memory up to a
+// configurable byte budget; beyond it, tuples are appended to per-side
+// disk segments with only a small in-memory directory (key, routing
+// value, offset), so every probe that hits spilled state pays a random
+// disk read — reproducing the paper's overflow cliff.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"repro/internal/join"
+	"repro/internal/matrix"
+)
+
+// Config controls a Store.
+type Config struct {
+	// CapBytes is the in-memory budget; 0 means unlimited (no spill).
+	CapBytes int64
+	// Dir is where spill segments are created. Empty means the OS temp
+	// directory.
+	Dir string
+}
+
+// Metrics counts storage activity. All fields are updated atomically so
+// experiment collectors may read them while the owning joiner runs.
+type Metrics struct {
+	MemTuples     atomic.Int64
+	MemBytes      atomic.Int64
+	SpilledTuples atomic.Int64
+	SpilledBytes  atomic.Int64
+	DiskReads     atomic.Int64
+	DiskWrites    atomic.Int64
+}
+
+// Store is a two-tier tuple store for one joiner: a symmetric in-memory
+// join plus two disk segments. It is owned by a single goroutine, like
+// all joiner state.
+type Store struct {
+	pred    join.Predicate
+	cfg     Config
+	mem     *join.Local
+	segs    [2]*segment // lazily created, indexed by matrix.Side
+	Metrics Metrics
+}
+
+// NewStore returns an empty store for the predicate.
+func NewStore(p join.Predicate, cfg Config) *Store {
+	return &Store{pred: p, cfg: cfg, mem: join.NewLocal(p)}
+}
+
+// Pred returns the store's join predicate.
+func (s *Store) Pred() join.Predicate { return s.pred }
+
+// Add probes the opposite relation (memory and spilled tiers) and then
+// stores the tuple: the standard non-blocking probe-then-insert step.
+func (s *Store) Add(t join.Tuple, emit join.Emit) {
+	s.Probe(t, emit)
+	s.Insert(t)
+}
+
+// Probe joins t against all stored tuples of the opposite relation
+// without storing t.
+func (s *Store) Probe(t join.Tuple, emit join.Emit) {
+	if t.Dummy {
+		return
+	}
+	s.mem.Probe(t, emit)
+	if seg := s.segs[t.Rel.Other()]; seg != nil {
+		seg.probe(t, s.pred, emit, &s.Metrics)
+	}
+}
+
+// Insert stores t in the memory tier if it fits the budget, else in the
+// disk tier.
+func (s *Store) Insert(t join.Tuple) {
+	if s.cfg.CapBytes == 0 || s.mem.Bytes()+t.Bytes() <= s.cfg.CapBytes {
+		s.mem.Insert(t)
+		s.Metrics.MemTuples.Add(1)
+		s.Metrics.MemBytes.Add(t.Bytes())
+		return
+	}
+	seg := s.segs[t.Rel]
+	if seg == nil {
+		var err error
+		seg, err = newSegment(s.cfg.Dir, s.pred)
+		if err != nil {
+			// Spill tier unavailable: degrade to memory rather than
+			// lose data; the budget is advisory, as in any cache.
+			s.mem.Insert(t)
+			s.Metrics.MemTuples.Add(1)
+			s.Metrics.MemBytes.Add(t.Bytes())
+			return
+		}
+		s.segs[t.Rel] = seg
+	}
+	seg.append(t, &s.Metrics)
+}
+
+// Len returns the stored tuple count of one side across both tiers.
+func (s *Store) Len(side matrix.Side) int {
+	n := s.mem.Len(side)
+	if seg := s.segs[side]; seg != nil {
+		n += seg.len()
+	}
+	return n
+}
+
+// TotalLen returns the total stored tuple count.
+func (s *Store) TotalLen() int { return s.Len(matrix.SideR) + s.Len(matrix.SideS) }
+
+// Bytes returns the accounted stored volume across both tiers.
+func (s *Store) Bytes() int64 {
+	b := s.mem.Bytes()
+	for _, seg := range s.segs {
+		if seg != nil {
+			b += seg.bytes
+		}
+	}
+	return b
+}
+
+// Spilled reports whether any tuple has overflowed to disk.
+func (s *Store) Spilled() bool { return s.Metrics.SpilledTuples.Load() > 0 }
+
+// Scan visits every stored tuple of one side, memory tier first, then
+// the disk segment in append order.
+func (s *Store) Scan(side matrix.Side, fn func(join.Tuple) bool) {
+	stopped := false
+	s.mem.Scan(side, func(t join.Tuple) bool {
+		if !fn(t) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return
+	}
+	if seg := s.segs[side]; seg != nil {
+		seg.scan(fn, &s.Metrics)
+	}
+}
+
+// Retain keeps only tuples of the given side passing keep, across both
+// tiers, returning the number discarded. The disk segment is rewritten.
+func (s *Store) Retain(side matrix.Side, keep func(join.Tuple) bool) int {
+	removed := 0
+	s.mem.Scan(side, func(t join.Tuple) bool {
+		if !keep(t) {
+			s.Metrics.MemBytes.Add(-t.Bytes())
+		}
+		return true
+	})
+	memRemoved := s.mem.Retain(side, keep)
+	s.Metrics.MemTuples.Add(int64(-memRemoved))
+	removed += memRemoved
+	if seg := s.segs[side]; seg != nil {
+		removed += seg.retain(keep, s.cfg, s.pred, &s.Metrics)
+	}
+	return removed
+}
+
+// Close releases disk resources. The store must not be used afterward.
+func (s *Store) Close() error {
+	var first error
+	for i, seg := range s.segs {
+		if seg != nil {
+			if err := seg.close(); err != nil && first == nil {
+				first = err
+			}
+			s.segs[i] = nil
+		}
+	}
+	return first
+}
+
+// segment is one side's disk tier: an append-only record file plus an
+// in-memory directory of skeleton tuples (Key, U, offset) so probes can
+// locate candidates without scanning the file; reading the matched
+// record still costs a disk read, like a BerkeleyDB leaf fetch.
+type segment struct {
+	f     *os.File
+	path  string
+	dir   join.Index // skeleton tuples; Aux carries the file offset
+	off   int64
+	n     int
+	bytes int64
+}
+
+func newSegment(dir string, p join.Predicate) (*segment, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "squall-spill-*.seg")
+	if err != nil {
+		return nil, fmt.Errorf("storage: create spill segment: %w", err)
+	}
+	return &segment{f: f, path: f.Name(), dir: join.NewIndex(p)}, nil
+}
+
+const recordHeader = 8 + 8 + 8 + 8 + 4 + 1 + 1 + 4 // key aux u seq size rel dummy payloadLen
+
+func encodeRecord(t join.Tuple) []byte {
+	buf := make([]byte, recordHeader+len(t.Payload))
+	binary.LittleEndian.PutUint64(buf[0:], uint64(t.Key))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(t.Aux))
+	binary.LittleEndian.PutUint64(buf[16:], t.U)
+	binary.LittleEndian.PutUint64(buf[24:], t.Seq)
+	binary.LittleEndian.PutUint32(buf[32:], uint32(t.Size))
+	buf[36] = byte(t.Rel)
+	if t.Dummy {
+		buf[37] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[38:], uint32(len(t.Payload)))
+	copy(buf[recordHeader:], t.Payload)
+	return buf
+}
+
+func decodeRecord(buf []byte) (join.Tuple, int) {
+	t := join.Tuple{
+		Key:   int64(binary.LittleEndian.Uint64(buf[0:])),
+		Aux:   int64(binary.LittleEndian.Uint64(buf[8:])),
+		U:     binary.LittleEndian.Uint64(buf[16:]),
+		Seq:   binary.LittleEndian.Uint64(buf[24:]),
+		Size:  int32(binary.LittleEndian.Uint32(buf[32:])),
+		Rel:   matrix.Side(buf[36]),
+		Dummy: buf[37] == 1,
+	}
+	plen := int(binary.LittleEndian.Uint32(buf[38:]))
+	if plen > 0 {
+		t.Payload = append([]byte(nil), buf[recordHeader:recordHeader+plen]...)
+	}
+	return t, recordHeader + plen
+}
+
+func (g *segment) append(t join.Tuple, m *Metrics) {
+	rec := encodeRecord(t)
+	if _, err := g.f.WriteAt(rec, g.off); err != nil {
+		return // best effort; the directory entry is only added on success
+	}
+	skeleton := join.Tuple{Key: t.Key, U: t.U, Aux: g.off, Rel: t.Rel, Seq: t.Seq}
+	g.dir.Insert(skeleton)
+	g.off += int64(len(rec))
+	g.n++
+	g.bytes += t.Bytes()
+	m.SpilledTuples.Add(1)
+	m.SpilledBytes.Add(t.Bytes())
+	m.DiskWrites.Add(1)
+}
+
+func (g *segment) readAt(off int64, m *Metrics) (join.Tuple, bool) {
+	var hdr [recordHeader]byte
+	if _, err := g.f.ReadAt(hdr[:], off); err != nil {
+		return join.Tuple{}, false
+	}
+	plen := int(binary.LittleEndian.Uint32(hdr[38:]))
+	buf := hdr[:]
+	if plen > 0 {
+		full := make([]byte, recordHeader+plen)
+		if _, err := g.f.ReadAt(full, off); err != nil {
+			return join.Tuple{}, false
+		}
+		buf = full
+	}
+	t, _ := decodeRecord(buf)
+	m.DiskReads.Add(1)
+	return t, true
+}
+
+func (g *segment) probe(probe join.Tuple, p join.Predicate, emit join.Emit, m *Metrics) {
+	g.dir.Probe(probe, func(skel join.Tuple) {
+		t, ok := g.readAt(skel.Aux, m)
+		if !ok {
+			return
+		}
+		if probe.Rel == matrix.SideR {
+			if p.Matches(probe, t) {
+				emit(join.Pair{R: probe, S: t})
+			}
+		} else {
+			if p.Matches(t, probe) {
+				emit(join.Pair{R: t, S: probe})
+			}
+		}
+	})
+}
+
+func (g *segment) len() int { return g.n }
+
+func (g *segment) scan(fn func(join.Tuple) bool, m *Metrics) {
+	buf, err := os.ReadFile(g.path)
+	if err != nil {
+		return
+	}
+	m.DiskReads.Add(int64(g.n))
+	for pos := 0; pos < int(g.off); {
+		t, sz := decodeRecord(buf[pos:])
+		pos += sz
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// retain rewrites the segment keeping only passing tuples.
+func (g *segment) retain(keep func(join.Tuple) bool, cfg Config, p join.Predicate, m *Metrics) int {
+	var kept []join.Tuple
+	removed := 0
+	var removedBytes int64
+	g.scan(func(t join.Tuple) bool {
+		if keep(t) {
+			kept = append(kept, t)
+		} else {
+			removed++
+			removedBytes += t.Bytes()
+		}
+		return true
+	}, m)
+	// Rewrite from scratch.
+	_ = g.f.Truncate(0)
+	g.off, g.n, g.bytes = 0, 0, 0
+	g.dir = join.NewIndex(p)
+	mm := &Metrics{} // rewrite is not a new spill; count only the writes
+	for _, t := range kept {
+		g.append(t, mm)
+	}
+	m.DiskWrites.Add(mm.DiskWrites.Load())
+	m.SpilledTuples.Add(int64(-removed))
+	m.SpilledBytes.Add(-removedBytes)
+	return removed
+}
+
+func (g *segment) close() error {
+	err := g.f.Close()
+	if rmErr := os.Remove(g.path); err == nil {
+		err = rmErr
+	}
+	if err != nil {
+		return fmt.Errorf("storage: close segment %s: %w", filepath.Base(g.path), err)
+	}
+	return nil
+}

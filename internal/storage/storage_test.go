@@ -1,0 +1,225 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/matrix"
+)
+
+func tup(rel matrix.Side, key int64, seq uint64) join.Tuple {
+	return join.Tuple{Rel: rel, Key: key, Size: 16, Seq: seq, U: seq * 2654435761}
+}
+
+func refJoin(p join.Predicate, rs, ss []join.Tuple) int {
+	n := 0
+	for _, r := range rs {
+		for _, s := range ss {
+			if p.Matches(r, s) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestStoreInMemoryJoin(t *testing.T) {
+	s := NewStore(join.EquiJoin("eq", nil), Config{})
+	defer s.Close()
+	emit, n := join.CountingEmit()
+	s.Add(tup(matrix.SideR, 1, 1), emit)
+	s.Add(tup(matrix.SideS, 1, 2), emit)
+	s.Add(tup(matrix.SideS, 1, 3), emit)
+	if *n != 2 {
+		t.Fatalf("emitted %d, want 2", *n)
+	}
+	if s.Spilled() {
+		t.Fatal("unbounded store spilled")
+	}
+	if s.TotalLen() != 3 {
+		t.Fatalf("TotalLen=%d", s.TotalLen())
+	}
+}
+
+// With a tiny memory cap, the join result must still be exactly the
+// reference join: spilled tuples remain probe-able via the directory.
+func TestStoreSpillPreservesJoinResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := join.EquiJoin("eq", nil)
+	s := NewStore(p, Config{CapBytes: 200, Dir: t.TempDir()}) // ~12 tuples in memory
+	defer s.Close()
+
+	var rs, ss []join.Tuple
+	seq := uint64(0)
+	emit, n := join.CountingEmit()
+	for i := 0; i < 300; i++ {
+		seq++
+		r := tup(matrix.SideR, int64(rng.Intn(40)), seq)
+		rs = append(rs, r)
+		s.Add(r, emit)
+		seq++
+		sv := tup(matrix.SideS, int64(rng.Intn(40)), seq)
+		ss = append(ss, sv)
+		s.Add(sv, emit)
+	}
+	if !s.Spilled() {
+		t.Fatal("expected spill with 200-byte cap")
+	}
+	if want := refJoin(p, rs, ss); int(*n) != want {
+		t.Fatalf("join with spill emitted %d, reference %d", *n, want)
+	}
+	if s.Metrics.DiskReads.Load() == 0 {
+		t.Fatal("no disk reads recorded despite spilled probes")
+	}
+}
+
+func TestStoreSpillBandJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := join.BandJoin("band", 2, nil)
+	s := NewStore(p, Config{CapBytes: 160, Dir: t.TempDir()})
+	defer s.Close()
+	var rs, ss []join.Tuple
+	emit, n := join.CountingEmit()
+	for i := 0; i < 200; i++ {
+		r := tup(matrix.SideR, int64(rng.Intn(100)), uint64(2*i))
+		sv := tup(matrix.SideS, int64(rng.Intn(100)), uint64(2*i+1))
+		rs = append(rs, r)
+		ss = append(ss, sv)
+		s.Add(r, emit)
+		s.Add(sv, emit)
+	}
+	if want := refJoin(p, rs, ss); int(*n) != want {
+		t.Fatalf("band join with spill emitted %d, reference %d", *n, want)
+	}
+}
+
+func TestStoreLenAndBytesAcrossTiers(t *testing.T) {
+	s := NewStore(join.EquiJoin("eq", nil), Config{CapBytes: 64, Dir: t.TempDir()})
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.Insert(tup(matrix.SideR, int64(i), uint64(i)))
+	}
+	if s.Len(matrix.SideR) != 10 {
+		t.Fatalf("Len=%d", s.Len(matrix.SideR))
+	}
+	if s.Bytes() != 160 {
+		t.Fatalf("Bytes=%d", s.Bytes())
+	}
+	if got := s.Metrics.MemTuples.Load(); got != 4 {
+		t.Fatalf("MemTuples=%d, want 4 (64-byte cap, 16-byte tuples)", got)
+	}
+	if got := s.Metrics.SpilledTuples.Load(); got != 6 {
+		t.Fatalf("SpilledTuples=%d", got)
+	}
+}
+
+func TestStoreScanVisitsBothTiers(t *testing.T) {
+	s := NewStore(join.EquiJoin("eq", nil), Config{CapBytes: 48, Dir: t.TempDir()})
+	defer s.Close()
+	seen := make(map[int64]bool)
+	for i := 0; i < 8; i++ {
+		s.Insert(tup(matrix.SideS, int64(i), uint64(i)))
+	}
+	s.Scan(matrix.SideS, func(tp join.Tuple) bool {
+		seen[tp.Key] = true
+		return true
+	})
+	if len(seen) != 8 {
+		t.Fatalf("scan saw %d distinct keys, want 8", len(seen))
+	}
+	// Early stop must be honored.
+	count := 0
+	s.Scan(matrix.SideS, func(join.Tuple) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Fatalf("early-stop scan visited %d", count)
+	}
+}
+
+func TestStoreRetainAcrossTiers(t *testing.T) {
+	s := NewStore(join.EquiJoin("eq", nil), Config{CapBytes: 48, Dir: t.TempDir()})
+	defer s.Close()
+	for i := 0; i < 12; i++ {
+		s.Insert(tup(matrix.SideS, int64(i), uint64(i)))
+	}
+	removed := s.Retain(matrix.SideS, func(tp join.Tuple) bool { return tp.Key%2 == 0 })
+	if removed != 6 {
+		t.Fatalf("removed=%d", removed)
+	}
+	if s.Len(matrix.SideS) != 6 {
+		t.Fatalf("Len after retain=%d", s.Len(matrix.SideS))
+	}
+	s.Scan(matrix.SideS, func(tp join.Tuple) bool {
+		if tp.Key%2 != 0 {
+			t.Fatalf("odd key %d survived", tp.Key)
+		}
+		return true
+	})
+	// Probing after a retain must only hit survivors.
+	emit, n := join.CountingEmit()
+	s.Probe(tup(matrix.SideR, 3, 100), emit)
+	if *n != 0 {
+		t.Fatalf("probe hit removed tuple")
+	}
+	s.Probe(tup(matrix.SideR, 4, 101), emit)
+	if *n != 1 {
+		t.Fatalf("probe missed survivor, emitted %d", *n)
+	}
+}
+
+func TestStorePayloadRoundTrip(t *testing.T) {
+	s := NewStore(join.EquiJoin("eq", nil), Config{CapBytes: 1, Dir: t.TempDir()})
+	defer s.Close()
+	in := join.Tuple{Rel: matrix.SideS, Key: 7, Aux: 9, U: 0xdead, Seq: 3, Size: 64,
+		Payload: []byte("hello payload")}
+	s.Insert(in)
+	var got join.Tuple
+	s.Scan(matrix.SideS, func(tp join.Tuple) bool { got = tp; return true })
+	if got.Key != 7 || got.Aux != 9 || got.U != 0xdead || got.Seq != 3 || got.Size != 64 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if string(got.Payload) != "hello payload" {
+		t.Fatalf("payload %q", got.Payload)
+	}
+}
+
+func TestStoreDummyNeverJoins(t *testing.T) {
+	s := NewStore(join.EquiJoin("eq", nil), Config{CapBytes: 1, Dir: t.TempDir()})
+	defer s.Close()
+	emit, n := join.CountingEmit()
+	d := tup(matrix.SideR, 5, 1)
+	d.Dummy = true
+	s.Add(d, emit)
+	s.Add(tup(matrix.SideS, 5, 2), emit)
+	if *n != 0 {
+		t.Fatalf("dummy joined: %d", *n)
+	}
+}
+
+func TestEncodeDecodeRecord(t *testing.T) {
+	in := join.Tuple{Rel: matrix.SideS, Key: -42, Aux: 1 << 40, U: ^uint64(0), Seq: 77,
+		Size: 3, Dummy: true, Payload: []byte{1, 2, 3}}
+	buf := encodeRecord(in)
+	out, n := decodeRecord(buf)
+	if n != len(buf) {
+		t.Fatalf("decoded %d bytes of %d", n, len(buf))
+	}
+	if out.Key != in.Key || out.Aux != in.Aux || out.U != in.U || out.Seq != in.Seq ||
+		out.Size != in.Size || out.Rel != in.Rel || out.Dummy != in.Dummy {
+		t.Fatalf("mismatch: %+v vs %+v", out, in)
+	}
+	if len(out.Payload) != 3 || out.Payload[2] != 3 {
+		t.Fatalf("payload %v", out.Payload)
+	}
+}
+
+func TestStoreCloseIsIdempotentEnough(t *testing.T) {
+	s := NewStore(join.EquiJoin("eq", nil), Config{CapBytes: 1, Dir: t.TempDir()})
+	s.Insert(tup(matrix.SideR, 1, 1))
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package tpch
+
+import "math/rand"
+
+// Customer is one row of CUSTOMER (150000 * SF rows in TPC-H; we use
+// 15000 * SF like the other scaled-down tables' proportions).
+type Customer struct {
+	CustKey   int32
+	NationKey int32
+	AcctBal   int64
+	// MktSegment indexes MktSegments.
+	MktSegment int8
+}
+
+// Part is one row of PART (200000 * SF rows in TPC-H).
+type Part struct {
+	PartKey     int64
+	Size        int32
+	RetailPrice int64
+	// Brand indexes Brands.
+	Brand int8
+}
+
+// MktSegments are the five TPC-H market segments.
+var MktSegments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+// Brands is a reduced TPC-H brand domain.
+var Brands = []string{"Brand#11", "Brand#12", "Brand#21", "Brand#22", "Brand#31",
+	"Brand#32", "Brand#41", "Brand#42", "Brand#51", "Brand#52"}
+
+// NumCustomers returns |CUSTOMER| for the configuration.
+func (g *Gen) NumCustomers() int { return max(1, int(15000*g.cfg.SF)) }
+
+// NumParts returns |PART| for the configuration.
+func (g *Gen) NumParts() int { return max(1, int(20000*g.cfg.SF)) }
+
+// Customers yields |CUSTOMER| rows; custkeys are sequential so the
+// Zipf-skewed o_custkey foreign keys in Orders reference a hot head.
+func (g *Gen) Customers(yield func(Customer) bool) {
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ 0xc057))
+	for k := 1; k <= g.NumCustomers(); k++ {
+		c := Customer{
+			CustKey:    int32(k),
+			NationKey:  int32(rng.Intn(25)),
+			AcctBal:    rng.Int63n(1000000) - 100000,
+			MktSegment: int8(rng.Intn(len(MktSegments))),
+		}
+		if !yield(c) {
+			return
+		}
+	}
+}
+
+// Parts yields |PART| rows.
+func (g *Gen) Parts(yield func(Part) bool) {
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ 0x9a27))
+	for k := 1; k <= g.NumParts(); k++ {
+		p := Part{
+			PartKey:     int64(k),
+			Size:        int32(1 + rng.Intn(50)),
+			RetailPrice: 90000 + rng.Int63n(20000),
+			Brand:       int8(rng.Intn(len(Brands))),
+		}
+		if !yield(p) {
+			return
+		}
+	}
+}

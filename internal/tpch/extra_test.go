@@ -1,0 +1,71 @@
+package tpch
+
+import "testing"
+
+func TestCustomersDomains(t *testing.T) {
+	g := NewGen(Config{SF: 0.01, Zipf: 0.5, Seed: 5})
+	n := 0
+	g.Customers(func(c Customer) bool {
+		n++
+		if c.CustKey < 1 || int(c.CustKey) > g.NumCustomers() {
+			t.Fatalf("custkey %d", c.CustKey)
+		}
+		if c.NationKey < 0 || c.NationKey > 24 {
+			t.Fatalf("nationkey %d", c.NationKey)
+		}
+		if c.MktSegment < 0 || int(c.MktSegment) >= len(MktSegments) {
+			t.Fatalf("segment %d", c.MktSegment)
+		}
+		return true
+	})
+	if n != g.NumCustomers() || n != 150 {
+		t.Fatalf("customers %d", n)
+	}
+}
+
+func TestPartsDomains(t *testing.T) {
+	g := NewGen(Config{SF: 0.01, Seed: 5})
+	n := 0
+	g.Parts(func(p Part) bool {
+		n++
+		if p.PartKey < 1 || int(p.PartKey) > g.NumParts() {
+			t.Fatalf("partkey %d", p.PartKey)
+		}
+		if p.Size < 1 || p.Size > 50 {
+			t.Fatalf("size %d", p.Size)
+		}
+		if p.Brand < 0 || int(p.Brand) >= len(Brands) {
+			t.Fatalf("brand %d", p.Brand)
+		}
+		return true
+	})
+	if n != g.NumParts() || n != 200 {
+		t.Fatalf("parts %d", n)
+	}
+}
+
+func TestExtraTablesDeterministic(t *testing.T) {
+	cfg := Config{SF: 0.005, Seed: 9}
+	var a, b []Customer
+	NewGen(cfg).Customers(func(c Customer) bool { a = append(a, c); return true })
+	NewGen(cfg).Customers(func(c Customer) bool { b = append(b, c); return true })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestExtraTablesEarlyStop(t *testing.T) {
+	g := NewGen(Config{SF: 0.01, Seed: 5})
+	n := 0
+	g.Parts(func(Part) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop at %d", n)
+	}
+	n = 0
+	g.Customers(func(Customer) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop at %d", n)
+	}
+}

@@ -1,0 +1,255 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Row types mirror the TPC-H columns the four evaluation queries touch.
+// Keys are 1-based like dbgen's.
+
+// Region is one row of REGION (5 rows).
+type Region struct {
+	RegionKey int32
+	Name      string
+}
+
+// Nation is one row of NATION (25 rows).
+type Nation struct {
+	NationKey int32
+	RegionKey int32
+	Name      string
+}
+
+// Supplier is one row of SUPPLIER (10000 * SF rows).
+type Supplier struct {
+	SuppKey   int32
+	NationKey int32
+	// AcctBal stands in for the remaining payload columns.
+	AcctBal int64
+}
+
+// Order is one row of ORDERS (150000 * SF rows).
+type Order struct {
+	OrderKey     int64
+	CustKey      int32
+	ShipPriority int8 // index into ShipPriorities
+	TotalPrice   int64
+}
+
+// Lineitem is one row of LINEITEM (~600000 * SF rows). ShipDate is a
+// day offset from the epoch of the TPC-H date range, which keeps band
+// predicates pure integer arithmetic.
+type Lineitem struct {
+	OrderKey      int64
+	SuppKey       int32
+	Quantity      int8
+	ShipDate      int32
+	ShipMode      int8 // index into ShipModes
+	ShipInstruct  int8 // index into ShipInstructs
+	ExtendedPrice int64
+}
+
+// Domain constants from the TPC-H specification.
+var (
+	RegionNames    = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	ShipModes      = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	ShipInstructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	ShipPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+)
+
+// ShipModeIdx resolves a mode string to its index; -1 if unknown.
+func ShipModeIdx(s string) int8 {
+	for i, m := range ShipModes {
+		if m == s {
+			return int8(i)
+		}
+	}
+	return -1
+}
+
+// ShipInstructIdx resolves an instruction string to its index.
+func ShipInstructIdx(s string) int8 {
+	for i, m := range ShipInstructs {
+		if m == s {
+			return int8(i)
+		}
+	}
+	return -1
+}
+
+// ShipDateDays is the span of l_shipdate in days (1992-01-01 through
+// 1998-12-01, as in the TPC-H spec).
+const ShipDateDays = 2526
+
+// Config controls a deterministic generator run.
+type Config struct {
+	// SF is the scale factor; 1.0 corresponds to TPC-H SF1 row counts.
+	// The evaluation uses fractional SFs so datasets fit in one process.
+	SF float64
+	// Zipf is the skew exponent z applied to the foreign keys l_suppkey
+	// and l_orderkey (and o_custkey), following [11]. 0 means uniform.
+	Zipf float64
+	// Seed makes runs reproducible; generators with the same Config
+	// produce identical data.
+	Seed int64
+}
+
+// Counts returns the table cardinalities for the configuration.
+func (c Config) Counts() (suppliers, orders, lineitems int) {
+	suppliers = max(1, int(10000*c.SF))
+	orders = max(1, int(150000*c.SF))
+	lineitems = max(1, int(600000*c.SF))
+	return
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Gen is a deterministic generator of the five tables.
+type Gen struct {
+	cfg       Config
+	suppliers int
+	orders    int
+	lineitems int
+}
+
+// NewGen returns a generator for the configuration.
+func NewGen(cfg Config) *Gen {
+	if cfg.SF <= 0 {
+		panic(fmt.Sprintf("tpch: non-positive scale factor %v", cfg.SF))
+	}
+	g := &Gen{cfg: cfg}
+	g.suppliers, g.orders, g.lineitems = cfg.Counts()
+	return g
+}
+
+// Config returns the generator's configuration.
+func (g *Gen) Config() Config { return g.cfg }
+
+// NumSuppliers returns |SUPPLIER|.
+func (g *Gen) NumSuppliers() int { return g.suppliers }
+
+// NumOrders returns |ORDERS|.
+func (g *Gen) NumOrders() int { return g.orders }
+
+// NumLineitems returns |LINEITEM|.
+func (g *Gen) NumLineitems() int { return g.lineitems }
+
+// Regions yields the five REGION rows.
+func (g *Gen) Regions(yield func(Region) bool) {
+	for i, name := range RegionNames {
+		if !yield(Region{RegionKey: int32(i), Name: name}) {
+			return
+		}
+	}
+}
+
+// Nations yields the 25 NATION rows, five per region.
+func (g *Gen) Nations(yield func(Nation) bool) {
+	names := []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+		"ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+		"IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+		"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+		"RUSSIA", "SAUDI ARABIA", "VIETNAM", "UNITED KINGDOM", "UNITED STATES",
+	}
+	for i, name := range names {
+		if !yield(Nation{NationKey: int32(i), RegionKey: int32(i % 5), Name: name}) {
+			return
+		}
+	}
+}
+
+// Suppliers yields |SUPPLIER| rows with uniformly distributed nations.
+func (g *Gen) Suppliers(yield func(Supplier) bool) {
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ 0x5afe))
+	for k := 1; k <= g.suppliers; k++ {
+		s := Supplier{
+			SuppKey:   int32(k),
+			NationKey: int32(rng.Intn(25)),
+			AcctBal:   rng.Int63n(1000000),
+		}
+		if !yield(s) {
+			return
+		}
+	}
+}
+
+// Orders yields |ORDERS| rows. Order keys are sequential; custkey is
+// Zipf-skewed; priority is uniform over the five priorities.
+func (g *Gen) Orders(yield func(Order) bool) {
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ 0x0bde5))
+	custZipf := NewZipf(rng, max(1, g.orders/10), g.cfg.Zipf)
+	for k := 1; k <= g.orders; k++ {
+		o := Order{
+			OrderKey:     int64(k),
+			CustKey:      int32(custZipf.Next()),
+			ShipPriority: int8(rng.Intn(len(ShipPriorities))),
+			TotalPrice:   rng.Int63n(500000),
+		}
+		if !yield(o) {
+			return
+		}
+	}
+}
+
+// Lineitems yields |LINEITEM| rows. The two join keys the evaluation
+// stresses — l_suppkey (EQ5/EQ7) and l_orderkey (BNCI, Fluct-Join) —
+// are Zipf-skewed with exponent z, reproducing the skewed TPC-D
+// databases of [11]: under Z4 a handful of suppliers receive a large
+// fraction of all lineitems, which is precisely what breaks
+// content-sensitive partitioning.
+func (g *Gen) Lineitems(yield func(Lineitem) bool) {
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ 0x11fe17e))
+	suppZipf := NewZipf(rng, g.suppliers, g.cfg.Zipf)
+	orderZipf := NewZipf(rng, g.orders, g.cfg.Zipf)
+	for i := 0; i < g.lineitems; i++ {
+		l := Lineitem{
+			OrderKey:      int64(orderZipf.Next()),
+			SuppKey:       int32(suppZipf.Next()),
+			Quantity:      int8(1 + rng.Intn(50)),
+			ShipDate:      int32(rng.Intn(ShipDateDays)),
+			ShipMode:      int8(rng.Intn(len(ShipModes))),
+			ShipInstruct:  int8(rng.Intn(len(ShipInstructs))),
+			ExtendedPrice: rng.Int63n(100000),
+		}
+		if !yield(l) {
+			return
+		}
+	}
+}
+
+// SupplierNationRegion is a materialized row of the intermediate
+// Region ⋈ Nation ⋈ Supplier result that EQ5 and EQ7 stream against
+// LINEITEM ("all intermediate results are materialized before online
+// processing", §5).
+type SupplierNationRegion struct {
+	SuppKey   int32
+	NationKey int32
+	RegionKey int32
+}
+
+// SupplierSide materializes Region ⋈ Nation ⋈ Supplier, optionally
+// restricted to one region (-1 keeps all regions, as in EQ7's S ⋈ N).
+func (g *Gen) SupplierSide(regionKey int32) []SupplierNationRegion {
+	nationRegion := make(map[int32]int32, 25)
+	g.Nations(func(n Nation) bool {
+		nationRegion[n.NationKey] = n.RegionKey
+		return true
+	})
+	var out []SupplierNationRegion
+	g.Suppliers(func(s Supplier) bool {
+		rk := nationRegion[s.NationKey]
+		if regionKey >= 0 && rk != regionKey {
+			return true
+		}
+		out = append(out, SupplierNationRegion{SuppKey: s.SuppKey, NationKey: s.NationKey, RegionKey: rk})
+		return true
+	})
+	return out
+}

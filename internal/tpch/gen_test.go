@@ -1,0 +1,222 @@
+package tpch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestZipfUniformWhenZZero(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 10, 0)
+	counts := make([]int, 11)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v < 1 || v > 10 {
+			t.Fatalf("sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v := 1; v <= 10; v++ {
+		frac := float64(counts[v]) / 100000
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Errorf("value %d frequency %.3f far from 0.1", v, frac)
+		}
+	}
+}
+
+func TestZipfSkewConcentratesMass(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(2)), 1000, 1.0)
+	head := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if z.Next() <= 10 {
+			head++
+		}
+	}
+	frac := float64(head) / n
+	// Under z=1 with N=1000, the top 10 values carry H(10)/H(1000) ≈ 39%.
+	if frac < 0.30 || frac > 0.50 {
+		t.Fatalf("top-10 mass %.3f, want ≈0.39", frac)
+	}
+}
+
+func TestZipfPSumsToOne(t *testing.T) {
+	for _, zz := range []float64{0, 0.5, 1.0} {
+		z := NewZipf(rand.New(rand.NewSource(3)), 50, zz)
+		sum := 0.0
+		for i := 1; i <= 50; i++ {
+			sum += z.P(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("z=%v: P sums to %v", zz, sum)
+		}
+		if z.P(0) != 0 || z.P(51) != 0 {
+			t.Errorf("z=%v: out-of-domain P nonzero", zz)
+		}
+	}
+}
+
+func TestZipfPMonotone(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(4)), 100, 0.75)
+	for i := 1; i < 100; i++ {
+		if z.P(i) < z.P(i+1)-1e-12 {
+			t.Fatalf("P(%d)=%v < P(%d)=%v", i, z.P(i), i+1, z.P(i+1))
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(rand.New(rand.NewSource(1)), 0, 1) },
+		func() { NewZipf(rand.New(rand.NewSource(1)), 10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSkewNames(t *testing.T) {
+	if SkewZ("Z0") != 0 || SkewZ("Z4") != 1.0 || SkewZ("Z2") != 0.5 {
+		t.Error("skew name mapping wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown skew")
+		}
+	}()
+	SkewZ("Z9")
+}
+
+func TestGenDeterminism(t *testing.T) {
+	cfg := Config{SF: 0.001, Zipf: 0.5, Seed: 42}
+	var a, b []Lineitem
+	NewGen(cfg).Lineitems(func(l Lineitem) bool { a = append(a, l); return true })
+	NewGen(cfg).Lineitems(func(l Lineitem) bool { b = append(b, l); return true })
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenCounts(t *testing.T) {
+	g := NewGen(Config{SF: 0.01, Seed: 1})
+	if g.NumSuppliers() != 100 || g.NumOrders() != 1500 || g.NumLineitems() != 6000 {
+		t.Fatalf("counts %d/%d/%d", g.NumSuppliers(), g.NumOrders(), g.NumLineitems())
+	}
+	n := 0
+	g.Regions(func(Region) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("regions %d", n)
+	}
+	n = 0
+	g.Nations(func(Nation) bool { n++; return true })
+	if n != 25 {
+		t.Fatalf("nations %d", n)
+	}
+}
+
+func TestGenFieldDomains(t *testing.T) {
+	g := NewGen(Config{SF: 0.002, Zipf: 1.0, Seed: 7})
+	g.Lineitems(func(l Lineitem) bool {
+		if l.SuppKey < 1 || int(l.SuppKey) > g.NumSuppliers() {
+			t.Fatalf("suppkey %d out of range", l.SuppKey)
+		}
+		if l.OrderKey < 1 || int(l.OrderKey) > g.NumOrders() {
+			t.Fatalf("orderkey %d out of range", l.OrderKey)
+		}
+		if l.Quantity < 1 || l.Quantity > 50 {
+			t.Fatalf("quantity %d", l.Quantity)
+		}
+		if l.ShipDate < 0 || l.ShipDate >= ShipDateDays {
+			t.Fatalf("shipdate %d", l.ShipDate)
+		}
+		if l.ShipMode < 0 || int(l.ShipMode) >= len(ShipModes) {
+			t.Fatalf("shipmode %d", l.ShipMode)
+		}
+		return true
+	})
+	g.Orders(func(o Order) bool {
+		if o.ShipPriority < 0 || int(o.ShipPriority) >= len(ShipPriorities) {
+			t.Fatalf("priority %d", o.ShipPriority)
+		}
+		return true
+	})
+}
+
+// Under skew, the most popular supplier key must dominate; under
+// uniform it must not.
+func TestGenSkewEffectOnSuppKey(t *testing.T) {
+	freqTop := func(z float64) float64 {
+		g := NewGen(Config{SF: 0.01, Zipf: z, Seed: 11})
+		counts := make(map[int32]int)
+		total := 0
+		g.Lineitems(func(l Lineitem) bool {
+			counts[l.SuppKey]++
+			total++
+			return true
+		})
+		maxN := 0
+		for _, n := range counts {
+			if n > maxN {
+				maxN = n
+			}
+		}
+		return float64(maxN) / float64(total)
+	}
+	uniform := freqTop(0)
+	skewed := freqTop(1.0)
+	if skewed < 5*uniform {
+		t.Fatalf("skewed top frequency %.4f not much larger than uniform %.4f", skewed, uniform)
+	}
+}
+
+func TestSupplierSideRegionFilter(t *testing.T) {
+	g := NewGen(Config{SF: 0.01, Seed: 3})
+	all := g.SupplierSide(-1)
+	if len(all) != g.NumSuppliers() {
+		t.Fatalf("unfiltered supplier side %d rows", len(all))
+	}
+	asia := g.SupplierSide(2) // ASIA
+	if len(asia) == 0 || len(asia) >= len(all) {
+		t.Fatalf("asia filter kept %d of %d", len(asia), len(all))
+	}
+	for _, s := range asia {
+		if s.RegionKey != 2 {
+			t.Fatalf("row with region %d survived filter", s.RegionKey)
+		}
+	}
+}
+
+func TestStringIndexHelpers(t *testing.T) {
+	if ShipModeIdx("TRUCK") < 0 || ShipModes[ShipModeIdx("TRUCK")] != "TRUCK" {
+		t.Error("TRUCK index")
+	}
+	if ShipModeIdx("WARP") != -1 {
+		t.Error("unknown mode should be -1")
+	}
+	if ShipInstructIdx("NONE") < 0 || ShipInstructs[ShipInstructIdx("NONE")] != "NONE" {
+		t.Error("NONE index")
+	}
+	if ShipInstructIdx("???") != -1 {
+		t.Error("unknown instruct should be -1")
+	}
+}
+
+func TestNewGenPanicsOnBadSF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewGen(Config{SF: 0})
+}

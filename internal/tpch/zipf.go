@@ -1,0 +1,87 @@
+// Package tpch generates the subset of the TPC-H benchmark the paper's
+// evaluation uses (Region, Nation, Supplier, Orders, Lineitem), with
+// Zipf-skewed foreign keys following the skewed TPC-D generator of
+// Chaudhuri and Narasayya that the paper employs ("the degree of skew
+// is adjusted by choosing a value for the Zipf skew parameter z", §5).
+// Generation is fully deterministic given (scale, skew, seed), so every
+// experiment is reproducible.
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples integers in [1, N] with P(i) proportional to 1/i^z.
+// Unlike math/rand's Zipf it supports the full range 0 <= z <= ~4 used
+// by the paper's skew settings Z0..Z4 (z = 0, 0.25, 0.5, 0.75, 1.0);
+// z = 0 degenerates to the uniform distribution.
+type Zipf struct {
+	n   int
+	z   float64
+	cum []float64 // cum[i] = P(X <= i+1)
+	rng *rand.Rand
+}
+
+// NewZipf returns a sampler over [1, n] with exponent z, driven by rng.
+func NewZipf(rng *rand.Rand, n int, z float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("tpch: Zipf domain %d", n))
+	}
+	if z < 0 {
+		panic(fmt.Sprintf("tpch: negative Zipf exponent %v", z))
+	}
+	zf := &Zipf{n: n, z: z, rng: rng}
+	if z == 0 {
+		return zf // uniform fast path, no table
+	}
+	zf.cum = make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), z)
+		zf.cum[i-1] = sum
+	}
+	for i := range zf.cum {
+		zf.cum[i] /= sum
+	}
+	return zf
+}
+
+// Next draws one sample in [1, n].
+func (zf *Zipf) Next() int {
+	if zf.z == 0 {
+		return 1 + zf.rng.Intn(zf.n)
+	}
+	u := zf.rng.Float64()
+	return 1 + sort.SearchFloat64s(zf.cum, u)
+}
+
+// P returns the probability of value i (1-based).
+func (zf *Zipf) P(i int) float64 {
+	if i < 1 || i > zf.n {
+		return 0
+	}
+	if zf.z == 0 {
+		return 1 / float64(zf.n)
+	}
+	if i == 1 {
+		return zf.cum[0]
+	}
+	return zf.cum[i-1] - zf.cum[i-2]
+}
+
+// SkewName maps the paper's setting names Z0..Z4 to Zipf exponents.
+var SkewName = map[string]float64{
+	"Z0": 0, "Z1": 0.25, "Z2": 0.5, "Z3": 0.75, "Z4": 1.0,
+}
+
+// SkewZ returns the exponent for a Zi name, panicking on unknown names.
+func SkewZ(name string) float64 {
+	z, ok := SkewName[name]
+	if !ok {
+		panic(fmt.Sprintf("tpch: unknown skew setting %q", name))
+	}
+	return z
+}

@@ -1,0 +1,355 @@
+// Package workload defines the paper's evaluation queries (§5,
+// Table 1): the TPC-H equi-joins EQ5 and EQ7 (the most expensive join
+// of Q5 and Q7, with the supplier-side intermediate materialized, as
+// in the paper), the synthetic band joins BCI (computation-intensive,
+// high selectivity) and BNCI (low selectivity), and the Fluct-Join
+// query of §5.4. Each query pre-extracts its join attribute into
+// Tuple.Key and applies per-side filters at generation time, so the
+// operator predicate is purely structural.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/join"
+	"repro/internal/matrix"
+	"repro/internal/tpch"
+)
+
+// Query binds a predicate to its two input streams over a TPC-H
+// database.
+type Query struct {
+	// Name is the paper's query label.
+	Name string
+	// Pred is the operator predicate.
+	Pred join.Predicate
+	// MatchWidth drives sim output counting: 0 equi, >0 band width.
+	MatchWidth int64
+	// SizeR / SizeS are per-tuple byte sizes for ILF accounting,
+	// approximating the materialized row widths.
+	SizeR, SizeS int32
+	// rows generates the interleaved tuple stream.
+	rows func(g *tpch.Gen, yield func(join.Tuple) bool)
+}
+
+// Stream yields the query's interleaved R and S tuples over the
+// database produced by g. The interleaving is deterministic: both
+// relations advance proportionally to their cardinalities, modeling
+// simultaneous arrival.
+func (q Query) Stream(g *tpch.Gen, yield func(join.Tuple) bool) { q.rows(g, yield) }
+
+// Cardinalities returns |R| and |S| for the query on a database.
+func (q Query) Cardinalities(g *tpch.Gen) (r, s int64) {
+	q.Stream(g, func(t join.Tuple) bool {
+		if t.Rel == matrix.SideR {
+			r++
+		} else {
+			s++
+		}
+		return true
+	})
+	return
+}
+
+func (q Query) String() string { return q.Name }
+
+// interleave merges a materialized R side with a streamed S side so
+// that both finish together (Bresenham-style proportional merge).
+func interleave(rs []join.Tuple, ns int, nextS func() (join.Tuple, bool), yield func(join.Tuple) bool) {
+	nr := len(rs)
+	if ns <= 0 {
+		for _, t := range rs {
+			if !yield(t) {
+				return
+			}
+		}
+		return
+	}
+	ri, acc := 0, 0
+	for i := 0; i < ns; i++ {
+		acc += nr
+		for acc >= ns && ri < nr {
+			if !yield(rs[ri]) {
+				return
+			}
+			ri++
+			acc -= ns
+		}
+		t, ok := nextS()
+		if !ok {
+			break
+		}
+		if !yield(t) {
+			return
+		}
+	}
+	for ; ri < nr; ri++ {
+		if !yield(rs[ri]) {
+			return
+		}
+	}
+}
+
+// lineitemStream adapts the Lineitem generator into a pull-based
+// iterator with a per-row filter and key extractor. The returned stop
+// function releases the producer goroutine if the consumer abandons
+// the stream early.
+func lineitemStream(g *tpch.Gen, keep func(tpch.Lineitem) bool, key func(tpch.Lineitem) int64, size int32) (next func() (join.Tuple, bool), n int, stop func()) {
+	g.Lineitems(func(l tpch.Lineitem) bool {
+		if keep(l) {
+			n++
+		}
+		return true
+	})
+	ch := make(chan join.Tuple, 1024)
+	quit := make(chan struct{})
+	go func() {
+		defer close(ch)
+		g.Lineitems(func(l tpch.Lineitem) bool {
+			if !keep(l) {
+				return true
+			}
+			select {
+			case ch <- join.Tuple{Rel: matrix.SideS, Key: key(l), Aux: int64(l.Quantity), Size: size}:
+				return true
+			case <-quit:
+				return false
+			}
+		})
+	}()
+	next = func() (join.Tuple, bool) {
+		t, ok := <-ch
+		return t, ok
+	}
+	var stopped bool
+	stop = func() {
+		if !stopped {
+			stopped = true
+			close(quit)
+		}
+	}
+	return next, n, stop
+}
+
+// EQ5 is the most expensive join of TPC-H Q5:
+// (Region ⋈ Nation ⋈ Supplier) ⋈ Lineitem on suppkey, with the region
+// restricted (ASIA), intermediate materialized.
+func EQ5() Query {
+	const sizeR, sizeS = 16, 120
+	return Query{
+		Name:       "EQ5",
+		Pred:       join.EquiJoin("EQ5", nil),
+		MatchWidth: 0,
+		SizeR:      sizeR, SizeS: sizeS,
+		rows: func(g *tpch.Gen, yield func(join.Tuple) bool) {
+			var rs []join.Tuple
+			for _, row := range g.SupplierSide(2) { // ASIA
+				rs = append(rs, join.Tuple{Rel: matrix.SideR, Key: int64(row.SuppKey), Size: sizeR})
+			}
+			next, n, stop := lineitemStream(g,
+				func(tpch.Lineitem) bool { return true },
+				func(l tpch.Lineitem) int64 { return int64(l.SuppKey) }, sizeS)
+			defer stop()
+			interleave(rs, n, next, yield)
+		},
+	}
+}
+
+// EQ7 is the most expensive join of TPC-H Q7:
+// (Supplier ⋈ Nation) ⋈ Lineitem on suppkey, with Q7's nation
+// restriction (FRANCE/GERMANY) applied to the supplier side — which is
+// why the paper's EQ7 intermediate is small relative to Lineitem.
+func EQ7() Query {
+	const sizeR, sizeS = 16, 120
+	return Query{
+		Name:       "EQ7",
+		Pred:       join.EquiJoin("EQ7", nil),
+		MatchWidth: 0,
+		SizeR:      sizeR, SizeS: sizeS,
+		rows: func(g *tpch.Gen, yield func(join.Tuple) bool) {
+			var rs []join.Tuple
+			for _, row := range g.SupplierSide(-1) {
+				if n := row.NationKey; n != 6 && n != 7 { // FRANCE, GERMANY
+					continue
+				}
+				rs = append(rs, join.Tuple{Rel: matrix.SideR, Key: int64(row.SuppKey), Size: sizeR})
+			}
+			next, n, stop := lineitemStream(g,
+				func(tpch.Lineitem) bool { return true },
+				func(l tpch.Lineitem) int64 { return int64(l.SuppKey) }, sizeS)
+			defer stop()
+			interleave(rs, n, next, yield)
+		},
+	}
+}
+
+// BCI is the computation-intensive band join of §5:
+//
+//	SELECT * FROM LINEITEM L1, LINEITEM L2
+//	WHERE ABS(L1.shipdate - L2.shipdate) <= 1
+//	  AND L1.shipmode='TRUCK' AND L2.shipmode!='TRUCK'
+//	  AND L1.Quantity > 45
+//
+// Its output is orders of magnitude larger than its input.
+func BCI() Query {
+	const size = 120
+	truck := tpch.ShipModeIdx("TRUCK")
+	return Query{
+		Name:       "BCI",
+		Pred:       join.BandJoin("BCI", 1, nil),
+		MatchWidth: 1,
+		SizeR:      size, SizeS: size,
+		rows: func(g *tpch.Gen, yield func(join.Tuple) bool) {
+			var rs []join.Tuple
+			g.Lineitems(func(l tpch.Lineitem) bool {
+				if l.ShipMode == truck && l.Quantity > 45 {
+					rs = append(rs, join.Tuple{Rel: matrix.SideR, Key: int64(l.ShipDate), Aux: int64(l.Quantity), Size: size})
+				}
+				return true
+			})
+			next, n, stop := lineitemStream(g,
+				func(l tpch.Lineitem) bool { return l.ShipMode != truck },
+				func(l tpch.Lineitem) int64 { return int64(l.ShipDate) }, size)
+			defer stop()
+			interleave(rs, n, next, yield)
+		},
+	}
+}
+
+// BNCI is the low-selectivity band join of §5:
+//
+//	SELECT * FROM LINEITEM L1, LINEITEM L2
+//	WHERE ABS(L1.orderkey - L2.orderkey) <= 1
+//	  AND L1.shipmode='TRUCK' AND L2.shipinstruct='NONE'
+//	  AND L1.Quantity > 48
+//
+// Its output is an order of magnitude smaller than its input.
+func BNCI() Query {
+	const size = 120
+	truck := tpch.ShipModeIdx("TRUCK")
+	none := tpch.ShipInstructIdx("NONE")
+	return Query{
+		Name:       "BNCI",
+		Pred:       join.BandJoin("BNCI", 1, nil),
+		MatchWidth: 1,
+		SizeR:      size, SizeS: size,
+		rows: func(g *tpch.Gen, yield func(join.Tuple) bool) {
+			var rs []join.Tuple
+			g.Lineitems(func(l tpch.Lineitem) bool {
+				if l.ShipMode == truck && l.Quantity > 48 {
+					rs = append(rs, join.Tuple{Rel: matrix.SideR, Key: l.OrderKey, Aux: int64(l.Quantity), Size: size})
+				}
+				return true
+			})
+			next, n, stop := lineitemStream(g,
+				func(l tpch.Lineitem) bool { return l.ShipInstruct == none },
+				func(l tpch.Lineitem) int64 { return l.OrderKey }, size)
+			defer stop()
+			interleave(rs, n, next, yield)
+		},
+	}
+}
+
+// FluctJoin is the §5.4 query:
+//
+//	SELECT * FROM ORDERS O, LINEITEM L
+//	WHERE O.orderkey = L.orderkey
+//	  AND O.shippriority NOT IN ('5-LOW', '1-URGENT')
+//
+// The fluctuating arrival schedule (cardinality ratio alternating
+// between k and 1/k) is produced by FluctStream.
+func FluctJoin() Query {
+	const sizeR, sizeS = 32, 120
+	return Query{
+		Name:       "Fluct-Join",
+		Pred:       join.EquiJoin("Fluct-Join", nil),
+		MatchWidth: 0,
+		SizeR:      sizeR, SizeS: sizeS,
+		rows: func(g *tpch.Gen, yield func(join.Tuple) bool) {
+			orders := fluctOrders(g, sizeR)
+			next, n, stop := lineitemStream(g,
+				func(tpch.Lineitem) bool { return true },
+				func(l tpch.Lineitem) int64 { return l.OrderKey }, sizeS)
+			defer stop()
+			interleave(orders, n, next, yield)
+		},
+	}
+}
+
+func fluctOrders(g *tpch.Gen, size int32) []join.Tuple {
+	var out []join.Tuple
+	g.Orders(func(o tpch.Order) bool {
+		p := tpch.ShipPriorities[o.ShipPriority]
+		if p != "5-LOW" && p != "1-URGENT" {
+			out = append(out, join.Tuple{Rel: matrix.SideR, Key: o.OrderKey, Size: size})
+		}
+		return true
+	})
+	return out
+}
+
+// FluctStream yields Fluct-Join's tuples under the §5.4 schedule: data
+// streams from one relation until its cardinality is k times the
+// other's, then the roles swap, until both relations are exhausted.
+func FluctStream(g *tpch.Gen, k int64, yield func(join.Tuple) bool) {
+	if k < 1 {
+		panic(fmt.Sprintf("workload: fluctuation factor %d < 1", k))
+	}
+	orders := fluctOrders(g, 32)
+	next, _, stop := lineitemStream(g,
+		func(tpch.Lineitem) bool { return true },
+		func(l tpch.Lineitem) int64 { return l.OrderKey }, 120)
+	defer stop()
+
+	var nr, ns int64
+	ri := 0
+	side := matrix.SideR
+	sDone := false
+	for ri < len(orders) || !sDone {
+		switch side {
+		case matrix.SideR:
+			if ri >= len(orders) {
+				side = matrix.SideS
+				continue
+			}
+			if !yield(orders[ri]) {
+				return
+			}
+			ri++
+			nr++
+			if nr > k*ns {
+				side = matrix.SideS
+			}
+		default:
+			if sDone {
+				side = matrix.SideR
+				continue
+			}
+			t, ok := next()
+			if !ok {
+				sDone = true
+				continue
+			}
+			if !yield(t) {
+				return
+			}
+			ns++
+			if ns > k*nr {
+				side = matrix.SideR
+			}
+		}
+	}
+}
+
+// All returns the four main evaluation queries.
+func All() []Query { return []Query{EQ5(), EQ7(), BNCI(), BCI()} }
+
+// ByName returns the query with the given name.
+func ByName(name string) (Query, bool) {
+	for _, q := range append(All(), FluctJoin()) {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return Query{}, false
+}

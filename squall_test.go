@@ -1,0 +1,84 @@
+package squall_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	squall "repro"
+)
+
+// The facade quickstart must work verbatim.
+func TestFacadeQuickstart(t *testing.T) {
+	var n atomic.Int64
+	op := squall.NewOperator(squall.Config{
+		J:        16,
+		Pred:     squall.EquiJoin("orders", nil),
+		Adaptive: true,
+		Emit:     func(p squall.Pair) { n.Add(1) },
+	})
+	op.Start()
+	op.Send(squall.Tuple{Rel: squall.SideR, Key: 42})
+	op.Send(squall.Tuple{Rel: squall.SideS, Key: 42})
+	op.Send(squall.Tuple{Rel: squall.SideS, Key: 7})
+	if err := op.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 1 {
+		t.Fatalf("emitted %d, want 1", n.Load())
+	}
+}
+
+func TestFacadeMappingHelpers(t *testing.T) {
+	if squall.SquareMapping(64) != (squall.Mapping{N: 8, M: 8}) {
+		t.Fatal("SquareMapping")
+	}
+	if squall.OptimalMapping(64, 1, 1000) != (squall.Mapping{N: 1, M: 64}) {
+		t.Fatal("OptimalMapping")
+	}
+}
+
+func TestFacadeSim(t *testing.T) {
+	sim := squall.NewSim(squall.SimConfig{J: 16, Adaptive: true, MatchWidth: -1})
+	for i := 0; i < 10000; i++ {
+		sim.Process(squall.SideS, 0)
+	}
+	res := sim.Finish()
+	if res.Final != (squall.Mapping{N: 1, M: 16}) {
+		t.Fatalf("sim final %v", res.Final)
+	}
+}
+
+func TestFacadeSHJ(t *testing.T) {
+	var n atomic.Int64
+	shj := squall.NewSHJ(squall.SHJConfig{
+		J: 4, Pred: squall.EquiJoin("eq", nil),
+		Emit: func(squall.Pair) { n.Add(1) },
+	})
+	shj.Start()
+	shj.Send(squall.Tuple{Rel: squall.SideR, Key: 1})
+	shj.Send(squall.Tuple{Rel: squall.SideS, Key: 1})
+	if err := shj.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 1 {
+		t.Fatalf("emitted %d", n.Load())
+	}
+}
+
+func TestFacadeGrouped(t *testing.T) {
+	var n atomic.Int64
+	gr := squall.NewGrouped(squall.GroupedConfig{
+		J: 5, Pred: squall.BandJoin("band", 1, nil),
+		Emit: func(squall.Pair) { n.Add(1) },
+	})
+	gr.Start()
+	gr.Send(squall.Tuple{Rel: squall.SideR, Key: 10})
+	gr.Send(squall.Tuple{Rel: squall.SideS, Key: 11})
+	gr.Send(squall.Tuple{Rel: squall.SideS, Key: 20})
+	if err := gr.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 1 {
+		t.Fatalf("emitted %d", n.Load())
+	}
+}
