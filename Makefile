@@ -1,0 +1,30 @@
+# Targets mirror the CI jobs in .github/workflows/ci.yml so local and
+# CI invocations are identical.
+
+GO ?= go
+
+.PHONY: all build test race bench lint fmt
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark suite; CI runs the 1x smoke variant of the same set.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .

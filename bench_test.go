@@ -227,6 +227,46 @@ func BenchmarkOperatorEquiThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkOperatorIngest measures the reshuffler->joiner message
+// plane end to end at different batch sizes: batch=1 is the seed's
+// per-message plane, batch=32 the default batched plane. The ns/op gap
+// is the amortized per-tuple synchronization cost the batching removes
+// (the PR-1 trajectory point in BENCH_PR1.json).
+func BenchmarkOperatorIngest(b *testing.B) {
+	for _, bs := range []int{1, 32, 64, 128} {
+		bs := bs
+		b.Run("batch="+strconv.Itoa(bs), func(b *testing.B) {
+			// Pre-build the stream so the timed region is purely the
+			// operator: Send through Finish (full pipeline drain), which
+			// keeps ns/op stable regardless of backpressure phase.
+			rng := rand.New(rand.NewSource(1))
+			tuples := make([]squall.Tuple, b.N)
+			for i := range tuples {
+				side := squall.SideR
+				if i%2 == 1 {
+					side = squall.SideS
+				}
+				tuples[i] = squall.Tuple{Rel: side, Key: rng.Int63n(1 << 20), Size: 8}
+			}
+			var n atomic.Int64
+			op := squall.NewOperator(squall.Config{
+				J: 16, Pred: squall.EquiJoin("bench", nil), BatchSize: bs, Seed: 1,
+				Emit: func(squall.Pair) { n.Add(1) },
+			})
+			op.Start()
+			b.ResetTimer()
+			for i := range tuples {
+				op.Send(tuples[i])
+			}
+			if err := op.Finish(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(op.Metrics().MeanBatchSize(), "msgs/batch")
+		})
+	}
+}
+
 // BenchmarkSimProcess measures the deterministic simulator's per-tuple
 // cost (the experiment harness hot path).
 func BenchmarkSimProcess(b *testing.B) {

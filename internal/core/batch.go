@@ -1,0 +1,42 @@
+package core
+
+import "sync"
+
+// The data plane ships messages in batches: a reshuffler accumulates a
+// per-destination []message buffer and pushes the whole slice in one
+// channel operation, so per-tuple synchronization cost is amortized
+// over BatchSize tuples. Buffers cycle through a sync.Pool — the
+// consuming joiner returns each batch after processing it — so steady
+// state runs without per-tuple (or per-batch) allocations.
+//
+// A batch flushes when it is full, when the reshuffler must emit a
+// protocol barrier (epoch signal or EOS: the flush is what preserves
+// the per-link FIFO separation of old-epoch from new-epoch tuples),
+// when the reshuffler goes idle, and when the linger budget expires.
+
+// batchPool recycles batch buffers between reshufflers (producers) and
+// joiners (consumers). It stores slice headers by pointer so Put does
+// not allocate.
+var batchPool = sync.Pool{
+	New: func() any { return new([]message) },
+}
+
+// getBatch returns an empty buffer with at least capHint capacity.
+func getBatch(capHint int) []message {
+	b := *(batchPool.Get().(*[]message))
+	if cap(b) < capHint {
+		return make([]message, 0, capHint)
+	}
+	return b[:0]
+}
+
+// putBatch recycles a consumed batch. Elements are cleared first so
+// recycled buffers do not pin tuple payloads.
+func putBatch(b []message) {
+	if cap(b) == 0 {
+		return
+	}
+	clear(b)
+	b = b[:0]
+	batchPool.Put(&b)
+}

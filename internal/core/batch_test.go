@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/join"
+	"repro/internal/matrix"
+)
+
+// The batched message plane must be invisible to the join semantics:
+// any batch size yields exactly the reference output, batch size 1
+// being the degenerate per-message plane of the seed.
+func TestBatchSizesProduceIdenticalResults(t *testing.T) {
+	pred := join.EquiJoin("eq", nil)
+	rng := rand.New(rand.NewSource(41))
+	tuples := mixedStream(rng, 2500, 2500, 90)
+	want := refCount(pred, tuples)
+	for _, bs := range []int{1, 2, 7, 32, 1024} {
+		got, op := runOperator(t, Config{J: 16, Pred: pred, Seed: 7, BatchSize: bs}, tuples)
+		if got != want {
+			t.Fatalf("BatchSize=%d: emitted %d, reference %d", bs, got, want)
+		}
+		if op.Metrics().BatchesSent.Load() == 0 {
+			t.Fatalf("BatchSize=%d: no batches recorded", bs)
+		}
+	}
+}
+
+// Batch boundaries must respect the epoch protocol: with adaptive
+// migrations mid-stream, pending batches flush before every epoch
+// signal, so old-epoch tuples never leak past a signal on any link.
+func TestBatchingAdaptiveMigrationExact(t *testing.T) {
+	pred := join.EquiJoin("eq", nil)
+	for _, bs := range []int{4, 32} {
+		rng := rand.New(rand.NewSource(42))
+		var tuples []join.Tuple
+		for i := 0; i < 250; i++ {
+			tuples = append(tuples, join.Tuple{Rel: matrix.SideR, Key: rng.Int63n(60), Size: 8})
+		}
+		for i := 0; i < 11000; i++ {
+			tuples = append(tuples, join.Tuple{Rel: matrix.SideS, Key: rng.Int63n(60), Size: 8})
+		}
+		want := refCount(pred, tuples)
+		got, op := runOperator(t, Config{
+			J: 16, Pred: pred, Adaptive: true, Warmup: 500, Seed: 11, BatchSize: bs,
+		}, tuples)
+		if got != want {
+			t.Fatalf("BatchSize=%d: emitted %d, reference %d (migrations=%d)", bs, got, want, op.Migrations())
+		}
+		if op.Migrations() == 0 {
+			t.Fatalf("BatchSize=%d: expected migrations on a lopsided stream", bs)
+		}
+		if op.Metrics().BatchFlushSignal.Load() == 0 {
+			t.Fatalf("BatchSize=%d: no signal-barrier flushes despite %d migrations", bs, op.Migrations())
+		}
+	}
+}
+
+// Elastic 1-to-4 expansion spawns joiners mid-stream; batches routed to
+// freshly spawned children must arrive after their birth signal.
+func TestBatchingElasticExpansionExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	pred := join.EquiJoin("eq", nil)
+	tuples := mixedStream(rng, 3000, 3000, 80)
+	want := refCount(pred, tuples)
+	got, op := runOperator(t, Config{
+		J: 4, Pred: pred, Adaptive: true, Seed: 17, BatchSize: 16,
+		Warmup:             600,
+		MaxTuplesPerJoiner: 400,
+	}, tuples)
+	if op.Metrics().Expansions.Load() == 0 {
+		t.Fatal("expected an elastic expansion")
+	}
+	if got != want {
+		t.Fatalf("emitted %d, reference %d", got, want)
+	}
+}
+
+// The grouped decomposition (probe-only cross-group traffic) must stay
+// exactly-once across batch sizes, including under migrations.
+func TestBatchingGroupedExact(t *testing.T) {
+	pred := join.EquiJoin("eq", nil)
+	rng := rand.New(rand.NewSource(44))
+	var tuples []join.Tuple
+	for burst := 0; burst < 4; burst++ {
+		side := matrix.SideR
+		if burst%2 == 1 {
+			side = matrix.SideS
+		}
+		for i := 0; i < 1800; i++ {
+			tuples = append(tuples, join.Tuple{Rel: side, Key: rng.Int63n(150), Size: 8})
+		}
+	}
+	want := refCount(pred, tuples)
+	got, gr := runGrouped(t, GroupedConfig{J: 12, Pred: pred, Adaptive: true, Seed: 9}, tuples)
+	if got != want {
+		t.Fatalf("emitted %d, reference %d (migrations=%d)", got, want, gr.Migrations())
+	}
+}
+
+// Under sustained load, full envelopes should dominate the flush mix
+// and the realized mean batch size should comfortably exceed 1.
+func TestBatchMetricsRecorded(t *testing.T) {
+	pred := join.EquiJoin("eq", nil)
+	rng := rand.New(rand.NewSource(45))
+	tuples := mixedStream(rng, 8000, 8000, 1<<20)
+	_, op := runOperator(t, Config{J: 4, Pred: pred, Seed: 5, BatchSize: 16, NumReshufflers: 1}, tuples)
+	m := op.Metrics()
+	if m.BatchesSent.Load() == 0 || m.BatchedMessages.Load() == 0 {
+		t.Fatal("no batch traffic recorded")
+	}
+	if m.BatchFlushFull.Load() == 0 {
+		t.Fatal("no full-envelope flushes under sustained load")
+	}
+	if mean := m.MeanBatchSize(); mean <= 1 {
+		t.Fatalf("mean batch size %.2f, want > 1", mean)
+	}
+}
+
+// Results must not wait for a full envelope: with a huge batch size and
+// a trickle of input, idle/linger flushes deliver pairs promptly while
+// the stream is still open.
+func TestBatchPartialFlushKeepsLatencyHonest(t *testing.T) {
+	var n atomic.Int64
+	op := NewOperator(Config{
+		J: 4, Pred: join.EquiJoin("eq", nil), Seed: 3,
+		BatchSize: 4096, BatchLinger: 100 * time.Microsecond,
+		Emit: func(join.Pair) { n.Add(1) },
+	})
+	op.Start()
+	for i := 0; i < 50; i++ {
+		op.Send(join.Tuple{Rel: matrix.SideR, Key: int64(i), Size: 8})
+		op.Send(join.Tuple{Rel: matrix.SideS, Key: int64(i), Size: 8})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Load() < 50 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := n.Load(); got < 50 {
+		t.Fatalf("only %d/50 pairs delivered before Finish; partial batches not flushing", got)
+	}
+	if err := op.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The data inbox is sized in batches so that buffered message volume
+// stays near DataQueueCap regardless of batch size.
+func TestJoinerPortsCapacityScalesWithBatchSize(t *testing.T) {
+	cases := []struct{ dataCap, batch, want int }{
+		{1024, 1, 1024},
+		{1024, 32, 32},
+		{8, 32, 1},
+		{1000, 3, 333},
+	}
+	for _, c := range cases {
+		p := newJoinerPorts(c.dataCap, c.batch)
+		if got := cap(p.dataIn); got != c.want {
+			t.Fatalf("newJoinerPorts(%d,%d) cap %d, want %d", c.dataCap, c.batch, got, c.want)
+		}
+	}
+}
+
+// Recycled buffers must come back empty and regrow cleanly.
+func TestBatchPoolRoundTrip(t *testing.T) {
+	b := getBatch(8)
+	for i := 0; i < 8; i++ {
+		b = append(b, message{kind: kTuple, tuple: join.Tuple{Key: int64(i), Payload: []byte{1}}})
+	}
+	putBatch(b)
+	b2 := getBatch(8)
+	if len(b2) != 0 {
+		t.Fatalf("pooled batch came back with len %d", len(b2))
+	}
+	b2 = append(b2, message{kind: kEOS})
+	if b2[0].kind != kEOS {
+		t.Fatal("recycled batch corrupt")
+	}
+	putBatch(b2)
+}

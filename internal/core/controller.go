@@ -12,6 +12,14 @@ import (
 // full epoch change acknowledged by every joiner before the next
 // begins; this keeps at most two epochs live at any joiner, the
 // invariant Alg. 3's correctness rests on.
+//
+// Epoch signals ride the same FIFO data links as tuples, so with the
+// batched plane their ordering is a two-step contract: the controller
+// broadcasts ctrlEpoch on the control channels, and every reshuffler
+// flushes its pending per-destination batches before emitting the
+// kSignal envelope (reshuffler.applyCtrl). A joiner therefore still
+// observes all of a reshuffler's old-epoch tuples strictly before that
+// reshuffler's signal, batching notwithstanding.
 type controller struct {
 	dec      *Decider
 	adaptive bool

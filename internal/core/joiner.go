@@ -39,7 +39,7 @@ type joiner struct {
 	state *storage.Store
 	mig   *migState
 
-	dataIn    chan message
+	dataIn    chan []message
 	migIn     *dataflow.Queue[message]
 	migNotify chan struct{}
 
@@ -99,20 +99,53 @@ func (w *joiner) run() error {
 			}
 		}
 		select {
-		case m := <-w.dataIn:
-			w.handle(m)
+		case b := <-w.dataIn:
+			w.handleBatch(b)
 			progressed = true
 		default:
 		}
 		if !progressed {
 			select {
-			case m := <-w.dataIn:
-				w.handle(m)
+			case b := <-w.dataIn:
+				w.handleBatch(b)
 			case <-w.migNotify:
 			}
 		}
 	}
 	return nil
+}
+
+// handleBatch processes one data-plane envelope and recycles its
+// buffer. Per-tuple accounting (ILF counters, stored-state gauges) is
+// amortized to one update per envelope, and the 2:1 migrated-to-new
+// processing ratio (§4.3.2) is kept inside the batch: while a
+// migration is in flight, between consecutive data messages the joiner
+// still services up to two pending migration messages, so a large
+// envelope cannot starve a state exchange. Outside a migration the
+// per-message queue polls are skipped entirely — a kMigBegin can wait
+// out the (bounded) remainder of the envelope.
+func (w *joiner) handleBatch(b []message) {
+	var tuples, bytes int64
+	for i := range b {
+		if i > 0 && w.mig != nil {
+			for k := 0; k < 2; k++ {
+				if m, ok := w.migIn.TryPop(); ok {
+					w.handle(m)
+				}
+			}
+		}
+		if b[i].kind == kTuple {
+			tuples++
+			bytes += b[i].tuple.Bytes()
+		}
+		w.handle(b[i])
+	}
+	if tuples > 0 {
+		w.met.InputTuples.Add(tuples)
+		w.met.InputBytes.Add(bytes)
+	}
+	w.updateStored()
+	putBatch(b)
 }
 
 func (w *joiner) finished() bool { return w.eos >= w.numRe && w.mig == nil }
@@ -235,24 +268,24 @@ func (w *joiner) forwardMig(t join.Tuple, probeOnly bool) {
 // epoch tag: HandleTuple1/HandleTuple2 of Alg. 3 collapse into the two
 // migration branches here because the ∆-branch is unreachable once all
 // signals have arrived.
+// The caller (handleBatch) does the per-envelope ILF accounting and
+// gauge refresh.
 func (w *joiner) onTuple(m message) {
 	t := m.tuple
-	w.met.InputTuples.Add(1)
-	w.met.InputBytes.Add(t.Bytes())
 	switch {
 	case w.mig == nil:
 		if m.epoch != w.epoch {
 			panic(fmt.Sprintf("core: joiner %d: tuple epoch %d outside migration (at %d)", w.id, m.epoch, w.epoch))
 		}
-		w.state.Probe(t, w.emit)
+		w.state.Probe(t, w.pairEmit(t, m.probeOnly))
 		if !m.probeOnly {
 			w.state.Insert(t)
 		}
 	case m.epoch == w.epoch:
 		// ∆: old-epoch arrival during migration (Alg. 3 lines 15-20).
-		w.state.Probe(t, w.emit) // {t} ⋈ (τ ∪ ∆)
+		w.state.Probe(t, w.pairEmit(t, m.probeOnly)) // {t} ⋈ (τ ∪ ∆)
 		if w.mig.keeps(t.Rel, t.U) {
-			w.mig.dp.Probe(t, w.emit) // Keep(∆) ⋈ ∆′
+			w.mig.dp.Probe(t, w.pairEmit(t, m.probeOnly)) // Keep(∆) ⋈ ∆′
 		}
 		w.forwardMig(t, m.probeOnly) // Migrated(∆) to peers
 		if !m.probeOnly {
@@ -260,9 +293,9 @@ func (w *joiner) onTuple(m message) {
 		}
 	case m.epoch == w.mig.epoch:
 		// ∆′: new-epoch arrival (Alg. 3 lines 12-14 / 24-26).
-		w.mig.mu.Probe(t, w.emit) // {t} ⋈ µ
-		w.mig.dp.Probe(t, w.emit) // {t} ⋈ ∆′
-		w.probeKept(t)            // {t} ⋈ Keep(τ ∪ ∆)
+		w.mig.mu.Probe(t, w.pairEmit(t, m.probeOnly)) // {t} ⋈ µ
+		w.mig.dp.Probe(t, w.pairEmit(t, m.probeOnly)) // {t} ⋈ ∆′
+		w.probeKept(t, m.probeOnly)                   // {t} ⋈ Keep(τ ∪ ∆)
 		if m.probeOnly {
 			// Remember the probe so later-arriving µ tuples can
 			// complete the {t} ⋈ µ part it could not see yet.
@@ -274,19 +307,41 @@ func (w *joiner) onTuple(m message) {
 		panic(fmt.Sprintf("core: joiner %d: tuple epoch %d, joiner epoch %d, migration epoch %d",
 			w.id, m.epoch, w.epoch, w.mig.epoch))
 	}
-	w.updateStored()
+}
+
+// pairEmit returns the sink for pairs completed by probing with t. For
+// stored traffic it is the plain emit; for probe-only traffic (the
+// cross-group mode of §4.2.2) it enforces the ownership rule — a pair
+// is joined only in the group storing its earlier tuple — by dropping
+// pairs whose stored partner is newer than the probe. Without the
+// guard, a probe-only ∆ tuple probing ∆′ during a migration claims
+// pairs that the probe tuple's own storing group also emits.
+func (w *joiner) pairEmit(t join.Tuple, probeOnly bool) join.Emit {
+	if !probeOnly {
+		return w.emit
+	}
+	return func(p join.Pair) {
+		stored := p.R
+		if t.Rel == matrix.SideR {
+			stored = p.S
+		}
+		if stored.Seq < t.Seq {
+			w.emit(p)
+		}
+	}
 }
 
 // probeKept joins t against the kept subset of the old-epoch state:
 // stored tuples that remain on this machine under the new mapping.
-func (w *joiner) probeKept(t join.Tuple) {
+func (w *joiner) probeKept(t join.Tuple, probeOnly bool) {
+	emit := w.pairEmit(t, probeOnly)
 	w.state.Probe(t, func(p join.Pair) {
 		stored := p.R
 		if t.Rel == matrix.SideR {
 			stored = p.S
 		}
 		if w.mig.keeps(stored.Rel, stored.U) {
-			w.emit(p)
+			emit(p)
 		}
 	})
 }
@@ -301,12 +356,21 @@ func (w *joiner) onMigTuple(m message) {
 	t := m.tuple
 	w.met.InputTuples.Add(1)
 	w.met.InputBytes.Add(t.Bytes())
-	w.mig.dp.Probe(t, w.emit)
+	w.mig.dp.Probe(t, w.pairEmit(t, m.probeOnly))
 	if !m.probeOnly {
 		// A stored µ tuple completes the pending probes of earlier
-		// probe-only ∆′ traffic (pairs owned by this group because
-		// the µ tuple is the older, stored one).
-		w.mig.probeBuf.Probe(t, w.emit)
+		// probe-only ∆′ traffic. The buffered probes are probe-only, so
+		// the ownership guard applies from their side: only pairs where
+		// the µ tuple is the older, stored one belong to this group.
+		w.mig.probeBuf.Probe(t, func(p join.Pair) {
+			probe := p.R
+			if t.Rel == matrix.SideR {
+				probe = p.S
+			}
+			if t.Seq < probe.Seq {
+				w.emit(p)
+			}
+		})
 		w.mig.mu.Insert(t)
 		w.met.MigratedIn.Add(1)
 	}

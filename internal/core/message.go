@@ -38,7 +38,11 @@ const (
 	kMigDone
 )
 
-// message is the single envelope exchanged on all operator links.
+// message is the unit exchanged on all operator links. The data plane
+// (reshuffler->joiner) ships messages in pooled []message batch
+// envelopes (batch.go); the migration plane (joiner->joiner) stays
+// per-message because its traffic is already amortized over whole
+// state partitions and must never block.
 type message struct {
 	kind    msgKind
 	tuple   join.Tuple

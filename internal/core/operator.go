@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dataflow"
 	"repro/internal/join"
@@ -22,14 +23,22 @@ type topology struct {
 }
 
 type joinerPorts struct {
-	dataIn    chan message
+	// dataIn carries batch envelopes ([]message) rather than single
+	// messages: one channel operation moves up to BatchSize tuples.
+	dataIn    chan []message
 	migIn     *dataflow.Queue[message]
 	migNotify chan struct{}
 }
 
-func newJoinerPorts(dataCap int) *joinerPorts {
+// newJoinerPorts sizes the data inbox in batches so the buffered
+// message volume stays at dataCap regardless of batch size.
+func newJoinerPorts(dataCap, batchSize int) *joinerPorts {
+	capBatches := dataCap / batchSize
+	if capBatches < 1 {
+		capBatches = 1
+	}
 	return &joinerPorts{
-		dataIn:    make(chan message, dataCap),
+		dataIn:    make(chan []message, capBatches),
 		migIn:     dataflow.NewQueue[message](),
 		migNotify: make(chan struct{}, 1),
 	}
@@ -45,9 +54,10 @@ func (tp *topology) add(ports []*joinerPorts) {
 	tp.ports.Store(&next)
 }
 
-// pushData delivers a message on a joiner's (bounded) data link,
-// providing backpressure to reshufflers.
-func (tp *topology) pushData(id int, m message) { (*tp.ports.Load())[id].dataIn <- m }
+// pushData delivers a batch on a joiner's (bounded) data link,
+// providing backpressure to reshufflers. The receiver owns the slice
+// and recycles it via putBatch after processing.
+func (tp *topology) pushData(id int, b []message) { (*tp.ports.Load())[id].dataIn <- b }
 
 // pushMig delivers a message on a joiner's unbounded migration link.
 // Sends never block, which is what makes the pairwise state exchange
@@ -100,9 +110,30 @@ type Config struct {
 	Latency *metrics.LatencySampler
 	// Seed makes the random routing reproducible.
 	Seed int64
-	// DataQueueCap is the per-joiner data inbox capacity (default 1024).
+	// DataQueueCap is the per-joiner data inbox capacity in messages
+	// (default 1024); the inbox channel is sized in batches so buffered
+	// volume is independent of BatchSize.
 	DataQueueCap int
+	// BatchSize is the capacity of the reshuffler->joiner batch
+	// envelope in messages. Batches flush when full, before every
+	// protocol barrier (epoch signal, EOS), when the reshuffler goes
+	// idle, and when BatchLinger expires. 0 means DefaultBatchSize;
+	// 1 degenerates to the unbatched per-message plane.
+	BatchSize int
+	// BatchLinger bounds how long a routed tuple may wait in a partial
+	// batch while the reshuffler stays busy, keeping tail latency
+	// honest under trickle traffic. 0 means DefaultBatchLinger;
+	// negative disables the timer (idle and barrier flushes remain).
+	BatchLinger time.Duration
 }
+
+// DefaultBatchSize is the batch envelope capacity used when
+// Config.BatchSize is zero.
+const DefaultBatchSize = 32
+
+// DefaultBatchLinger is the partial-batch flush budget used when
+// Config.BatchLinger is zero.
+const DefaultBatchLinger = 200 * time.Microsecond
 
 func (c *Config) fill() {
 	if c.J <= 0 || c.J&(c.J-1) != 0 {
@@ -119,6 +150,12 @@ func (c *Config) fill() {
 	}
 	if c.DataQueueCap <= 0 {
 		c.DataQueueCap = 1024
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.BatchLinger == 0 {
+		c.BatchLinger = DefaultBatchLinger
 	}
 }
 
@@ -171,7 +208,7 @@ func NewOperator(cfg Config) *Operator {
 
 	ports := make([]*joinerPorts, cfg.J)
 	for i := range ports {
-		ports[i] = newJoinerPorts(cfg.DataQueueCap)
+		ports[i] = newJoinerPorts(cfg.DataQueueCap, cfg.BatchSize)
 	}
 	op.topo.add(ports)
 	for id := 0; id < cfg.J; id++ {
@@ -240,7 +277,7 @@ func (op *Operator) spawnChildren(table []int, epoch uint32, newMapping matrix.M
 
 	newPorts := make([]*joinerPorts, 3*jBefore)
 	for i := range newPorts {
-		newPorts[i] = newJoinerPorts(op.cfg.DataQueueCap)
+		newPorts[i] = newJoinerPorts(op.cfg.DataQueueCap, op.cfg.BatchSize)
 	}
 	op.topo.add(newPorts)
 
@@ -297,6 +334,8 @@ func (op *Operator) Start() {
 			lat:        op.cfg.Latency,
 			drainCh:    op.ctl.drainCh,
 			padDummies: op.cfg.PadDummies,
+			batchSize:  op.cfg.BatchSize,
+			linger:     op.cfg.BatchLinger,
 		}
 		if i == 0 {
 			r.ctl = op.ctl

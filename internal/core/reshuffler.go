@@ -2,6 +2,8 @@ package core
 
 import (
 	"math/rand"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/join"
 	"repro/internal/matrix"
@@ -15,6 +17,13 @@ import (
 // estimates (Alg. 1), and fans each tuple out to the joiners of its
 // row or column partition. Reshuffler 0 additionally runs the
 // controller (see controller.go).
+//
+// Routed messages are not pushed one at a time: each destination has a
+// pending batch buffer that ships as a single []message envelope (see
+// batch.go). The flush discipline preserves the protocol's per-link
+// FIFO invariant: every buffered message is flushed before an epoch
+// signal or EOS is emitted on the same link, so a joiner still sees
+// all of a reshuffler's old-epoch tuples strictly before its signal.
 type reshuffler struct {
 	id  int
 	rng *rand.Rand
@@ -36,6 +45,22 @@ type reshuffler struct {
 	// local cardinality-ratio estimate exceeds J, pad the smaller
 	// relation so Lemma 4.1's precondition holds physically.
 	padDummies bool
+
+	// batchSize is the per-destination envelope capacity; 1 degrades to
+	// the per-message plane. linger bounds the buffered residence time
+	// of a tuple while the loop stays busy (<=0: no timer).
+	batchSize int
+	linger    time.Duration
+
+	// out holds the pending batch per destination joiner id (grown
+	// lazily under elastic expansion); dirty lists the ids with pending
+	// messages and inDirty dedupes it.
+	out     [][]message
+	dirty   []int
+	inDirty []bool
+
+	lingerT     *time.Timer
+	lingerArmed bool
 }
 
 // sourceItem is one operator input: a tuple plus the probe-only flag
@@ -45,8 +70,56 @@ type sourceItem struct {
 	probeOnly bool
 }
 
+// sourceBurst bounds how many tuples the fast path may pull from the
+// source before servicing the control/ack/linger channels again, so a
+// firehose source cannot stall epoch commands indefinitely.
+const sourceBurst = 64
+
 func (r *reshuffler) run() error {
 	for {
+		// Fast path: a two-case receive is far cheaper than the full
+		// five-way select, and on the ingest hot path the source is the
+		// only channel that matters. dry records whether the burst ended
+		// because the source ran out — only then is the loop idle and
+		// allowed to flush partial batches; exhausting the burst quota
+		// under a hot source is not idleness.
+		dry := false
+		for i := 0; i < sourceBurst && !dry; i++ {
+			select {
+			case item, ok := <-r.source:
+				if !ok {
+					return r.drainLoop()
+				}
+				r.ingest(item)
+			default:
+				dry = true
+			}
+		}
+		// Pump pending control traffic without blocking.
+		for pumping := true; pumping; {
+			select {
+			case c := <-r.ctrlCh:
+				if r.applyCtrl(c) {
+					return nil
+				}
+			case ack, ok := <-r.ackChan():
+				if ok {
+					r.ctl.onAck(ack)
+				}
+			case d := <-r.drainChan():
+				r.ctl.onDrained(d)
+			case <-r.lingerCh():
+				r.lingerArmed = false
+				r.flushAll(&r.opm.BatchFlushLinger)
+			default:
+				pumping = false
+			}
+		}
+		if !dry {
+			continue // source still hot: keep the envelopes filling
+		}
+		// Idle: ship partial batches, then block for the next event.
+		r.flushAll(&r.opm.BatchFlushIdle)
 		select {
 		case c := <-r.ctrlCh:
 			if r.applyCtrl(c) {
@@ -63,6 +136,9 @@ func (r *reshuffler) run() error {
 			}
 		case d := <-r.drainChan():
 			r.ctl.onDrained(d)
+		case <-r.lingerCh():
+			r.lingerArmed = false
+			r.flushAll(&r.opm.BatchFlushLinger)
 		}
 	}
 }
@@ -83,12 +159,113 @@ func (r *reshuffler) drainChan() <-chan int {
 	return r.ctl.drainCh
 }
 
+// lingerCh returns the linger timer's channel, or nil (never ready)
+// when the timer is disarmed.
+func (r *reshuffler) lingerCh() <-chan time.Time {
+	if !r.lingerArmed {
+		return nil
+	}
+	return r.lingerT.C
+}
+
+// armLinger starts the partial-batch flush timer on the first buffered
+// message after a flush.
+func (r *reshuffler) armLinger() {
+	if r.linger <= 0 || r.lingerArmed {
+		return
+	}
+	if r.lingerT == nil {
+		r.lingerT = time.NewTimer(r.linger)
+	} else {
+		r.lingerT.Reset(r.linger)
+	}
+	r.lingerArmed = true
+}
+
+// disarmLinger stops the timer, draining a concurrent fire so a stale
+// tick cannot trigger a spurious flush later.
+func (r *reshuffler) disarmLinger() {
+	if !r.lingerArmed {
+		return
+	}
+	if !r.lingerT.Stop() {
+		select {
+		case <-r.lingerT.C:
+		default:
+		}
+	}
+	r.lingerArmed = false
+}
+
+// buffer appends one routed message to the destination's pending batch,
+// shipping the batch when it reaches capacity.
+func (r *reshuffler) buffer(id int, m message) {
+	if id >= len(r.out) {
+		grown := make([][]message, id+1)
+		copy(grown, r.out)
+		r.out = grown
+		grownDirty := make([]bool, id+1)
+		copy(grownDirty, r.inDirty)
+		r.inDirty = grownDirty
+	}
+	b := r.out[id]
+	if b == nil {
+		b = getBatch(r.batchSize)
+	}
+	b = append(b, m)
+	if len(b) >= r.batchSize {
+		r.out[id] = nil
+		r.opm.BatchFlushFull.Add(1)
+		r.push(id, b)
+		return
+	}
+	r.out[id] = b
+	if !r.inDirty[id] {
+		r.inDirty[id] = true
+		r.dirty = append(r.dirty, id)
+	}
+	r.armLinger()
+}
+
+// flushAll ships every pending partial batch, crediting the flush to
+// the given cause counter.
+func (r *reshuffler) flushAll(cause *atomic.Int64) {
+	if len(r.dirty) == 0 {
+		return
+	}
+	for _, id := range r.dirty {
+		if b := r.out[id]; len(b) > 0 {
+			r.out[id] = nil
+			cause.Add(1)
+			r.push(id, b)
+		}
+		r.inDirty[id] = false
+	}
+	r.dirty = r.dirty[:0]
+	r.disarmLinger()
+}
+
+// push ships one batch envelope on the destination's data link.
+func (r *reshuffler) push(id int, b []message) {
+	r.opm.BatchesSent.Add(1)
+	r.opm.BatchedMessages.Add(int64(len(b)))
+	r.topo.pushData(id, b)
+}
+
+// pushSingle ships a control message (signal, EOS) alone in its own
+// envelope; the caller has already flushed pending data for the link.
+func (r *reshuffler) pushSingle(id int, m message) {
+	b := append(getBatch(1), m)
+	r.push(id, b)
+}
+
 // drainLoop runs after this reshuffler's input is exhausted: it
 // reports to the controller and keeps forwarding epoch signals until
 // the controller declares the operator finished, at which point it
 // EOS-es every joiner. A reshuffler must not exit earlier — joiners
 // wait for its signals during any still-running migration.
 func (r *reshuffler) drainLoop() error {
+	r.flushAll(&r.opm.BatchFlushIdle)
 	if r.ctl != nil {
 		r.ctl.onSourceDrained()
 	} else {
@@ -111,11 +288,14 @@ func (r *reshuffler) drainLoop() error {
 }
 
 // applyCtrl handles a controller command, returning true on finish.
+// Both commands are per-link barriers: pending batches flush first so
+// every already-routed tuple precedes the signal or EOS on its link.
 func (r *reshuffler) applyCtrl(c ctrlMsg) bool {
+	r.flushAll(&r.opm.BatchFlushSignal)
 	switch c.kind {
 	case ctrlFinish:
 		for _, id := range r.table {
-			r.topo.pushData(id, message{kind: kEOS, from: r.id})
+			r.pushSingle(id, message{kind: kEOS, from: r.id})
 		}
 		return true
 	case ctrlEpoch:
@@ -131,7 +311,7 @@ func (r *reshuffler) applyCtrl(c ctrlMsg) bool {
 		// Signal every joiner of the new grid (including expansion
 		// children) before routing anything under the new mapping.
 		for _, id := range r.table {
-			r.topo.pushData(id, message{kind: kSignal, epoch: c.epoch, mapping: r.mapping, expand: c.expand, from: r.id})
+			r.pushSingle(id, message{kind: kSignal, epoch: c.epoch, mapping: r.mapping, expand: c.expand, from: r.id})
 		}
 	}
 	return false
@@ -160,7 +340,8 @@ func (r *reshuffler) ingest(item sourceItem) {
 
 // route assigns the tuple a random partition of its relation and
 // forwards it to every joiner of that partition (m machines for an R
-// tuple, n for an S tuple).
+// tuple, n for an S tuple). Messages land in per-destination batches,
+// not directly on the wire.
 func (r *reshuffler) route(t join.Tuple, probeOnly bool) {
 	if t.U == 0 {
 		t.U = r.rng.Uint64()
@@ -169,13 +350,13 @@ func (r *reshuffler) route(t join.Tuple, probeOnly bool) {
 	if t.Rel == matrix.SideR {
 		row := r.mapping.RowOf(t.U)
 		for c := 0; c < r.mapping.M; c++ {
-			r.topo.pushData(r.table[row*r.mapping.M+c], msg)
+			r.buffer(r.table[row*r.mapping.M+c], msg)
 		}
 		r.opm.RoutedMessages.Add(int64(r.mapping.M))
 	} else {
 		col := r.mapping.ColOf(t.U)
 		for row := 0; row < r.mapping.N; row++ {
-			r.topo.pushData(r.table[row*r.mapping.M+col], msg)
+			r.buffer(r.table[row*r.mapping.M+col], msg)
 		}
 		r.opm.RoutedMessages.Add(int64(r.mapping.N))
 	}

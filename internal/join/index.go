@@ -36,28 +36,56 @@ func NewIndex(p Predicate) Index {
 	}
 }
 
+// arenaChunk sizes the tuple arena's fixed blocks. Growth appends a
+// fresh block — existing tuples are never copied, unlike a flat
+// doubling slice whose relocations would dominate the ingest path.
+const arenaChunk = 512
+
 // HashIndex is a multimap from join key to tuples, the storage half of
-// a symmetric hash join [42].
+// a symmetric hash join [42]. Tuples live in a chunked arena and
+// buckets hold int32 arena offsets: growing a bucket moves 4-byte
+// indices instead of full Tuple structs, and arena growth allocates a
+// block without relocating stored state — both matter on the ingest
+// hot path, where every routed copy of every tuple is inserted.
 type HashIndex struct {
-	m     map[int64][]Tuple
-	n     int
-	bytes int64
+	m      map[int64]*[]int32
+	chunks [][]Tuple
+	n      int
+	bytes  int64
 }
 
 // NewHashIndex returns an empty hash index.
-func NewHashIndex() *HashIndex { return &HashIndex{m: make(map[int64][]Tuple)} }
+func NewHashIndex() *HashIndex { return &HashIndex{m: make(map[int64]*[]int32)} }
 
-// Insert stores t under its key.
+// Insert stores t under its key. Buckets are held by pointer so the
+// common append is one map access, not a full map assignment. Arena
+// offsets are int32: a single joiner index holding >2^31 tuples would
+// exhaust memory long before the offset space.
 func (h *HashIndex) Insert(t Tuple) {
-	h.m[t.Key] = append(h.m[t.Key], t)
+	if h.n == len(h.chunks)*arenaChunk {
+		h.chunks = append(h.chunks, make([]Tuple, 0, arenaChunk))
+	}
+	c := len(h.chunks) - 1
+	h.chunks[c] = append(h.chunks[c], t)
+	b := h.m[t.Key]
+	if b == nil {
+		b = new([]int32)
+		h.m[t.Key] = b
+	}
+	*b = append(*b, int32(h.n))
 	h.n++
 	h.bytes += t.Bytes()
 }
 
+// at returns the tuple at arena offset i.
+func (h *HashIndex) at(i int32) Tuple { return h.chunks[i/arenaChunk][i%arenaChunk] }
+
 // Probe enumerates stored tuples with key equal to the probe's key.
 func (h *HashIndex) Probe(probe Tuple, fn func(Tuple)) {
-	for _, t := range h.m[probe.Key] {
-		fn(t)
+	if b := h.m[probe.Key]; b != nil {
+		for _, i := range *b {
+			fn(h.at(i))
+		}
 	}
 }
 
@@ -69,35 +97,38 @@ func (h *HashIndex) Bytes() int64 { return h.bytes }
 
 // Scan visits all stored tuples.
 func (h *HashIndex) Scan(fn func(Tuple) bool) {
-	for _, ts := range h.m {
-		for _, t := range ts {
-			if !fn(t) {
+	for _, chunk := range h.chunks {
+		for i := range chunk {
+			if !fn(chunk[i]) {
 				return
 			}
 		}
 	}
 }
 
-// Retain drops tuples failing keep.
+// Retain drops tuples failing keep, compacting the arena and
+// rebuilding the bucket directory. Migration discards touch on the
+// order of half the state, so the O(n) rebuild matches the old
+// per-bucket sweep.
 func (h *HashIndex) Retain(keep func(Tuple) bool) int {
 	removed := 0
-	for k, ts := range h.m {
-		w := ts[:0]
-		for _, t := range ts {
-			if keep(t) {
-				w = append(w, t)
-			} else {
-				removed++
-				h.bytes -= t.Bytes()
-			}
+	h.Scan(func(t Tuple) bool {
+		if !keep(t) {
+			removed++
 		}
-		if len(w) == 0 {
-			delete(h.m, k)
-		} else {
-			h.m[k] = w
-		}
+		return true
+	})
+	if removed == 0 {
+		return 0 // common for the non-splitting relation: no rebuild
 	}
-	h.n -= removed
+	fresh := NewHashIndex()
+	h.Scan(func(t Tuple) bool {
+		if keep(t) {
+			fresh.Insert(t)
+		}
+		return true
+	})
+	*h = *fresh
 	return removed
 }
 

@@ -47,6 +47,30 @@ type Operator struct {
 	// DummyTuples counts padding tuples injected to bound the
 	// cardinality ratio.
 	DummyTuples atomic.Int64
+
+	// BatchesSent counts data-plane batch envelopes shipped by
+	// reshufflers; BatchedMessages counts the messages they carried, so
+	// BatchedMessages/BatchesSent is the realized mean batch size.
+	BatchesSent     atomic.Int64
+	BatchedMessages atomic.Int64
+	// BatchFlush* break batch flushes down by cause: a full envelope,
+	// the linger-budget timer, an idle reshuffler, and the protocol
+	// barriers (epoch signal / EOS) that must separate old-epoch from
+	// new-epoch traffic on every link.
+	BatchFlushFull   atomic.Int64
+	BatchFlushLinger atomic.Int64
+	BatchFlushIdle   atomic.Int64
+	BatchFlushSignal atomic.Int64
+}
+
+// MeanBatchSize returns the realized mean messages per data-plane
+// envelope, or 0 before any batch has shipped.
+func (m *Operator) MeanBatchSize() float64 {
+	n := m.BatchesSent.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(m.BatchedMessages.Load()) / float64(n)
 }
 
 // NewOperator returns metrics for j joiners.

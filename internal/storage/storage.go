@@ -29,11 +29,12 @@ type Config struct {
 	Dir string
 }
 
-// Metrics counts storage activity. All fields are updated atomically so
-// experiment collectors may read them while the owning joiner runs.
+// Metrics counts spill-tier activity. All fields are updated atomically
+// so experiment collectors may read them while the owning joiner runs.
+// Memory-tier volumes are not counted here — they are derivable from
+// the in-memory index (MemTuples/MemBytes), and keeping them out of
+// Metrics spares two atomic writes on every hot-path insert.
 type Metrics struct {
-	MemTuples     atomic.Int64
-	MemBytes      atomic.Int64
 	SpilledTuples atomic.Int64
 	SpilledBytes  atomic.Int64
 	DiskReads     atomic.Int64
@@ -83,8 +84,6 @@ func (s *Store) Probe(t join.Tuple, emit join.Emit) {
 func (s *Store) Insert(t join.Tuple) {
 	if s.cfg.CapBytes == 0 || s.mem.Bytes()+t.Bytes() <= s.cfg.CapBytes {
 		s.mem.Insert(t)
-		s.Metrics.MemTuples.Add(1)
-		s.Metrics.MemBytes.Add(t.Bytes())
 		return
 	}
 	seg := s.segs[t.Rel]
@@ -95,14 +94,18 @@ func (s *Store) Insert(t join.Tuple) {
 			// Spill tier unavailable: degrade to memory rather than
 			// lose data; the budget is advisory, as in any cache.
 			s.mem.Insert(t)
-			s.Metrics.MemTuples.Add(1)
-			s.Metrics.MemBytes.Add(t.Bytes())
 			return
 		}
 		s.segs[t.Rel] = seg
 	}
 	seg.append(t, &s.Metrics)
 }
+
+// MemTuples returns the memory-tier tuple count.
+func (s *Store) MemTuples() int64 { return int64(s.mem.TotalLen()) }
+
+// MemBytes returns the memory-tier accounted volume.
+func (s *Store) MemBytes() int64 { return s.mem.Bytes() }
 
 // Len returns the stored tuple count of one side across both tiers.
 func (s *Store) Len(side matrix.Side) int {
@@ -152,16 +155,7 @@ func (s *Store) Scan(side matrix.Side, fn func(join.Tuple) bool) {
 // Retain keeps only tuples of the given side passing keep, across both
 // tiers, returning the number discarded. The disk segment is rewritten.
 func (s *Store) Retain(side matrix.Side, keep func(join.Tuple) bool) int {
-	removed := 0
-	s.mem.Scan(side, func(t join.Tuple) bool {
-		if !keep(t) {
-			s.Metrics.MemBytes.Add(-t.Bytes())
-		}
-		return true
-	})
-	memRemoved := s.mem.Retain(side, keep)
-	s.Metrics.MemTuples.Add(int64(-memRemoved))
-	removed += memRemoved
+	removed := s.mem.Retain(side, keep)
 	if seg := s.segs[side]; seg != nil {
 		removed += seg.retain(keep, s.cfg, s.pred, &s.Metrics)
 	}

@@ -106,7 +106,7 @@ func TestStoreLenAndBytesAcrossTiers(t *testing.T) {
 	if s.Bytes() != 160 {
 		t.Fatalf("Bytes=%d", s.Bytes())
 	}
-	if got := s.Metrics.MemTuples.Load(); got != 4 {
+	if got := s.MemTuples(); got != 4 {
 		t.Fatalf("MemTuples=%d, want 4 (64-byte cap, 16-byte tuples)", got)
 	}
 	if got := s.Metrics.SpilledTuples.Load(); got != 6 {

@@ -16,7 +16,9 @@
 // The package exposes:
 //
 //   - Operator / Config — the concurrent operator: one goroutine per
-//     joiner and reshuffler task, channels as the interconnect.
+//     joiner and reshuffler task, with a batched message plane as the
+//     interconnect (per-destination tuple batches, pool-recycled
+//     envelopes; see Config.BatchSize and Config.BatchLinger).
 //   - Grouped / GroupedConfig — the generalization to machine counts
 //     that are not powers of two (§4.2.2).
 //   - Sim / SimConfig — a deterministic single-threaded replay used to
@@ -106,6 +108,14 @@ func SquareMapping(j int) Mapping { return matrix.Square(j) }
 
 // Config configures an Operator. See core.Config for field docs.
 type Config = core.Config
+
+// DefaultBatchSize is the data-plane batch envelope capacity used when
+// Config.BatchSize is 0; BatchSize 1 degenerates to per-message sends.
+const DefaultBatchSize = core.DefaultBatchSize
+
+// DefaultBatchLinger is the partial-batch flush budget used when
+// Config.BatchLinger is 0.
+const DefaultBatchLinger = core.DefaultBatchLinger
 
 // Operator is the adaptive (or static) parallel online join operator.
 type Operator = core.Operator

@@ -1,6 +1,7 @@
 package squall_test
 
 import (
+	"math/rand"
 	"sync/atomic"
 	"testing"
 
@@ -25,6 +26,51 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 	if n.Load() != 1 {
 		t.Fatalf("emitted %d, want 1", n.Load())
+	}
+}
+
+// The batched message plane must be invisible at the public API:
+// BatchSize 1 (the degenerate per-message plane) and BatchSize > 1
+// produce identical join results through NewOperator/Send/Finish,
+// including while an adaptive migration is relocating state.
+func TestFacadeBatchSizesIdenticalResults(t *testing.T) {
+	run := func(batchSize int, adaptive bool) (int64, *squall.Operator) {
+		var n atomic.Int64
+		op := squall.NewOperator(squall.Config{
+			J:         8,
+			Pred:      squall.EquiJoin("orders", nil),
+			Adaptive:  adaptive,
+			Warmup:    400,
+			Seed:      99,
+			BatchSize: batchSize,
+			Emit:      func(squall.Pair) { n.Add(1) },
+		})
+		op.Start()
+		rng := rand.New(rand.NewSource(6))
+		// Lopsided stream so the adaptive runs migrate mid-stream.
+		for i := 0; i < 150; i++ {
+			op.Send(squall.Tuple{Rel: squall.SideR, Key: rng.Int63n(40), Size: 8})
+		}
+		for i := 0; i < 6000; i++ {
+			op.Send(squall.Tuple{Rel: squall.SideS, Key: rng.Int63n(40), Size: 8})
+		}
+		if err := op.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return n.Load(), op
+	}
+	for _, adaptive := range []bool{false, true} {
+		unbatched, _ := run(1, adaptive)
+		batched, op := run(16, adaptive)
+		if unbatched != batched {
+			t.Fatalf("adaptive=%v: BatchSize 1 emitted %d, BatchSize 16 emitted %d", adaptive, unbatched, batched)
+		}
+		if adaptive && op.Migrations() == 0 {
+			t.Fatal("expected migrations in the adaptive run")
+		}
+		if op.Metrics().MeanBatchSize() <= 1 {
+			t.Fatalf("adaptive=%v: mean batch size %.2f, want > 1", adaptive, op.Metrics().MeanBatchSize())
+		}
 	}
 }
 
