@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fmt
+.PHONY: all build test race bench bench-delta lint fmt
 
 all: build lint test
 
@@ -19,6 +19,11 @@ race:
 # Full benchmark suite; CI runs the 1x smoke variant of the same set.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# Ingest ns/tuple versus the committed BENCH_*.json trajectory
+# (informational; mirrors the CI bench-smoke delta step).
+bench-delta:
+	$(GO) test -bench BenchmarkOperatorIngest -benchtime=20000x -run '^$$' . | $(GO) run ./cmd/benchdelta
 
 lint:
 	$(GO) vet ./...

@@ -1,0 +1,90 @@
+// Command benchdelta compares a `go test -bench` run piped on stdin
+// against the committed BENCH_*.json trajectory and prints the
+// ns/tuple delta per batch size. It is informational and never fails:
+// CI's bench-smoke job uses it to surface ingest-path drift on every
+// run without gating merges on noisy shared-runner timings.
+//
+// Usage:
+//
+//	go test -bench BenchmarkOperatorIngest -benchtime=20000x -run '^$' . | go run ./cmd/benchdelta
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// trajectory mirrors the BENCH_PR*.json schema.
+type trajectory struct {
+	PR        int    `json:"pr"`
+	Benchmark string `json:"benchmark"`
+	Results   []struct {
+		BatchSize  int     `json:"batch_size"`
+		NsPerTuple float64 `json:"ns_per_tuple"`
+	} `json:"results"`
+}
+
+// benchLine matches e.g.
+// BenchmarkOperatorIngest/batch=32-4   500000   1973 ns/op   24.69 msgs/batch
+var benchLine = regexp.MustCompile(`^BenchmarkOperatorIngest/batch=(\d+)\S*\s+\d+\s+([\d.]+) ns/op`)
+
+func main() {
+	committed := loadLatest()
+	if committed == nil {
+		fmt.Println("benchdelta: no BENCH_*.json trajectory found; nothing to compare")
+		return
+	}
+	base := make(map[int]float64, len(committed.Results))
+	for _, r := range committed.Results {
+		base[r.BatchSize] = r.NsPerTuple
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	found := false
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		bs, _ := strconv.Atoi(m[1])
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		found = true
+		if ref, ok := base[bs]; ok && ref > 0 {
+			fmt.Printf("batch=%-4d %8.0f ns/tuple  committed(PR %d) %8.0f  delta %+6.1f%%\n",
+				bs, ns, committed.PR, ref, 100*(ns-ref)/ref)
+		} else {
+			fmt.Printf("batch=%-4d %8.0f ns/tuple  (no committed point)\n", bs, ns)
+		}
+	}
+	if !found {
+		fmt.Println("benchdelta: no BenchmarkOperatorIngest lines on stdin")
+	}
+	fmt.Println("benchdelta: informational only; deltas on shared runners are noisy and never gate CI")
+}
+
+// loadLatest returns the highest-PR trajectory file, or nil.
+func loadLatest() *trajectory {
+	paths, _ := filepath.Glob("BENCH_PR*.json")
+	sort.Strings(paths)
+	var latest *trajectory
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		var tr trajectory
+		if json.Unmarshal(raw, &tr) != nil {
+			continue
+		}
+		if len(tr.Results) > 0 && (latest == nil || tr.PR > latest.PR) {
+			t := tr
+			latest = &t
+		}
+	}
+	return latest
+}

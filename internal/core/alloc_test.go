@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/matrix"
+)
+
+// ingestAllocBudget is the enforced steady-state allocation budget per
+// Send across the whole pipeline (reshuffler routing, batch plane, and
+// every joiner's probe+insert). The measured value on the batched plane
+// is ~2; the budget leaves headroom for pool misses after a GC while
+// still catching any per-tuple allocation that sneaks back into the
+// hot path (the seed's per-message plane sat at 11+).
+const ingestAllocBudget = 6.0
+
+// TestIngestAllocBudget pins the ingest path's allocation behavior with
+// testing.AllocsPerRun, so an allocation regression fails `go test`
+// instead of only drifting a benchmark number.
+func TestIngestAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the budget is measured without -race")
+	}
+	if testing.Short() {
+		t.Skip("steady-state warmup is not short")
+	}
+	var n atomic.Int64
+	op := NewOperator(Config{
+		J: 16, Pred: join.EquiJoin("alloc", nil), Seed: 1,
+		Emit: func(join.Pair) { n.Add(1) },
+	})
+	op.Start()
+	rng := rand.New(rand.NewSource(9))
+	i := 0
+	send := func() {
+		side := matrix.SideR
+		if i%2 == 1 {
+			side = matrix.SideS
+		}
+		i++
+		op.Send(join.Tuple{Rel: side, Key: rng.Int63n(1 << 16), Size: 8})
+	}
+	// Warm the pipeline: pools populated, hash directories and arenas
+	// near their working size, channels in steady flow.
+	for k := 0; k < 30000; k++ {
+		send()
+	}
+	const perRun = 200
+	avg := testing.AllocsPerRun(20, func() {
+		for k := 0; k < perRun; k++ {
+			send()
+		}
+	})
+	if err := op.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	perSend := avg / perRun
+	t.Logf("ingest allocations: %.2f per Send (budget %.0f)", perSend, ingestAllocBudget)
+	if perSend > ingestAllocBudget {
+		t.Fatalf("ingest path allocates %.2f per Send, budget %.0f", perSend, ingestAllocBudget)
+	}
+}

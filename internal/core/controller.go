@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/join"
 	"repro/internal/matrix"
 )
@@ -37,6 +39,9 @@ type controller struct {
 	acksPending int
 	chain       []matrix.Mapping // remaining elementary steps
 	wantExpand  bool
+	// stepStart timestamps the in-flight elementary step's broadcast,
+	// feeding the migration-drain metric on its last ack.
+	stepStart time.Time
 
 	sourceDone bool
 	drained    int
@@ -102,6 +107,7 @@ func (c *controller) issueNext() {
 		c.deployed = next
 		c.acksPending = len(c.table)
 		c.op.met.Migrations.Add(1)
+		c.stepStart = time.Now()
 		c.broadcast(ctrlMsg{kind: ctrlEpoch, epoch: c.epoch, mapping: next})
 		return
 	}
@@ -123,6 +129,7 @@ func (c *controller) issueNext() {
 		c.dec.NoteExpanded()
 		c.acksPending = len(c.table)
 		c.op.met.Expansions.Add(1)
+		c.stepStart = time.Now()
 		c.broadcast(ctrlMsg{kind: ctrlEpoch, epoch: c.epoch, mapping: newMapping, expand: true})
 		return
 	}
@@ -140,6 +147,7 @@ func (c *controller) broadcast(m ctrlMsg) {
 func (c *controller) onAck(int) {
 	c.acksPending--
 	if c.acksPending == 0 {
+		c.op.met.MigrationNanos.Add(time.Since(c.stepStart).Nanoseconds())
 		c.dec.SetMapping(c.deployed)
 		// Re-examine under post-migration counts: if the stream
 		// drifted enough during the migration to fire a fresh

@@ -40,8 +40,19 @@ type joiner struct {
 	mig   *migState
 
 	dataIn    chan []message
-	migIn     *dataflow.Queue[message]
+	migIn     *dataflow.Queue[[]message]
 	migNotify chan struct{}
+	// migPend/migPos is the partially consumed head envelope of migIn:
+	// the batched migration plane delivers envelopes, but the 2:1
+	// migrated-to-new pacing (§4.3.2) is per message, so the joiner
+	// drains envelopes through this cursor one message at a time.
+	migPend []message
+	migPos  int
+	// migBatch is the outgoing kMigTuple envelope capacity.
+	migBatch int
+	// runBuf is the reusable scratch buffer handleBatch extracts
+	// same-side tuple runs into for the store's batch API.
+	runBuf []join.Tuple
 
 	topo   *topology
 	ackCh  chan<- int
@@ -53,10 +64,12 @@ type joiner struct {
 }
 
 // migTarget is one destination of this joiner's outgoing state during
-// a migration, with the filter selecting which stored tuples it gets.
+// a migration, with the filter selecting which stored tuples it gets
+// and the kMigTuple envelope under construction for it.
 type migTarget struct {
 	dest int
 	want func(side matrix.Side, u uint64) bool
+	pend []message
 }
 
 // migState is the in-flight migration context.
@@ -93,7 +106,7 @@ func (w *joiner) run() error {
 	for !w.finished() {
 		progressed := false
 		for i := 0; i < 2; i++ {
-			if m, ok := w.migIn.TryPop(); ok {
+			if m, ok := w.nextMig(); ok {
 				w.handle(m)
 				progressed = true
 			}
@@ -115,37 +128,110 @@ func (w *joiner) run() error {
 	return nil
 }
 
+// nextMig returns the next pending migration-plane message, draining
+// the partially consumed head envelope before popping a fresh one from
+// the queue. Consumed envelopes recycle through the shared batch pool.
+func (w *joiner) nextMig() (message, bool) {
+	if w.migPos >= len(w.migPend) {
+		if w.migPend != nil {
+			putBatch(w.migPend)
+			w.migPend = nil
+		}
+		b, ok := w.migIn.TryPop()
+		if !ok {
+			w.migPos = 0
+			return message{}, false
+		}
+		w.migPend, w.migPos = b, 0
+	}
+	m := w.migPend[w.migPos]
+	w.migPos++
+	return m, true
+}
+
 // handleBatch processes one data-plane envelope and recycles its
-// buffer. Per-tuple accounting (ILF counters, stored-state gauges) is
-// amortized to one update per envelope, and the 2:1 migrated-to-new
-// processing ratio (§4.3.2) is kept inside the batch: while a
-// migration is in flight, between consecutive data messages the joiner
-// still services up to two pending migration messages, so a large
-// envelope cannot starve a state exchange. Outside a migration the
-// per-message queue polls are skipped entirely — a kMigBegin can wait
-// out the (bounded) remainder of the envelope.
+// buffer. Outside a migration, maximal runs of same-side data tuples
+// are driven through the store's batch API in one call — hash lookups,
+// bounds checks, and spill-tier dispatch amortize per run, and the
+// per-tuple probe closure disappears. Per-tuple accounting (ILF
+// counters, stored-state gauges) is amortized to one update per
+// envelope, and the 2:1 migrated-to-new processing ratio (§4.3.2) is
+// kept inside the batch: while a migration is in flight, between
+// consecutive data messages the joiner still services up to two
+// pending migration messages, so a large envelope cannot starve a
+// state exchange. Outside a migration the per-message queue polls are
+// skipped entirely — a kMigBegin can wait out the (bounded) remainder
+// of the envelope.
 func (w *joiner) handleBatch(b []message) {
 	var tuples, bytes int64
-	for i := range b {
+	for i := 0; i < len(b); {
+		m := &b[i]
+		if m.kind == kTuple && w.mig == nil && m.epoch == w.epoch {
+			// Fast path: extend the run while side, epoch, and
+			// probe-only mode match. Tuples of one relation never join
+			// each other, so probing the run before storing it emits
+			// exactly what per-tuple processing would.
+			j := i + 1
+			for j < len(b) && b[j].kind == kTuple && b[j].epoch == m.epoch &&
+				b[j].tuple.Rel == m.tuple.Rel && b[j].probeOnly == m.probeOnly {
+				j++
+			}
+			run := w.runBuf[:0]
+			for k := i; k < j; k++ {
+				run = append(run, b[k].tuple)
+				bytes += b[k].tuple.Bytes()
+			}
+			tuples += int64(j - i)
+			if m.probeOnly {
+				w.state.ProbeBatch(run, w.runGuardEmit(m.tuple.Rel))
+			} else {
+				w.state.AddBatch(run, w.emit)
+			}
+			w.runBuf = run
+			i = j
+			continue
+		}
 		if i > 0 && w.mig != nil {
 			for k := 0; k < 2; k++ {
-				if m, ok := w.migIn.TryPop(); ok {
-					w.handle(m)
+				if mm, ok := w.nextMig(); ok {
+					w.handle(mm)
 				}
 			}
 		}
-		if b[i].kind == kTuple {
+		if m.kind == kTuple {
 			tuples++
-			bytes += b[i].tuple.Bytes()
+			bytes += m.tuple.Bytes()
 		}
 		w.handle(b[i])
+		i++
 	}
 	if tuples > 0 {
 		w.met.InputTuples.Add(tuples)
 		w.met.InputBytes.Add(bytes)
 	}
+	if w.mig != nil {
+		// Ship the ∆ forwards buffered while processing this envelope;
+		// nothing may linger once the joiner goes idle.
+		w.migFlushAll()
+	}
 	w.updateStored()
 	putBatch(b)
+}
+
+// runGuardEmit returns the batch-probe sink for a probe-only run of
+// rel-side tuples: the ownership rule of §4.2.2 (join a pair only in
+// the group storing its earlier tuple), expressed over the pair itself
+// since the probe member of every emitted pair is the probing tuple.
+func (w *joiner) runGuardEmit(rel matrix.Side) join.Emit {
+	return func(p join.Pair) {
+		stored, probe := p.R, p.S
+		if rel == matrix.SideR {
+			stored, probe = p.S, p.R
+		}
+		if stored.Seq < probe.Seq {
+			w.emit(p)
+		}
+	}
 }
 
 func (w *joiner) finished() bool { return w.eos >= w.numRe && w.mig == nil }
@@ -179,7 +265,11 @@ func (w *joiner) onSignal(m message) {
 	w.ensureMig(m.epoch, m.mapping, m.expand)
 	w.mig.signals++
 	if w.mig.signals == w.numRe {
-		for _, tgt := range w.mig.targets {
+		for i := range w.mig.targets {
+			tgt := &w.mig.targets[i]
+			// Flush the pending kMigTuple envelope first so the done
+			// marker arrives after every migrated tuple on its link.
+			w.migFlush(tgt)
 			w.topo.pushMig(tgt.dest, message{kind: kMigDone, epoch: w.mig.epoch, from: w.id})
 		}
 		w.maybeFinalize()
@@ -247,20 +337,46 @@ func (w *joiner) ensureMig(epoch uint32, newMapping matrix.Mapping, expand bool)
 			return true
 		})
 	}
+	// Ship the snapshot promptly; later ∆ forwards flush per processed
+	// data envelope.
+	w.migFlushAll()
 }
 
-// forwardMig sends one old-epoch tuple to every migration target whose
-// filter selects it.
+// forwardMig buffers one old-epoch tuple into the pending envelope of
+// every migration target whose filter selects it, shipping envelopes
+// as they fill.
 func (w *joiner) forwardMig(t join.Tuple, probeOnly bool) {
-	for _, tgt := range w.mig.targets {
+	for i := range w.mig.targets {
+		tgt := &w.mig.targets[i]
 		if tgt.want(t.Rel, t.U) {
-			w.topo.pushMig(tgt.dest, message{
+			if tgt.pend == nil {
+				tgt.pend = getBatch(w.migBatch)
+			}
+			tgt.pend = append(tgt.pend, message{
 				kind: kMigTuple, tuple: t, epoch: w.mig.epoch, from: w.id, probeOnly: probeOnly,
 			})
+			if len(tgt.pend) >= w.migBatch {
+				w.migFlush(tgt)
+			}
 			if !probeOnly {
 				w.met.MigratedOut.Add(1)
 			}
 		}
+	}
+}
+
+// migFlush ships one target's pending kMigTuple envelope.
+func (w *joiner) migFlush(tgt *migTarget) {
+	if len(tgt.pend) > 0 {
+		w.topo.pushMigBatch(tgt.dest, tgt.pend)
+		tgt.pend = nil
+	}
+}
+
+// migFlushAll ships every target's pending envelope.
+func (w *joiner) migFlushAll() {
+	for i := range w.mig.targets {
+		w.migFlush(&w.mig.targets[i])
 	}
 }
 
@@ -315,20 +431,15 @@ func (w *joiner) onTuple(m message) {
 // is joined only in the group storing its earlier tuple — by dropping
 // pairs whose stored partner is newer than the probe. Without the
 // guard, a probe-only ∆ tuple probing ∆′ during a migration claims
-// pairs that the probe tuple's own storing group also emits.
+// pairs that the probe tuple's own storing group also emits. The guard
+// itself lives in runGuardEmit (shared with the batched probe path):
+// the probe member of every emitted pair is the probing tuple, so the
+// rule is expressible over the pair alone.
 func (w *joiner) pairEmit(t join.Tuple, probeOnly bool) join.Emit {
 	if !probeOnly {
 		return w.emit
 	}
-	return func(p join.Pair) {
-		stored := p.R
-		if t.Rel == matrix.SideR {
-			stored = p.S
-		}
-		if stored.Seq < t.Seq {
-			w.emit(p)
-		}
-	}
+	return w.runGuardEmit(t.Rel)
 }
 
 // probeKept joins t against the kept subset of the old-epoch state:
@@ -391,13 +502,12 @@ func (w *joiner) maybeFinalize() {
 		side := side
 		w.state.Retain(side, func(t join.Tuple) bool { return mig.keeps(side, t.U) })
 	}
+	// Bulk-merge µ and ∆′ into the surviving state: hash-indexed state
+	// is adopted by stealing whole arena chunks instead of re-inserting
+	// tuple by tuple, so finalization cost is a directory rebuild, not
+	// a second ingest of the migrated volume.
 	for _, src := range [2]*storage.Store{mig.mu, mig.dp} {
-		for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
-			src.Scan(side, func(t join.Tuple) bool {
-				w.state.Insert(t)
-				return true
-			})
-		}
+		w.state.MergeFrom(src)
 		_ = src.Close()
 	}
 	// Adopt the new placement.

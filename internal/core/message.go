@@ -38,18 +38,19 @@ const (
 	kMigDone
 )
 
-// message is the unit exchanged on all operator links. The data plane
-// (reshuffler->joiner) ships messages in pooled []message batch
-// envelopes (batch.go); the migration plane (joiner->joiner) stays
-// per-message because its traffic is already amortized over whole
-// state partitions and must never block.
+// message is the unit exchanged on all operator links. Both the data
+// plane (reshuffler->joiner) and the migration plane (joiner->joiner)
+// ship messages in pooled []message batch envelopes (batch.go).
+// Envelopes carry both data and migration tuples, so the field order
+// is descending by alignment to eliminate padding; message_test.go
+// asserts the layout stays tight.
 type message struct {
-	kind    msgKind
 	tuple   join.Tuple
-	epoch   uint32
 	mapping matrix.Mapping // kSignal, kMigBegin: the target mapping
-	expand  bool           // kSignal, kMigBegin: elastic expansion step
 	from    int            // sender task id (reshuffler or joiner)
+	epoch   uint32
+	kind    msgKind
+	expand  bool // kSignal, kMigBegin: elastic expansion step
 	// probeOnly marks tuples that join against stored state but are
 	// not stored themselves: the cross-group traffic of the §4.2.2
 	// decomposition.

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/join"
+	"repro/internal/matrix"
+)
+
+// Envelopes carry both data and migration tuples, so message layout is
+// hot: the struct orders fields by descending alignment and this test
+// pins the layout to the padding-free size — the embedded tuple and
+// mapping, one word for the sender id, then epoch+kind+expand+probeOnly
+// packed into a single word.
+func TestMessageLayoutHasNoPadding(t *testing.T) {
+	var m message
+	tail := unsafe.Sizeof(m.from) + unsafe.Sizeof(m.epoch) +
+		unsafe.Sizeof(m.kind) + unsafe.Sizeof(m.expand) + unsafe.Sizeof(m.probeOnly)
+	// The four trailing scalars round up to two words on 64-bit.
+	tailWords := (tail + unsafe.Sizeof(uintptr(0)) - 1) / unsafe.Sizeof(uintptr(0))
+	want := unsafe.Sizeof(join.Tuple{}) + unsafe.Sizeof(matrix.Mapping{}) +
+		tailWords*unsafe.Sizeof(uintptr(0))
+	if got := unsafe.Sizeof(m); got != want {
+		t.Fatalf("sizeof(message) = %d, want %d (padding crept into the layout)", got, want)
+	}
+}

@@ -20,13 +20,18 @@ import (
 // is lock-free on the hot path.
 type topology struct {
 	ports atomic.Pointer[[]*joinerPorts]
+	met   *metrics.Operator
 }
 
 type joinerPorts struct {
 	// dataIn carries batch envelopes ([]message) rather than single
 	// messages: one channel operation moves up to BatchSize tuples.
-	dataIn    chan []message
-	migIn     *dataflow.Queue[message]
+	dataIn chan []message
+	// migIn carries batch envelopes too: migrated state (kMigTuple)
+	// ships in per-destination envelopes of up to MigBatchSize
+	// messages, while the framing markers (kMigBegin, kMigDone) ride
+	// alone in their own envelopes.
+	migIn     *dataflow.Queue[[]message]
 	migNotify chan struct{}
 }
 
@@ -39,7 +44,7 @@ func newJoinerPorts(dataCap, batchSize int) *joinerPorts {
 	}
 	return &joinerPorts{
 		dataIn:    make(chan []message, capBatches),
-		migIn:     dataflow.NewQueue[message](),
+		migIn:     dataflow.NewQueue[[]message](),
 		migNotify: make(chan struct{}, 1),
 	}
 }
@@ -59,12 +64,22 @@ func (tp *topology) add(ports []*joinerPorts) {
 // and recycles it via putBatch after processing.
 func (tp *topology) pushData(id int, b []message) { (*tp.ports.Load())[id].dataIn <- b }
 
-// pushMig delivers a message on a joiner's unbounded migration link.
-// Sends never block, which is what makes the pairwise state exchange
-// deadlock-free.
+// pushMig delivers one protocol message (kMigBegin, kMigDone) alone in
+// its own envelope on a joiner's unbounded migration link, preserving
+// the framing around batched kMigTuple traffic.
 func (tp *topology) pushMig(id int, m message) {
+	tp.pushMigBatch(id, append(getBatch(1), m))
+}
+
+// pushMigBatch delivers a batch envelope on a joiner's unbounded
+// migration link. Sends never block, which is what makes the pairwise
+// state exchange deadlock-free; the receiver owns the slice and
+// recycles it after processing.
+func (tp *topology) pushMigBatch(id int, b []message) {
+	tp.met.MigBatchesSent.Add(1)
+	tp.met.MigBatchedMessages.Add(int64(len(b)))
 	p := (*tp.ports.Load())[id]
-	p.migIn.Push(m)
+	p.migIn.Push(b)
 	select {
 	case p.migNotify <- struct{}{}:
 	default:
@@ -125,6 +140,16 @@ type Config struct {
 	// honest under trickle traffic. 0 means DefaultBatchLinger;
 	// negative disables the timer (idle and barrier flushes remain).
 	BatchLinger time.Duration
+	// MigBatchSize is the migration-plane envelope capacity in
+	// messages: during a migration each joiner accumulates outgoing
+	// relocated-state tuples (kMigTuple) into per-destination
+	// envelopes that flush when full, after the initial state
+	// snapshot, at the end of every processed data envelope, and
+	// always before the kMigDone marker — so the kMigBegin/kMigDone
+	// framing and per-link FIFO order are batch-size invariant.
+	// 0 means BatchSize; 1 degenerates to the per-message migration
+	// plane.
+	MigBatchSize int
 }
 
 // DefaultBatchSize is the batch envelope capacity used when
@@ -156,6 +181,9 @@ func (c *Config) fill() {
 	}
 	if c.BatchLinger == 0 {
 		c.BatchLinger = DefaultBatchLinger
+	}
+	if c.MigBatchSize <= 0 {
+		c.MigBatchSize = c.BatchSize
 	}
 }
 
@@ -192,6 +220,7 @@ func NewOperator(cfg Config) *Operator {
 		topo: &topology{},
 		met:  metrics.NewOperator(cfg.J),
 	}
+	op.topo.met = op.met
 	op.sources = make([]chan sourceItem, cfg.NumReshufflers)
 	for i := range op.sources {
 		op.sources[i] = make(chan sourceItem, 512)
@@ -223,19 +252,20 @@ func (op *Operator) newJoiner(id int, cell matrix.Cell, mapping matrix.Mapping, 
 	op.met.Grow(id + 1)
 	table := append([]int(nil), op.ctl.table...)
 	w := &joiner{
-		id:      id,
-		pred:    op.cfg.Pred,
-		numRe:   op.cfg.NumReshufflers,
-		cell:    cell,
-		mapping: mapping,
-		epoch:   epoch,
-		table:   table,
-		state:   storage.NewStore(op.cfg.Pred, op.cfg.Storage),
-		topo:    op.topo,
-		ackCh:   op.ctl.ackCh,
-		met:     op.met.JoinerStats(id),
-		stCfg:   op.cfg.Storage,
-		mig:     birth,
+		id:       id,
+		pred:     op.cfg.Pred,
+		numRe:    op.cfg.NumReshufflers,
+		cell:     cell,
+		mapping:  mapping,
+		epoch:    epoch,
+		table:    table,
+		state:    storage.NewStore(op.cfg.Pred, op.cfg.Storage),
+		topo:     op.topo,
+		ackCh:    op.ctl.ackCh,
+		met:      op.met.JoinerStats(id),
+		stCfg:    op.cfg.Storage,
+		migBatch: op.cfg.MigBatchSize,
+		mig:      birth,
 	}
 	ports := (*op.topo.ports.Load())[id]
 	w.dataIn = ports.dataIn

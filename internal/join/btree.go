@@ -44,6 +44,14 @@ func (o *OrderedIndex) Insert(t Tuple) {
 	o.root.insertNonFull(t)
 }
 
+// InsertBatch stores every tuple of ts. Tree insertion cost is
+// dominated by the descent, so the batch form is a plain loop.
+func (o *OrderedIndex) InsertBatch(ts []Tuple) {
+	for i := range ts {
+		o.Insert(ts[i])
+	}
+}
+
 // splitChild splits the full child at index i, lifting its median item
 // into n.
 func (n *btreeNode) splitChild(i int) {
@@ -137,6 +145,17 @@ func (n *btreeNode) rangeScan(lo, hi int64, fn func(Tuple)) {
 		fn(n.items[i])
 	}
 	n.children[i].rangeScan(lo, hi, fn)
+}
+
+// ProbeBatch probes every tuple of ps in order. A single relay closure
+// serves the whole batch.
+func (o *OrderedIndex) ProbeBatch(ps []Tuple, fn func(int, Tuple)) {
+	cur := 0
+	relay := func(t Tuple) { fn(cur, t) }
+	for i := range ps {
+		cur = i
+		o.root.rangeScan(ps[i].Key-o.width, ps[i].Key+o.width, relay)
+	}
 }
 
 // Scan visits all stored tuples in key order.

@@ -7,10 +7,18 @@ package join
 type Index interface {
 	// Insert stores a tuple.
 	Insert(t Tuple)
+	// InsertBatch stores every tuple of ts; equivalent to inserting
+	// them in order, with per-call overhead amortized over the batch.
+	InsertBatch(ts []Tuple)
 	// Probe calls fn for every stored tuple that structurally matches
 	// the probe tuple under the predicate the index was built for.
 	// Residual filtering is the caller's job.
 	Probe(probe Tuple, fn func(stored Tuple))
+	// ProbeBatch probes every tuple of ps in order, calling
+	// fn(i, stored) for each structural match of ps[i]. It is the
+	// vectorized form of Probe: one call per envelope instead of one
+	// per tuple, so hash computation and bounds checks amortize.
+	ProbeBatch(ps []Tuple, fn func(i int, stored Tuple))
 	// Len returns the number of stored tuples.
 	Len() int
 	// Bytes returns the accounted storage volume of stored tuples.
@@ -39,52 +47,224 @@ func NewIndex(p Predicate) Index {
 // arenaChunk sizes the tuple arena's fixed blocks. Growth appends a
 // fresh block — existing tuples are never copied, unlike a flat
 // doubling slice whose relocations would dominate the ingest path.
-const arenaChunk = 512
+// An arena offset encodes its block and position explicitly
+// (off = chunk<<arenaShift | pos) rather than as a global index, so a
+// block may sit anywhere in the chunk list while partially filled —
+// which is what lets MergeFrom adopt another arena's blocks wholesale,
+// whatever fill level either arena ends at.
+const (
+	arenaChunk = 512
+	arenaShift = 9 // log2(arenaChunk)
+)
+
+// inlineOffsets is the number of arena offsets stored directly in a
+// hash slot. Three offsets keep the slot at 32 bytes (two per cache
+// line), so a probe of a key with up to three duplicates touches only
+// the slot it lands on — no pointer chase at all.
+const inlineOffsets = 3
+
+// hslot is one open-addressing slot: the key, the per-key tuple count,
+// the first inlineOffsets arena offsets inline, and the id of a spill
+// list holding the overflow. n == 0 marks an empty slot (a stored key
+// always has at least one offset).
+type hslot struct {
+	key    int64
+	n      uint32
+	spill  int32 // index into HashIndex.spill; -1 when inline only
+	inline [inlineOffsets]int32
+}
 
 // HashIndex is a multimap from join key to tuples, the storage half of
-// a symmetric hash join [42]. Tuples live in a chunked arena and
-// buckets hold int32 arena offsets: growing a bucket moves 4-byte
-// indices instead of full Tuple structs, and arena growth allocates a
-// block without relocating stored state — both matter on the ingest
-// hot path, where every routed copy of every tuple is inserted.
+// a symmetric hash join [42]. Tuples live in a chunked arena; the key
+// directory is an open-addressed (linear probing) table of 32-byte
+// slots with small inline bucket storage, overflowing into a shared
+// spill arena. The common probe — a key with at most three duplicates
+// — reads one slot and the arena, with no map iteration machinery and
+// no per-bucket pointer chase; growth moves 32-byte slots, never
+// tuples.
 type HashIndex struct {
-	m      map[int64]*[]int32
+	slots []hslot
+	mask  uint64
+	used  int // occupied slots (distinct keys)
+	// spill holds per-key overflow offset lists, indexed by hslot.spill.
+	// Only keys with more than inlineOffsets duplicates allocate one.
+	spill  [][]int32
 	chunks [][]Tuple
 	n      int
 	bytes  int64
 }
 
 // NewHashIndex returns an empty hash index.
-func NewHashIndex() *HashIndex { return &HashIndex{m: make(map[int64]*[]int32)} }
+func NewHashIndex() *HashIndex { return &HashIndex{} }
 
-// Insert stores t under its key. Buckets are held by pointer so the
-// common append is one map access, not a full map assignment. Arena
-// offsets are int32: a single joiner index holding >2^31 tuples would
-// exhaust memory long before the offset space.
-func (h *HashIndex) Insert(t Tuple) {
-	if h.n == len(h.chunks)*arenaChunk {
-		h.chunks = append(h.chunks, make([]Tuple, 0, arenaChunk))
+// hashKey mixes the key bits (splitmix64 finalizer) so linear probing
+// works on adversarial key sets, e.g. sequential keys.
+func hashKey(k int64) uint64 {
+	x := uint64(k)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// minSlots is the initial directory size.
+const minSlots = 16
+
+// grow doubles the slot directory and re-places occupied slots. Spill
+// lists are carried by id, so only 32-byte slots move.
+func (h *HashIndex) grow() {
+	newCap := 2 * len(h.slots)
+	if newCap < minSlots {
+		newCap = minSlots
 	}
+	old := h.slots
+	h.slots = make([]hslot, newCap)
+	h.mask = uint64(newCap - 1)
+	for i := range old {
+		if old[i].n != 0 {
+			j := hashKey(old[i].key) & h.mask
+			for h.slots[j].n != 0 {
+				j = (j + 1) & h.mask
+			}
+			h.slots[j] = old[i]
+		}
+	}
+}
+
+// arenaAppend stores t in the chunked arena and returns its offset.
+// Arena offsets are int32: a single joiner index holding >2^31 tuples
+// would exhaust memory long before the offset space.
+func (h *HashIndex) arenaAppend(t Tuple) int32 {
 	c := len(h.chunks) - 1
-	h.chunks[c] = append(h.chunks[c], t)
-	b := h.m[t.Key]
-	if b == nil {
-		b = new([]int32)
-		h.m[t.Key] = b
+	if c < 0 || len(h.chunks[c]) == arenaChunk {
+		h.chunks = append(h.chunks, make([]Tuple, 0, arenaChunk))
+		c++
 	}
-	*b = append(*b, int32(h.n))
+	off := int32(c<<arenaShift | len(h.chunks[c]))
+	h.chunks[c] = append(h.chunks[c], t)
 	h.n++
+	return off
+}
+
+// insertOffset records key -> off in the slot directory.
+func (h *HashIndex) insertOffset(key int64, off int32) {
+	// Grow on distinct-key load: 3/4 of the directory.
+	if h.used >= len(h.slots)-len(h.slots)/4 {
+		h.grow()
+	}
+	i := hashKey(key) & h.mask
+	for {
+		s := &h.slots[i]
+		if s.n == 0 {
+			s.key = key
+			s.n = 1
+			s.spill = -1
+			s.inline[0] = off
+			h.used++
+			return
+		}
+		if s.key == key {
+			switch {
+			case s.n < inlineOffsets:
+				s.inline[s.n] = off
+			case s.spill < 0:
+				s.spill = int32(len(h.spill))
+				h.spill = append(h.spill, []int32{off})
+			default:
+				h.spill[s.spill] = append(h.spill[s.spill], off)
+			}
+			s.n++
+			return
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// Insert stores t under its key.
+func (h *HashIndex) Insert(t Tuple) {
+	off := h.arenaAppend(t)
+	h.insertOffset(t.Key, off)
 	h.bytes += t.Bytes()
 }
 
-// at returns the tuple at arena offset i.
-func (h *HashIndex) at(i int32) Tuple { return h.chunks[i/arenaChunk][i%arenaChunk] }
+// InsertBatch stores every tuple of ts.
+func (h *HashIndex) InsertBatch(ts []Tuple) {
+	var bytes int64
+	for i := range ts {
+		off := h.arenaAppend(ts[i])
+		h.insertOffset(ts[i].Key, off)
+		bytes += ts[i].Bytes()
+	}
+	h.bytes += bytes
+}
 
-// Probe enumerates stored tuples with key equal to the probe's key.
+// at returns the tuple at arena offset i.
+func (h *HashIndex) at(i int32) Tuple { return h.chunks[i>>arenaShift][i&(arenaChunk-1)] }
+
+// findSlot returns the slot index holding key, or -1.
+func (h *HashIndex) findSlot(key int64) int {
+	if h.used == 0 {
+		return -1
+	}
+	i := hashKey(key) & h.mask
+	for {
+		s := &h.slots[i]
+		if s.n == 0 {
+			return -1
+		}
+		if s.key == key {
+			return int(i)
+		}
+		i = (i + 1) & h.mask
+	}
+}
+
+// Probe enumerates stored tuples with key equal to the probe's key, in
+// per-key insertion order.
 func (h *HashIndex) Probe(probe Tuple, fn func(Tuple)) {
-	if b := h.m[probe.Key]; b != nil {
-		for _, i := range *b {
-			fn(h.at(i))
+	si := h.findSlot(probe.Key)
+	if si < 0 {
+		return
+	}
+	s := &h.slots[si]
+	in := int(s.n)
+	if in > inlineOffsets {
+		in = inlineOffsets
+	}
+	for k := 0; k < in; k++ {
+		fn(h.at(s.inline[k]))
+	}
+	if s.spill >= 0 {
+		for _, off := range h.spill[s.spill] {
+			fn(h.at(off))
+		}
+	}
+}
+
+// ProbeBatch probes every tuple of ps in order.
+func (h *HashIndex) ProbeBatch(ps []Tuple, fn func(int, Tuple)) {
+	if h.used == 0 {
+		return
+	}
+	for i := range ps {
+		si := h.findSlot(ps[i].Key)
+		if si < 0 {
+			continue
+		}
+		s := &h.slots[si]
+		in := int(s.n)
+		if in > inlineOffsets {
+			in = inlineOffsets
+		}
+		for k := 0; k < in; k++ {
+			fn(i, h.at(s.inline[k]))
+		}
+		if s.spill >= 0 {
+			for _, off := range h.spill[s.spill] {
+				fn(i, h.at(off))
+			}
 		}
 	}
 }
@@ -107,7 +287,7 @@ func (h *HashIndex) Scan(fn func(Tuple) bool) {
 }
 
 // Retain drops tuples failing keep, compacting the arena and
-// rebuilding the bucket directory. Migration discards touch on the
+// rebuilding the slot directory. Migration discards touch on the
 // order of half the state, so the O(n) rebuild matches the old
 // per-bucket sweep.
 func (h *HashIndex) Retain(keep func(Tuple) bool) int {
@@ -132,6 +312,31 @@ func (h *HashIndex) Retain(keep func(Tuple) bool) int {
 	return removed
 }
 
+// MergeFrom bulk-merges every tuple of o into h, consuming o (o must
+// not be used afterward). The source chunk blocks are adopted
+// wholesale — no tuple is copied, only the 32-byte directory entries
+// are built — which is what makes migration finalization a directory
+// rebuild instead of a full re-insert. The (chunk,pos) offset encoding
+// is what makes adoption unconditional: a partially filled block is
+// addressable anywhere in the chunk list, so neither arena needs to
+// end on a block boundary. h's previous tail block simply stays
+// partial; only o's tail keeps receiving appends.
+func (h *HashIndex) MergeFrom(o *HashIndex) {
+	if o.n == 0 {
+		return
+	}
+	base := len(h.chunks)
+	h.chunks = append(h.chunks, o.chunks...)
+	h.n += o.n
+	for ci, chunk := range o.chunks {
+		for i := range chunk {
+			h.insertOffset(chunk[i].Key, int32((base+ci)<<arenaShift|i))
+		}
+	}
+	h.bytes += o.bytes
+	*o = HashIndex{}
+}
+
 // ScanIndex stores tuples in arrival order and matches every stored
 // tuple on probe: the storage half of a nested-loop theta join. Joiners
 // fall back to it for arbitrary predicates, where no index structure
@@ -147,11 +352,28 @@ func NewScanIndex() *ScanIndex { return &ScanIndex{} }
 // Insert appends t.
 func (s *ScanIndex) Insert(t Tuple) { s.ts = append(s.ts, t); s.bytes += t.Bytes() }
 
+// InsertBatch appends every tuple of ts.
+func (s *ScanIndex) InsertBatch(ts []Tuple) {
+	s.ts = append(s.ts, ts...)
+	for i := range ts {
+		s.bytes += ts[i].Bytes()
+	}
+}
+
 // Probe enumerates every stored tuple: all are structural candidates
 // under a theta predicate.
 func (s *ScanIndex) Probe(_ Tuple, fn func(Tuple)) {
 	for _, t := range s.ts {
 		fn(t)
+	}
+}
+
+// ProbeBatch probes every tuple of ps in order.
+func (s *ScanIndex) ProbeBatch(ps []Tuple, fn func(int, Tuple)) {
+	for i := range ps {
+		for _, t := range s.ts {
+			fn(i, t)
+		}
 	}
 }
 

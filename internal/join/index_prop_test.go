@@ -1,0 +1,218 @@
+package join
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// eqTuple compares the comparable projection of two tuples (payloads
+// are nil throughout this test).
+func eqTuple(a, b Tuple) bool {
+	return a.Rel == b.Rel && a.Key == b.Key && a.Aux == b.Aux &&
+		a.Size == b.Size && a.U == b.U && a.Seq == b.Seq && a.Dummy == b.Dummy
+}
+
+// sortTuples orders a tuple multiset deterministically for comparison.
+func sortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Key != ts[j].Key {
+			return ts[i].Key < ts[j].Key
+		}
+		return ts[i].Seq < ts[j].Seq
+	})
+}
+
+// TestHashIndexMatchesScanIndexReference is the safety net for the
+// open-addressed index rewrite: it drives the hash index and the
+// brute-force scan index through the same randomized tuple stream —
+// single and batched inserts, probes, Retain discards, and Scan
+// interleavings — and asserts the equi-join output (and all accounted
+// state) stays identical throughout. The scan index enumerates every
+// stored tuple on probe, so filtering its candidates by key equality
+// is the reference equi-join semantics.
+func TestHashIndexMatchesScanIndexReference(t *testing.T) {
+	pred := EquiJoin("prop", nil)
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		h := NewHashIndex()
+		ref := NewScanIndex()
+		var seq uint64
+		// A small key domain forces deep duplicate buckets (inline
+		// storage overflowing into the spill arena); a larger one
+		// exercises directory growth. Alternate per trial.
+		domain := int64(12)
+		if trial%2 == 1 {
+			domain = 4096
+		}
+		mk := func() Tuple {
+			seq++
+			return Tuple{Rel: matrix.SideS, Key: rng.Int63n(domain), Size: 8, Seq: seq}
+		}
+		probeBoth := func(key int64) {
+			probe := Tuple{Rel: matrix.SideR, Key: key, Size: 8}
+			var got, want []Tuple
+			h.Probe(probe, func(s Tuple) {
+				if !pred.Matches(probe, s) {
+					t.Fatalf("trial %d: hash probe(%d) surfaced non-matching key %d", trial, key, s.Key)
+				}
+				got = append(got, s)
+			})
+			ref.Probe(probe, func(s Tuple) {
+				if pred.Matches(probe, s) {
+					want = append(want, s)
+				}
+			})
+			sortTuples(got)
+			sortTuples(want)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: probe(%d) matched %d tuples, reference %d", trial, key, len(got), len(want))
+			}
+			for i := range got {
+				if !eqTuple(got[i], want[i]) {
+					t.Fatalf("trial %d: probe(%d)[%d] = %+v, reference %+v", trial, key, i, got[i], want[i])
+				}
+			}
+		}
+		for op := 0; op < 1500; op++ {
+			switch r := rng.Intn(100); {
+			case r < 40: // single insert
+				tp := mk()
+				h.Insert(tp)
+				ref.Insert(tp)
+			case r < 55: // batched insert
+				batch := make([]Tuple, 1+rng.Intn(24))
+				for i := range batch {
+					batch[i] = mk()
+				}
+				h.InsertBatch(batch)
+				ref.InsertBatch(batch)
+			case r < 80: // probe a key (present or absent)
+				probeBoth(rng.Int63n(domain + 4))
+			case r < 85: // batched probe of several keys
+				probes := make([]Tuple, 1+rng.Intn(8))
+				for i := range probes {
+					probes[i] = Tuple{Rel: matrix.SideR, Key: rng.Int63n(domain + 4), Size: 8}
+				}
+				type hit struct {
+					i int
+					t Tuple
+				}
+				var got, want []hit
+				h.ProbeBatch(probes, func(i int, s Tuple) { got = append(got, hit{i, s}) })
+				ref.ProbeBatch(probes, func(i int, s Tuple) {
+					if pred.Matches(probes[i], s) {
+						want = append(want, hit{i, s})
+					}
+				})
+				less := func(hs []hit) func(a, b int) bool {
+					return func(a, b int) bool {
+						if hs[a].i != hs[b].i {
+							return hs[a].i < hs[b].i
+						}
+						return hs[a].t.Seq < hs[b].t.Seq
+					}
+				}
+				sort.Slice(got, less(got))
+				sort.Slice(want, less(want))
+				if len(got) != len(want) {
+					t.Fatalf("trial %d: batch probe matched %d, reference %d", trial, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].i != want[i].i || !eqTuple(got[i].t, want[i].t) {
+						t.Fatalf("trial %d: batch probe hit %d: %+v vs %+v", trial, i, got[i], want[i])
+					}
+				}
+			case r < 93: // interleaved Scan: full contents must agree
+				var got, want []Tuple
+				h.Scan(func(tp Tuple) bool { got = append(got, tp); return true })
+				ref.Scan(func(tp Tuple) bool { want = append(want, tp); return true })
+				sortTuples(got)
+				sortTuples(want)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d: scan found %d tuples, reference %d", trial, len(got), len(want))
+				}
+				for i := range got {
+					if !eqTuple(got[i], want[i]) {
+						t.Fatalf("trial %d: scan[%d] = %+v, reference %+v", trial, i, got[i], want[i])
+					}
+				}
+			default: // Retain a random key stratum (a migration discard)
+				mod := int64(2 + rng.Intn(3))
+				res := rng.Int63n(mod)
+				keep := func(tp Tuple) bool { return tp.Key%mod != res }
+				if hr, rr := h.Retain(keep), ref.Retain(keep); hr != rr {
+					t.Fatalf("trial %d: Retain removed %d, reference %d", trial, hr, rr)
+				}
+			}
+			if h.Len() != ref.Len() || h.Bytes() != ref.Bytes() {
+				t.Fatalf("trial %d: Len/Bytes %d/%d diverged from reference %d/%d",
+					trial, h.Len(), h.Bytes(), ref.Len(), ref.Bytes())
+			}
+		}
+	}
+}
+
+// TestHashIndexMergeFrom exercises the chunk-adopting bulk merge with
+// the destination arena ending on and off block boundaries (including
+// the empty destination): the (chunk,pos) offset encoding must keep
+// every adopted tuple addressable in all cases.
+func TestHashIndexMergeFrom(t *testing.T) {
+	for _, dstN := range []int{0, arenaChunk, arenaChunk / 3, 2*arenaChunk + 17} {
+		h := NewHashIndex()
+		ref := NewScanIndex()
+		seq := uint64(0)
+		add := func(idx Index, n int, rng *rand.Rand) {
+			for i := 0; i < n; i++ {
+				seq++
+				idx.Insert(Tuple{Rel: matrix.SideS, Key: rng.Int63n(64), Size: 8, Seq: seq})
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(dstN)))
+		for i := 0; i < dstN; i++ {
+			seq++
+			tp := Tuple{Rel: matrix.SideS, Key: rng.Int63n(64), Size: 8, Seq: seq}
+			h.Insert(tp)
+			ref.Insert(tp)
+		}
+		src := NewHashIndex()
+		srcN := arenaChunk + 99
+		add(src, srcN, rng)
+		src.Scan(func(tp Tuple) bool { ref.Insert(tp); return true })
+
+		h.MergeFrom(src)
+		if h.Len() != dstN+srcN {
+			t.Fatalf("dstN=%d: merged Len %d, want %d", dstN, h.Len(), dstN+srcN)
+		}
+		if h.Bytes() != ref.Bytes() {
+			t.Fatalf("dstN=%d: merged Bytes %d, want %d", dstN, h.Bytes(), ref.Bytes())
+		}
+		for key := int64(0); key < 68; key++ {
+			probe := Tuple{Rel: matrix.SideR, Key: key}
+			var got, want []Tuple
+			h.Probe(probe, func(s Tuple) { got = append(got, s) })
+			ref.Probe(probe, func(s Tuple) {
+				if s.Key == key {
+					want = append(want, s)
+				}
+			})
+			sortTuples(got)
+			sortTuples(want)
+			if len(got) != len(want) {
+				t.Fatalf("dstN=%d: probe(%d) matched %d, want %d", dstN, key, len(got), len(want))
+			}
+			for i := range got {
+				if !eqTuple(got[i], want[i]) {
+					t.Fatalf("dstN=%d: probe(%d)[%d] mismatch", dstN, key, i)
+				}
+			}
+		}
+		// Inserts after a merge must keep extending the adopted arena.
+		add(h, 10, rng)
+		if h.Len() != dstN+srcN+10 {
+			t.Fatalf("dstN=%d: post-merge inserts broke Len: %d", dstN, h.Len())
+		}
+	}
+}

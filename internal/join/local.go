@@ -60,6 +60,76 @@ func (l *Local) Insert(t Tuple) {
 	}
 }
 
+// ProbeBatch joins a run of same-side tuples against the stored tuples
+// of the opposite relation without storing them. Dummy padding tuples
+// never match, so they are skipped before reaching the index — the
+// batch form of Probe's short-circuit; in the common dummy-free run
+// this costs one scan and probes the run in a single index call.
+func (l *Local) ProbeBatch(ts []Tuple, emit Emit) {
+	for start := 0; start < len(ts); {
+		if ts[start].Dummy {
+			start++
+			continue
+		}
+		end := start + 1
+		for end < len(ts) && !ts[end].Dummy {
+			end++
+		}
+		l.probeRun(ts[start:end], emit)
+		start = end
+	}
+}
+
+// probeRun probes one dummy-free same-side run.
+func (l *Local) probeRun(ts []Tuple, emit Emit) {
+	if ts[0].Rel == matrix.SideR {
+		l.s.ProbeBatch(ts, func(i int, stored Tuple) {
+			if l.pred.Matches(ts[i], stored) {
+				emit(Pair{R: ts[i], S: stored})
+			}
+		})
+	} else {
+		l.r.ProbeBatch(ts, func(i int, stored Tuple) {
+			if l.pred.Matches(stored, ts[i]) {
+				emit(Pair{R: stored, S: ts[i]})
+			}
+		})
+	}
+}
+
+// InsertBatch stores a run of same-side tuples without probing.
+func (l *Local) InsertBatch(ts []Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	if ts[0].Rel == matrix.SideR {
+		l.r.InsertBatch(ts)
+	} else {
+		l.s.InsertBatch(ts)
+	}
+}
+
+// MergeFrom bulk-merges the other join's stored tuples into l,
+// consuming other. Hash indexes merge by stealing whole arena chunks;
+// other index kinds fall back to scan-and-insert.
+func (l *Local) MergeFrom(other *Local) {
+	l.r = mergeIndex(l.r, other.r)
+	l.s = mergeIndex(l.s, other.s)
+}
+
+// mergeIndex merges src into dst, using the chunk-stealing bulk path
+// when both are hash indexes.
+func mergeIndex(dst, src Index) Index {
+	if d, ok := dst.(*HashIndex); ok {
+		if s, ok := src.(*HashIndex); ok {
+			d.MergeFrom(s)
+			return d
+		}
+	}
+	src.Scan(func(t Tuple) bool { dst.Insert(t); return true })
+	return dst
+}
+
 // ProbeAgainst joins t against the stored tuples of the *other* local
 // join's opposite side. Used by the epoch protocol to join new-epoch
 // tuples against kept old-epoch state held in a separate Local.

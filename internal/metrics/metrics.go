@@ -61,6 +61,18 @@ type Operator struct {
 	BatchFlushLinger atomic.Int64
 	BatchFlushIdle   atomic.Int64
 	BatchFlushSignal atomic.Int64
+
+	// MigBatchesSent counts migration-plane envelopes (batched
+	// kMigTuple traffic plus the single-message kMigBegin/kMigDone
+	// framing); MigBatchedMessages counts the messages they carried.
+	MigBatchesSent     atomic.Int64
+	MigBatchedMessages atomic.Int64
+	// MigrationNanos accumulates wall time from each elementary epoch
+	// step's broadcast to its last joiner ack — migration steps and
+	// elastic expansions alike: the drain time of the relocated state
+	// under Alg. 3. Divide by Migrations+Expansions for a per-step
+	// figure.
+	MigrationNanos atomic.Int64
 }
 
 // MeanBatchSize returns the realized mean messages per data-plane
@@ -71,6 +83,22 @@ func (m *Operator) MeanBatchSize() float64 {
 		return 0
 	}
 	return float64(m.BatchedMessages.Load()) / float64(n)
+}
+
+// MeanMigBatchSize returns the realized mean messages per
+// migration-plane envelope, or 0 before any envelope has shipped.
+func (m *Operator) MeanMigBatchSize() float64 {
+	n := m.MigBatchesSent.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(m.MigBatchedMessages.Load()) / float64(n)
+}
+
+// MigrationDrain returns the cumulative wall time spent draining
+// elementary migration steps (decision broadcast to last ack).
+func (m *Operator) MigrationDrain() time.Duration {
+	return time.Duration(m.MigrationNanos.Load())
 }
 
 // NewOperator returns metrics for j joiners.

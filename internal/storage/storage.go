@@ -79,6 +79,45 @@ func (s *Store) Probe(t join.Tuple, emit join.Emit) {
 	}
 }
 
+// AddBatch probes and then stores a run of same-side tuples (all ts
+// share ts[0].Rel): the batch form of Add, with spill-tier dispatch
+// and budget checks amortized per envelope. Because tuples of one
+// relation never join each other, probing the whole run before storing
+// it emits exactly the pairs per-tuple Add calls would.
+func (s *Store) AddBatch(ts []join.Tuple, emit join.Emit) {
+	s.ProbeBatch(ts, emit)
+	s.InsertBatch(ts)
+}
+
+// ProbeBatch joins a run of same-side tuples against all stored tuples
+// of the opposite relation without storing them.
+func (s *Store) ProbeBatch(ts []join.Tuple, emit join.Emit) {
+	if len(ts) == 0 {
+		return
+	}
+	s.mem.ProbeBatch(ts, emit)
+	if seg := s.segs[ts[0].Rel.Other()]; seg != nil {
+		for i := range ts {
+			if !ts[i].Dummy {
+				seg.probe(ts[i], s.pred, emit, &s.Metrics)
+			}
+		}
+	}
+}
+
+// InsertBatch stores a run of same-side tuples. Unbudgeted stores (the
+// common case) take one batched memory-tier insert; budgeted stores
+// fall back to the per-tuple spill dispatch.
+func (s *Store) InsertBatch(ts []join.Tuple) {
+	if s.cfg.CapBytes == 0 {
+		s.mem.InsertBatch(ts)
+		return
+	}
+	for i := range ts {
+		s.Insert(ts[i])
+	}
+}
+
 // Insert stores t in the memory tier if it fits the budget, else in the
 // disk tier.
 func (s *Store) Insert(t join.Tuple) {
@@ -160,6 +199,26 @@ func (s *Store) Retain(side matrix.Side, keep func(join.Tuple) bool) int {
 		removed += seg.retain(keep, s.cfg, s.pred, &s.Metrics)
 	}
 	return removed
+}
+
+// MergeFrom bulk-merges every tuple stored in src into s without
+// probing, consuming src's in-memory state (src must only be Closed
+// afterward). When s is unbudgeted and src never spilled — the normal
+// migration-finalization case — hash-indexed state merges by stealing
+// whole arena chunks instead of re-inserting tuple by tuple. Budgeted
+// or spilled stores fall back to the per-tuple insert path so the
+// memory cap keeps being enforced.
+func (s *Store) MergeFrom(src *Store) {
+	if s.cfg.CapBytes == 0 && !src.Spilled() {
+		s.mem.MergeFrom(src.mem)
+		return
+	}
+	for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
+		src.Scan(side, func(t join.Tuple) bool {
+			s.Insert(t)
+			return true
+		})
+	}
 }
 
 // Close releases disk resources. The store must not be used afterward.

@@ -18,7 +18,9 @@
 //   - Operator / Config — the concurrent operator: one goroutine per
 //     joiner and reshuffler task, with a batched message plane as the
 //     interconnect (per-destination tuple batches, pool-recycled
-//     envelopes; see Config.BatchSize and Config.BatchLinger).
+//     envelopes; see Config.BatchSize and Config.BatchLinger). The
+//     migration plane batches relocated state the same way (see
+//     Config.MigBatchSize).
 //   - Grouped / GroupedConfig — the generalization to machine counts
 //     that are not powers of two (§4.2.2).
 //   - Sim / SimConfig — a deterministic single-threaded replay used to
