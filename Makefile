@@ -21,9 +21,14 @@ bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
 # Ingest ns/tuple versus the committed BENCH_*.json trajectory
-# (informational; mirrors the CI bench-smoke delta step).
+# (informational; mirrors the CI bench-smoke delta step). The sparse
+# and high-fanout benchmarks need different iteration budgets — fanout
+# runs a fixed 100k-tuple stream per iteration — so they run separately
+# and pipe into one benchdelta invocation.
 bench-delta:
-	$(GO) test -bench BenchmarkOperatorIngest -benchtime=20000x -run '^$$' . | $(GO) run ./cmd/benchdelta
+	( $(GO) test -bench '^BenchmarkOperatorIngest$$' -benchtime=20000x -run '^$$' . ; \
+	  $(GO) test -bench '^BenchmarkOperatorIngestFanout$$' -benchtime=2x -run '^$$' . ) \
+	| $(GO) run ./cmd/benchdelta
 
 lint:
 	$(GO) vet ./...

@@ -227,42 +227,142 @@ func BenchmarkOperatorEquiThroughput(b *testing.B) {
 	}
 }
 
+// sparseStream pre-builds an interleaved R/S stream with keys sparse
+// enough that ingest, not output, dominates.
+func sparseStream(n int) []squall.Tuple {
+	rng := rand.New(rand.NewSource(1))
+	tuples := make([]squall.Tuple, n)
+	for i := range tuples {
+		side := squall.SideR
+		if i%2 == 1 {
+			side = squall.SideS
+		}
+		tuples[i] = squall.Tuple{Rel: side, Key: rng.Int63n(1 << 20), Size: 8}
+	}
+	return tuples
+}
+
 // BenchmarkOperatorIngest measures the reshuffler->joiner message
 // plane end to end at different batch sizes: batch=1 is the seed's
-// per-message plane, batch=32 the default batched plane. The ns/op gap
+// per-message plane, batch=32 the default batched plane; the ns/op gap
 // is the amortized per-tuple synchronization cost the batching removes
-// (the PR-1 trajectory point in BENCH_PR1.json).
+// (the PR-1 trajectory point in BENCH_PR1.json). The sendbatch=N runs
+// feed the same stream through SendBatch in N-tuple runs, measuring
+// the batched ingest front end on top of the batched plane (the PR-3
+// trajectory point in BENCH_PR3.json).
 func BenchmarkOperatorIngest(b *testing.B) {
+	run := func(b *testing.B, bs, chunk int) {
+		// Pre-build the stream so the timed region is purely the
+		// operator: Send through Finish (full pipeline drain), which
+		// keeps ns/op stable regardless of backpressure phase.
+		tuples := sparseStream(b.N)
+		var n atomic.Int64
+		op := squall.NewOperator(squall.Config{
+			J: 16, Pred: squall.EquiJoin("bench", nil), BatchSize: bs, Seed: 1,
+			Emit: func(squall.Pair) { n.Add(1) },
+		})
+		op.Start()
+		b.ResetTimer()
+		if chunk <= 1 {
+			for i := range tuples {
+				if err := op.Send(tuples[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		} else {
+			for start := 0; start < len(tuples); start += chunk {
+				end := start + chunk
+				if end > len(tuples) {
+					end = len(tuples)
+				}
+				if err := op.SendBatch(tuples[start:end]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := op.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		b.ReportMetric(op.Metrics().MeanBatchSize(), "msgs/batch")
+	}
 	for _, bs := range []int{1, 32, 64, 128} {
 		bs := bs
-		b.Run("batch="+strconv.Itoa(bs), func(b *testing.B) {
-			// Pre-build the stream so the timed region is purely the
-			// operator: Send through Finish (full pipeline drain), which
-			// keeps ns/op stable regardless of backpressure phase.
-			rng := rand.New(rand.NewSource(1))
-			tuples := make([]squall.Tuple, b.N)
-			for i := range tuples {
-				side := squall.SideR
-				if i%2 == 1 {
-					side = squall.SideS
-				}
-				tuples[i] = squall.Tuple{Rel: side, Key: rng.Int63n(1 << 20), Size: 8}
+		b.Run("batch="+strconv.Itoa(bs), func(b *testing.B) { run(b, bs, 1) })
+	}
+	for _, bs := range []int{32, 128} {
+		bs := bs
+		b.Run("sendbatch="+strconv.Itoa(bs), func(b *testing.B) { run(b, bs, bs) })
+	}
+}
+
+// BenchmarkOperatorIngestFanout measures the output-dominated regime:
+// keys land in a small domain, so every probe fans out into many
+// matches and the emit sink, not the ingest plane, carries most of the
+// volume — the workload the vectorized emit sink (EmitBatch, per-flush
+// accounting) is for. Each iteration runs a fixed-size stream through
+// a fresh operator (output volume grows quadratically with stream
+// length, so scaling the stream with b.N would not measure a rate);
+// ns/tuple and pairs/tuple are reported per metric.
+func BenchmarkOperatorIngestFanout(b *testing.B) {
+	const (
+		nTuples = 100000
+		domain  = 512
+	)
+	stream := func() []squall.Tuple {
+		rng := rand.New(rand.NewSource(7))
+		tuples := make([]squall.Tuple, nTuples)
+		for i := range tuples {
+			side := squall.SideR
+			if i%2 == 1 {
+				side = squall.SideS
 			}
-			var n atomic.Int64
-			op := squall.NewOperator(squall.Config{
-				J: 16, Pred: squall.EquiJoin("bench", nil), BatchSize: bs, Seed: 1,
-				Emit: func(squall.Pair) { n.Add(1) },
-			})
-			op.Start()
+			tuples[i] = squall.Tuple{Rel: side, Key: rng.Int63n(domain), Size: 8}
+		}
+		return tuples
+	}
+	for _, mode := range []string{"batch=32", "sendbatch=32"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			tuples := stream()
+			var pairs int64
 			b.ResetTimer()
-			for i := range tuples {
-				op.Send(tuples[i])
-			}
-			if err := op.Finish(); err != nil {
-				b.Fatal(err)
+			for iter := 0; iter < b.N; iter++ {
+				var n atomic.Int64
+				cfg := squall.Config{J: 16, Pred: squall.EquiJoin("bench", nil), Seed: 1}
+				if mode == "sendbatch=32" {
+					cfg.EmitBatch = func(ps []squall.Pair) { n.Add(int64(len(ps))) }
+				} else {
+					cfg.Emit = func(squall.Pair) { n.Add(1) }
+				}
+				op := squall.NewOperator(cfg)
+				op.Start()
+				if mode == "sendbatch=32" {
+					for start := 0; start < len(tuples); start += 32 {
+						end := start + 32
+						if end > len(tuples) {
+							end = len(tuples)
+						}
+						if err := op.SendBatch(tuples[start:end]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					for i := range tuples {
+						if err := op.Send(tuples[i]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				if err := op.Finish(); err != nil {
+					b.Fatal(err)
+				}
+				pairs = n.Load()
 			}
 			b.StopTimer()
-			b.ReportMetric(op.Metrics().MeanBatchSize(), "msgs/batch")
+			perIter := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(perIter/nTuples, "ns/tuple")
+			b.ReportMetric(float64(pairs)/nTuples, "pairs/tuple")
 		})
 	}
 }

@@ -1,8 +1,17 @@
 // Command benchdelta compares a `go test -bench` run piped on stdin
 // against the committed BENCH_*.json trajectory and prints the
-// ns/tuple delta per batch size. It is informational and never fails:
-// CI's bench-smoke job uses it to surface ingest-path drift on every
-// run without gating merges on noisy shared-runner timings.
+// ns/tuple delta per configuration. The trajectory file is discovered
+// automatically: whichever BENCH_PR*.json has the highest pr number is
+// the baseline, so adding BENCH_PR<n+1>.json re-bases the comparison
+// with no tooling change. It is informational and never fails: CI's
+// bench-smoke job uses it to surface ingest-path drift on every run
+// without gating merges on noisy shared-runner timings.
+//
+// It understands three line shapes:
+//
+//	BenchmarkOperatorIngest/batch=N          ... ns/op       (per-tuple Send plane)
+//	BenchmarkOperatorIngest/sendbatch=N      ... ns/op       (SendBatch front end)
+//	BenchmarkOperatorIngestFanout/<mode>     ... ns/tuple    (output-dominated workload)
 //
 // Usage:
 //
@@ -16,23 +25,34 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
-	"sort"
 	"strconv"
 )
 
-// trajectory mirrors the BENCH_PR*.json schema.
-type trajectory struct {
-	PR        int    `json:"pr"`
-	Benchmark string `json:"benchmark"`
-	Results   []struct {
-		BatchSize  int     `json:"batch_size"`
-		NsPerTuple float64 `json:"ns_per_tuple"`
-	} `json:"results"`
+// point is one committed trajectory measurement.
+type point struct {
+	BatchSize  int     `json:"batch_size,omitempty"`
+	Mode       string  `json:"mode,omitempty"`
+	NsPerTuple float64 `json:"ns_per_tuple"`
 }
 
-// benchLine matches e.g.
+// trajectory mirrors the BENCH_PR*.json schema. Older files only have
+// Results; SendBatchResults and FanoutResults appear from PR 3 on.
+type trajectory struct {
+	PR               int     `json:"pr"`
+	Benchmark        string  `json:"benchmark"`
+	Results          []point `json:"results"`
+	SendBatchResults []point `json:"sendbatch_results"`
+	FanoutResults    []point `json:"fanout_results"`
+}
+
+// ingestLine matches e.g.
 // BenchmarkOperatorIngest/batch=32-4   500000   1973 ns/op   24.69 msgs/batch
-var benchLine = regexp.MustCompile(`^BenchmarkOperatorIngest/batch=(\d+)\S*\s+\d+\s+([\d.]+) ns/op`)
+var ingestLine = regexp.MustCompile(`^BenchmarkOperatorIngest/(batch|sendbatch)=(\d+)\S*\s+\d+\s+([\d.]+) ns/op`)
+
+// fanoutLine matches e.g.
+// BenchmarkOperatorIngestFanout/sendbatch=32-4   3   474078088 ns/op   4741 ns/tuple   48.85 pairs/tuple
+// (the -procs suffix is absent on single-CPU runners).
+var fanoutLine = regexp.MustCompile(`^BenchmarkOperatorIngestFanout/(\S+?)(?:-\d+)?\s.*?([\d.]+) ns/tuple`)
 
 func main() {
 	committed := loadLatest()
@@ -40,25 +60,36 @@ func main() {
 		fmt.Println("benchdelta: no BENCH_*.json trajectory found; nothing to compare")
 		return
 	}
-	base := make(map[int]float64, len(committed.Results))
+	base := make(map[string]float64)
 	for _, r := range committed.Results {
-		base[r.BatchSize] = r.NsPerTuple
+		base["batch="+strconv.Itoa(r.BatchSize)] = r.NsPerTuple
+	}
+	for _, r := range committed.SendBatchResults {
+		base["sendbatch="+strconv.Itoa(r.BatchSize)] = r.NsPerTuple
+	}
+	for _, r := range committed.FanoutResults {
+		base["fanout/"+r.Mode] = r.NsPerTuple
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	found := false
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
+		var key string
+		var ns float64
+		if m := ingestLine.FindStringSubmatch(sc.Text()); m != nil {
+			key = m[1] + "=" + m[2]
+			ns, _ = strconv.ParseFloat(m[3], 64)
+		} else if m := fanoutLine.FindStringSubmatch(sc.Text()); m != nil {
+			key = "fanout/" + m[1]
+			ns, _ = strconv.ParseFloat(m[2], 64)
+		} else {
 			continue
 		}
-		bs, _ := strconv.Atoi(m[1])
-		ns, _ := strconv.ParseFloat(m[2], 64)
 		found = true
-		if ref, ok := base[bs]; ok && ref > 0 {
-			fmt.Printf("batch=%-4d %8.0f ns/tuple  committed(PR %d) %8.0f  delta %+6.1f%%\n",
-				bs, ns, committed.PR, ref, 100*(ns-ref)/ref)
+		if ref, ok := base[key]; ok && ref > 0 {
+			fmt.Printf("%-16s %8.0f ns/tuple  committed(PR %d) %8.0f  delta %+6.1f%%\n",
+				key, ns, committed.PR, ref, 100*(ns-ref)/ref)
 		} else {
-			fmt.Printf("batch=%-4d %8.0f ns/tuple  (no committed point)\n", bs, ns)
+			fmt.Printf("%-16s %8.0f ns/tuple  (no committed point)\n", key, ns)
 		}
 	}
 	if !found {
@@ -70,7 +101,6 @@ func main() {
 // loadLatest returns the highest-PR trajectory file, or nil.
 func loadLatest() *trajectory {
 	paths, _ := filepath.Glob("BENCH_PR*.json")
-	sort.Strings(paths)
 	var latest *trajectory
 	for _, p := range paths {
 		raw, err := os.ReadFile(p)

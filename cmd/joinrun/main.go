@@ -69,7 +69,7 @@ func main() {
 
 // buildOperator wires the requested operator and returns its send,
 // finish and report hooks.
-func buildOperator(name string, q workload.Query, j int, r, s int64, seed int64, emit join.Emit) (func(join.Tuple), func() error, func()) {
+func buildOperator(name string, q workload.Query, j int, r, s int64, seed int64, emit join.Emit) (func(join.Tuple) error, func() error, func()) {
 	switch name {
 	case "dynamic", "staticmid", "staticopt":
 		cfg := core.Config{J: j, Pred: q.Pred, Seed: seed, Emit: emit}
@@ -96,7 +96,8 @@ func buildOperator(name string, q workload.Query, j int, r, s int64, seed int64,
 		}
 		op := baseline.NewSHJ(baseline.SHJConfig{J: j, Pred: q.Pred, Emit: emit})
 		op.Start()
-		return op.Send, op.Finish, func() {
+		send := func(t join.Tuple) error { op.Send(t); return nil }
+		return send, op.Finish, func() {
 			m := op.Metrics()
 			fmt.Printf("ILF        %d tuples/machine (max; mean %d)\n",
 				m.MaxILFTuples(), m.TotalInputTuples()/int64(j))

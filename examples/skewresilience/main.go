@@ -31,7 +31,7 @@ func zipfKey(rng *rand.Rand) int64 {
 	return k
 }
 
-func run(name string, send func(squall.Tuple), finish func() error, m *squall.OperatorMetrics, out *atomic.Int64) {
+func run(name string, send func(squall.Tuple) error, finish func() error, m *squall.OperatorMetrics, out *atomic.Int64) {
 	rng := rand.New(rand.NewSource(99))
 	for i := 0; i < tuples; i++ {
 		side := squall.SideR
@@ -60,7 +60,7 @@ func main() {
 		Emit: func(squall.Pair) { shjOut.Add(1) },
 	})
 	shj.Start()
-	run("SHJ", shj.Send, shj.Finish, shj.Metrics(), &shjOut)
+	run("SHJ", func(t squall.Tuple) error { shj.Send(t); return nil }, shj.Finish, shj.Metrics(), &shjOut)
 
 	var dynOut atomic.Int64
 	dyn := squall.NewOperator(squall.Config{

@@ -40,3 +40,37 @@ func putBatch(b []message) {
 	b = b[:0]
 	batchPool.Put(&b)
 }
+
+// The ingest front end uses the same discipline one hop earlier:
+// Send/SendBatch wrap tuples in pooled []sourceItem envelopes, the
+// source rings carry whole envelopes, and the consuming reshuffler
+// returns each envelope after copying it out — so the producer-side
+// entry point also runs without per-tuple (or per-envelope, in steady
+// state) allocations.
+
+// itemPool recycles source envelopes between senders (producers) and
+// reshufflers (consumers).
+var itemPool = sync.Pool{
+	New: func() any { return new([]sourceItem) },
+}
+
+// getItems returns an empty source envelope with at least capHint
+// capacity.
+func getItems(capHint int) []sourceItem {
+	b := *(itemPool.Get().(*[]sourceItem))
+	if cap(b) < capHint {
+		return make([]sourceItem, 0, capHint)
+	}
+	return b[:0]
+}
+
+// putItems recycles a consumed source envelope, clearing it first so
+// recycled buffers do not pin tuple payloads.
+func putItems(b []sourceItem) {
+	if cap(b) == 0 {
+		return
+	}
+	clear(b)
+	b = b[:0]
+	itemPool.Put(&b)
+}

@@ -69,17 +69,25 @@ func newController(dec *Decider, adaptive bool, numJoiners int, op *Operator) *c
 }
 
 // onTuple feeds the decision algorithm with one (scaled) observation
-// and possibly initiates a migration (Alg. 1 line 6). Nothing is
-// decided while a previous migration chain is still in flight.
+// and possibly initiates a migration (Alg. 1 line 6).
 func (c *controller) onTuple(t join.Tuple) {
-	if !c.adaptive {
+	if t.Rel == matrix.SideR {
+		c.onTuples(1, 0)
+	} else {
+		c.onTuples(0, 1)
+	}
+}
+
+// onTuples feeds the decision algorithm with a run's worth of (scaled)
+// observations in one call — the decider accumulates the same
+// cumulative counts as per-tuple feeding, and its checkpoint condition
+// is evaluated once per run. Nothing is decided while a previous
+// migration chain is still in flight.
+func (c *controller) onTuples(nR, nS int64) {
+	if !c.adaptive || nR+nS == 0 {
 		return
 	}
-	if t.Rel == matrix.SideR {
-		c.dec.Observe(c.scale, 0)
-	} else {
-		c.dec.Observe(0, c.scale)
-	}
+	c.dec.Observe(nR*c.scale, nS*c.scale)
 	if c.migrating() {
 		return
 	}

@@ -44,6 +44,9 @@ type GroupedConfig struct {
 	Storage storage.Config
 	// Emit receives results; must not block.
 	Emit join.Emit
+	// EmitBatch, if non-nil, receives results a run at a time and takes
+	// precedence over Emit (see Config.EmitBatch).
+	EmitBatch join.EmitBatch
 	// Latency samples tuple latencies if non-nil.
 	Latency *metrics.LatencySampler
 	// Seed drives routing randomness.
@@ -71,7 +74,7 @@ type Grouped struct {
 	sizes  []int
 	seq    atomic.Uint64
 	rng    *rand.Rand
-	done   bool
+	done   atomic.Bool
 }
 
 // NewGrouped builds the operator; call Start before Send.
@@ -90,6 +93,7 @@ func NewGrouped(cfg GroupedConfig) *Grouped {
 			Warmup:         cfg.Warmup * int64(sz) / int64(cfg.J),
 			Storage:        cfg.Storage,
 			Emit:           cfg.Emit,
+			EmitBatch:      cfg.EmitBatch,
 			Latency:        cfg.Latency,
 			Seed:           cfg.Seed ^ int64(i)<<32,
 		}))
@@ -125,29 +129,80 @@ func (gr *Grouped) storingGroup(u uint64) int {
 // Send feeds one tuple: it is stored in exactly one group and probes
 // the stored state of all others. Send must be called from a single
 // goroutine (it is the serialization point that keeps cross-group
-// arrival order consistent).
-func (gr *Grouped) Send(t join.Tuple) {
+// arrival order consistent). After Finish it returns ErrFinished.
+func (gr *Grouped) Send(t join.Tuple) error {
+	if gr.done.Load() {
+		return ErrFinished
+	}
 	t.Seq = gr.seq.Add(1)
+	gr.assignU(&t)
+	owner := gr.storingGroup(t.U)
+	var first error
+	for i, op := range gr.groups {
+		var err error
+		if i == owner {
+			err = op.sendStored(t)
+		} else {
+			err = op.sendProbe(t)
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SendBatch feeds a run of tuples with one sequence-number fetch and
+// one envelope delivery per group: every group receives the whole run
+// in stream order (owner groups as stored items, the rest as
+// probe-only items), preserving the cross-group arrival-order
+// consistency Send provides tuple by tuple. Like Send it must be
+// called from a single goroutine, and it may be freely interleaved
+// with Send.
+func (gr *Grouped) SendBatch(ts []join.Tuple) error {
+	if gr.done.Load() {
+		return ErrFinished
+	}
+	n := len(ts)
+	if n == 0 {
+		return nil
+	}
+	base := gr.seq.Add(uint64(n)) - uint64(n) + 1
+	envs := make([][]sourceItem, len(gr.groups))
+	for g := range envs {
+		envs[g] = getItems(n)
+	}
+	for i := range ts {
+		t := ts[i]
+		t.Seq = base + uint64(i)
+		gr.assignU(&t)
+		owner := gr.storingGroup(t.U)
+		for g := range envs {
+			envs[g] = append(envs[g], sourceItem{t: t, probeOnly: g != owner})
+		}
+	}
+	var first error
+	for g, op := range gr.groups {
+		if err := op.sendItems(envs[g]); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// assignU draws the routing randomness for one tuple.
+func (gr *Grouped) assignU(t *join.Tuple) {
 	t.U = gr.rng.Uint64()
 	if t.U == 0 {
 		t.U = 1 // 0 means "unassigned" to the reshufflers
-	}
-	owner := gr.storingGroup(t.U)
-	for i, op := range gr.groups {
-		if i == owner {
-			op.sendStored(t)
-		} else {
-			op.sendProbe(t)
-		}
 	}
 }
 
 // Finish drains and stops every group.
 func (gr *Grouped) Finish() error {
-	if gr.done {
+	if gr.done.Swap(true) {
 		return nil
 	}
-	gr.done = true
 	var first error
 	for _, op := range gr.groups {
 		if err := op.Finish(); err != nil && first == nil {

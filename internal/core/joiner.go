@@ -53,14 +53,67 @@ type joiner struct {
 	// runBuf is the reusable scratch buffer handleBatch extracts
 	// same-side tuple runs into for the store's batch API.
 	runBuf []join.Tuple
+	// pairBuf accumulates the matches of one batch-probed run; it is
+	// flushed through emitBatch (accounting once per flush) after every
+	// store call and never escapes the joiner.
+	pairBuf []join.Pair
+	// one is the scratch slot the single-pair emit adapter wraps around
+	// emitBatch, so per-pair emission allocates nothing.
+	one [1]join.Pair
 
-	topo   *topology
-	ackCh  chan<- int
-	emit   join.Emit
-	met    *metrics.Joiner
-	stCfg  storage.Config
-	eos    int
-	exited bool
+	topo      *topology
+	ackCh     chan<- int
+	emit      join.Emit
+	emitBatch join.EmitBatch
+	met       *metrics.Joiner
+	stCfg     storage.Config
+	eos       int
+	exited    bool
+}
+
+// emitOne is the thin single-pair adapter over the batched sink: the
+// join.Emit the migration-path probes use. Accounting and the user
+// sink live in emitBatch only.
+func (w *joiner) emitOne(p join.Pair) {
+	w.one[0] = p
+	w.emitBatch(w.one[:])
+}
+
+// maxPairBufCap bounds how much flushed pair-buffer capacity a joiner
+// retains between runs: a high-fanout run may balloon the buffer, and
+// holding tens of megabytes per joiner for the stream's lifetime would
+// turn one hot key into a permanent memory tax.
+const maxPairBufCap = 1 << 15
+
+// flushPairs delivers the accumulated matches of one run through the
+// batched sink. Probe-only runs (guarded=true, rel = the probing
+// relation) first apply the §4.2.2 ownership rule — a pair joins only
+// in the group storing its earlier tuple — which is expressible over
+// the collected pair alone because the probe member of every pair is
+// the probing tuple.
+func (w *joiner) flushPairs(rel matrix.Side, guarded bool) {
+	buf := w.pairBuf
+	if len(buf) > 0 {
+		if guarded {
+			kept := buf[:0]
+			for i := range buf {
+				stored, probe := buf[i].R, buf[i].S
+				if rel == matrix.SideR {
+					stored, probe = buf[i].S, buf[i].R
+				}
+				if stored.Seq < probe.Seq {
+					kept = append(kept, buf[i])
+				}
+			}
+			buf = kept
+		}
+		w.emitBatch(buf)
+	}
+	if cap(buf) > maxPairBufCap {
+		w.pairBuf = nil
+		return
+	}
+	w.pairBuf = buf[:0]
 }
 
 // migTarget is one destination of this joiner's outgoing state during
@@ -182,10 +235,16 @@ func (w *joiner) handleBatch(b []message) {
 				bytes += b[k].tuple.Bytes()
 			}
 			tuples += int64(j - i)
+			// Matches accumulate in the per-joiner pair buffer and
+			// flush once per run: output accounting and the user sink
+			// are amortized over the run's matches instead of paid per
+			// pair.
 			if m.probeOnly {
-				w.state.ProbeBatch(run, w.runGuardEmit(m.tuple.Rel))
+				w.state.ProbeBatchCollect(run, &w.pairBuf)
+				w.flushPairs(m.tuple.Rel, true)
 			} else {
-				w.state.AddBatch(run, w.emit)
+				w.state.AddBatchCollect(run, &w.pairBuf)
+				w.flushPairs(m.tuple.Rel, false)
 			}
 			w.runBuf = run
 			i = j

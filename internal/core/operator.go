@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -121,6 +122,12 @@ type Config struct {
 	// Emit receives join results; it must not block. nil counts
 	// results internally.
 	Emit join.Emit
+	// EmitBatch, if non-nil, receives join results a run at a time and
+	// takes precedence over Emit: every result (including single pairs
+	// produced on the migration paths) is delivered through it. The
+	// slice is only valid for the duration of the call — the operator
+	// reuses the backing buffer.
+	EmitBatch join.EmitBatch
 	// Latency, if non-nil, samples tuple latencies.
 	Latency *metrics.LatencySampler
 	// Seed makes the random routing reproducible.
@@ -187,29 +194,42 @@ func (c *Config) fill() {
 	}
 }
 
+// ErrFinished is returned by Send/SendBatch after Finish has closed
+// the operator's input.
+var ErrFinished = errors.New("core: operator is finished")
+
 // Operator is the adaptive (or, with Adaptive=false, static) parallel
 // online theta-join operator. Feed it interleaved R and S tuples with
-// Send; results flow to Config.Emit as they are discovered; Finish
-// drains and stops all tasks.
+// Send or SendBatch; results flow to Config.Emit (or Config.EmitBatch)
+// as they are discovered; Finish drains and stops all tasks.
 type Operator struct {
 	cfg    Config
 	topo   *topology
 	met    *metrics.Operator
 	runner dataflow.Runner
 
-	// sources holds one input queue per reshuffler: Send deals tuples
-	// round-robin, modeling the paper's random tuple-to-reshuffler
-	// routing while guaranteeing every reshuffler (in particular the
-	// controller) sees an exact 1/numReshufflers sample at stream pace.
-	sources []chan sourceItem
+	// sources holds one input ring per reshuffler, carrying pooled
+	// []sourceItem envelopes: Send deals tuples pseudo-randomly,
+	// modeling the paper's random tuple-to-reshuffler routing while
+	// guaranteeing every reshuffler (in particular the controller) sees
+	// an exact 1/numReshufflers sample at stream pace; SendBatch deals
+	// whole envelopes split per destination.
+	sources []chan []sourceItem
 	ctl     *controller
 
 	mu      sync.Mutex
 	joiners []*joiner
 
-	seq     atomic.Uint64
+	seq atomic.Uint64
+	// lifeMu guards the lifecycle flags against concurrent
+	// Send/SendBatch vs Start/Finish: senders hold the read side while
+	// checking closed and pushing into a source ring, Finish takes the
+	// write side before closing the rings, so a send can never race a
+	// close into a panic — it either lands before the close or observes
+	// closed and returns ErrFinished.
+	lifeMu  sync.RWMutex
 	started bool
-	done    bool
+	closed  bool
 }
 
 // NewOperator builds an operator; call Start before Send.
@@ -221,9 +241,11 @@ func NewOperator(cfg Config) *Operator {
 		met:  metrics.NewOperator(cfg.J),
 	}
 	op.topo.met = op.met
-	op.sources = make([]chan sourceItem, cfg.NumReshufflers)
+	op.sources = make([]chan []sourceItem, cfg.NumReshufflers)
 	for i := range op.sources {
-		op.sources[i] = make(chan sourceItem, 512)
+		// Sized in envelopes; a Send wraps one tuple per envelope, so
+		// per-tuple producers see the same buffered depth as before.
+		op.sources[i] = make(chan []sourceItem, 512)
 	}
 	dec := NewDecider(DeciderConfig{
 		J:            cfg.J,
@@ -271,26 +293,42 @@ func (op *Operator) newJoiner(id int, cell matrix.Cell, mapping matrix.Mapping, 
 	w.dataIn = ports.dataIn
 	w.migIn = ports.migIn
 	w.migNotify = ports.migNotify
-	w.emit = op.emitFor(w)
+	w.emitBatch = op.emitBatchFor(w)
+	w.emit = w.emitOne
 	return w
 }
 
-// emitFor wraps the user sink with per-joiner accounting and latency
-// sampling.
-func (op *Operator) emitFor(w *joiner) join.Emit {
+// emitBatchFor builds the joiner's result sink: per-joiner accounting
+// and latency sampling are done once per flushed run, then the run is
+// handed to the user's EmitBatch (or replayed pair-wise into Emit).
+// The single-pair join.Emit the migration paths use is a thin adapter
+// over this sink (joiner.emitOne), so per-pair and batched emission
+// share one accounting implementation.
+func (op *Operator) emitBatchFor(w *joiner) join.EmitBatch {
 	user := op.cfg.Emit
+	userBatch := op.cfg.EmitBatch
 	lat := op.cfg.Latency
-	return func(p join.Pair) {
-		w.met.OutputPairs.Add(1)
-		if lat != nil {
-			newer := p.R.Seq
-			if p.S.Seq > newer {
-				newer = p.S.Seq
-			}
-			lat.Emit(newer)
+	return func(ps []join.Pair) {
+		if len(ps) == 0 {
+			return
 		}
-		if user != nil {
-			user(p)
+		w.met.OutputPairs.Add(int64(len(ps)))
+		if lat != nil {
+			for i := range ps {
+				newer := ps[i].R.Seq
+				if ps[i].S.Seq > newer {
+					newer = ps[i].S.Seq
+				}
+				lat.Emit(newer)
+			}
+		}
+		switch {
+		case userBatch != nil:
+			userBatch(ps)
+		case user != nil:
+			for i := range ps {
+				user(ps[i])
+			}
 		}
 	}
 }
@@ -336,16 +374,18 @@ func (op *Operator) spawnChildren(table []int, epoch uint32, newMapping matrix.M
 
 // Start launches all tasks.
 func (op *Operator) Start() {
+	op.lifeMu.Lock()
 	if op.started {
+		op.lifeMu.Unlock()
 		panic("core: Start called twice")
 	}
 	op.started = true
-	if op.cfg.Emit == nil {
-		op.cfg.Emit = func(join.Pair) {} // counting happens in emitFor
-	}
-	// Rebuild joiner emits now that Emit is final.
+	op.lifeMu.Unlock()
+	// Rebuild joiner sinks now that Emit/EmitBatch are final (a nil
+	// sink still counts results in emitBatchFor's accounting).
 	for _, w := range op.joiners {
-		w.emit = op.emitFor(w)
+		w.emitBatch = op.emitBatchFor(w)
+		w.emit = w.emitOne
 	}
 	for _, w := range op.joiners {
 		op.runner.Go(fmt.Sprintf("joiner-%d", w.id), w.run)
@@ -376,43 +416,145 @@ func (op *Operator) Start() {
 }
 
 // Send feeds one tuple into the operator, assigning its ingestion
-// sequence number. It blocks when the operator is backlogged.
-func (op *Operator) Send(t join.Tuple) {
+// sequence number. It blocks when the operator is backlogged and
+// returns ErrFinished (without delivering) once Finish has closed the
+// input.
+func (op *Operator) Send(t join.Tuple) error {
 	t.Seq = op.seq.Add(1)
-	op.deal(sourceItem{t: t})
+	return op.deal(sourceItem{t: t})
 }
 
-// deal routes an item to a pseudo-random reshuffler (the paper's
-// "randomly routed to a reshuffler task"). The mix is a deterministic
-// function of the sequence number so runs are reproducible, and it
-// avoids phase-locking with periodic input patterns, which a plain
-// round-robin would alias against.
-func (op *Operator) deal(item sourceItem) {
-	h := item.t.Seq * 0x9e3779b97f4a7c15
-	idx := int((h >> 33) % uint64(len(op.sources)))
-	op.sources[idx] <- item
+// SendBatch feeds a run of tuples, assigning their ingestion sequence
+// numbers in one atomic add and delivering them in pooled envelopes —
+// one ring operation per destination reshuffler instead of one per
+// tuple, with each tuple copied exactly once, straight from the input
+// slice into its destination envelope. It is equivalent to calling
+// Send on each tuple in order and may be freely interleaved with Send.
+// The input slice is not retained.
+func (op *Operator) SendBatch(ts []join.Tuple) error {
+	n := len(ts)
+	if n == 0 {
+		return nil
+	}
+	op.lifeMu.RLock()
+	defer op.lifeMu.RUnlock()
+	if op.closed {
+		return ErrFinished
+	}
+	base := op.seq.Add(uint64(n)) - uint64(n) + 1
+	if len(op.sources) == 1 {
+		env := getItems(n)
+		for i := range ts {
+			t := ts[i]
+			t.Seq = base + uint64(i)
+			env = append(env, sourceItem{t: t})
+		}
+		op.sources[0] <- env
+		return nil
+	}
+	outs := make([][]sourceItem, len(op.sources))
+	for i := range ts {
+		seq := base + uint64(i)
+		d := dealTarget(seq, len(op.sources))
+		if outs[d] == nil {
+			outs[d] = getItems(n)
+		}
+		t := ts[i]
+		t.Seq = seq
+		outs[d] = append(outs[d], sourceItem{t: t})
+	}
+	for d := range outs {
+		if len(outs[d]) > 0 {
+			op.sources[d] <- outs[d]
+		}
+	}
+	return nil
+}
+
+// dealTarget maps a sequence number to a reshuffler index: a
+// multiplicative mix of the sequence number (so runs are reproducible
+// and periodic input patterns cannot phase-lock against the dealing,
+// which a plain round-robin would alias against), reduced to [0, n)
+// with a multiply-shift instead of a modulo — the high 32 mixed bits
+// scale into the destination range with one multiply, keeping the
+// hot-path division off the ingest front end.
+func dealTarget(seq uint64, n int) int {
+	h := seq * 0x9e3779b97f4a7c15
+	return int(((h >> 32) * uint64(n)) >> 32)
+}
+
+// deal routes one item to its pseudo-random reshuffler (the paper's
+// "randomly routed to a reshuffler task") in a pooled singleton
+// envelope.
+func (op *Operator) deal(item sourceItem) error {
+	op.lifeMu.RLock()
+	defer op.lifeMu.RUnlock()
+	if op.closed {
+		return ErrFinished
+	}
+	env := append(getItems(1), item)
+	op.sources[dealTarget(item.t.Seq, len(op.sources))] <- env
+	return nil
+}
+
+// sendItems delivers a pooled envelope of items, splitting it per
+// destination reshuffler. It takes ownership of env (recycling it when
+// it cannot be forwarded whole).
+func (op *Operator) sendItems(env []sourceItem) error {
+	op.lifeMu.RLock()
+	defer op.lifeMu.RUnlock()
+	if op.closed {
+		putItems(env)
+		return ErrFinished
+	}
+	if len(op.sources) == 1 {
+		// Single reshuffler (the grouped mode): forward the envelope
+		// itself, no split and no copy.
+		op.sources[0] <- env
+		return nil
+	}
+	outs := make([][]sourceItem, len(op.sources))
+	for i := range env {
+		d := dealTarget(env[i].t.Seq, len(op.sources))
+		if outs[d] == nil {
+			outs[d] = getItems(len(env))
+		}
+		outs[d] = append(outs[d], env[i])
+	}
+	putItems(env)
+	for d := range outs {
+		if len(outs[d]) > 0 {
+			op.sources[d] <- outs[d]
+		}
+	}
+	return nil
 }
 
 // sendProbe feeds a probe-only tuple (multi-group traffic); the caller
 // has already assigned Seq and U.
-func (op *Operator) sendProbe(t join.Tuple) {
-	op.deal(sourceItem{t: t, probeOnly: true})
+func (op *Operator) sendProbe(t join.Tuple) error {
+	return op.deal(sourceItem{t: t, probeOnly: true})
 }
 
 // sendStored feeds a to-be-stored tuple with caller-assigned Seq/U.
-func (op *Operator) sendStored(t join.Tuple) {
-	op.deal(sourceItem{t: t})
+func (op *Operator) sendStored(t join.Tuple) error {
+	return op.deal(sourceItem{t: t})
 }
 
 // Finish closes the input and waits for all tasks to drain and stop.
+// Further Send/SendBatch calls return ErrFinished; a second Finish is
+// a no-op.
 func (op *Operator) Finish() error {
-	if op.done {
+	op.lifeMu.Lock()
+	if op.closed {
+		op.lifeMu.Unlock()
 		return nil
 	}
-	op.done = true
+	op.closed = true
 	for _, src := range op.sources {
 		close(src)
 	}
+	op.lifeMu.Unlock()
 	err := op.runner.Wait()
 	op.mu.Lock()
 	for _, w := range op.joiners {

@@ -33,13 +33,27 @@ type reshuffler struct {
 	table   []int
 	epoch   uint32
 
-	source  <-chan sourceItem
+	source  <-chan []sourceItem
 	ctrlCh  chan ctrlMsg
 	topo    *topology
 	opm     *metrics.Operator
 	lat     *metrics.LatencySampler
 	ctl     *controller // non-nil on the controller reshuffler
 	drainCh chan<- int
+
+	// inBuf coalesces small source envelopes (per-tuple Send wraps
+	// each tuple in a singleton) into one ingest run per burst, so the
+	// per-envelope amortizations of ingestBatch apply even when the
+	// producer never batches.
+	inBuf []sourceItem
+	// pend/pendPos is a partially consumed oversized source envelope:
+	// a producer may SendBatch far more than sourceBurst tuples at
+	// once, and ingesting such an envelope whole would defer control
+	// servicing for a producer-chosen span. Instead it is drained in
+	// quota-bounded chunks across run-loop iterations, preserving the
+	// sourceBurst guarantee.
+	pend    []sourceItem
+	pendPos int
 
 	// padDummies enables the §4.2.2 dummy-tuple padding: when the
 	// local cardinality-ratio estimate exceeds J, pad the smaller
@@ -75,6 +89,86 @@ type sourceItem struct {
 // firehose source cannot stall epoch commands indefinitely.
 const sourceBurst = 64
 
+// maxInBufCap bounds the coalescing buffer capacity a reshuffler
+// retains between bursts, so one oversized run does not become a
+// permanent per-task memory tax. Stale items beyond the next burst's
+// length are not cleared — they pin at most maxInBufCap tuples'
+// payloads, and a per-burst memset would cost more than that bound is
+// worth.
+const maxInBufCap = 4 * sourceBurst
+
+// drainPend ingests up to quota items from the stashed oversized
+// envelope, recycling it once fully consumed, and returns the number
+// ingested.
+func (r *reshuffler) drainPend(quota int) int {
+	if r.pend == nil || quota <= 0 {
+		return 0
+	}
+	end := r.pendPos + quota
+	if end > len(r.pend) {
+		end = len(r.pend)
+	}
+	r.ingestBatch(r.pend[r.pendPos:end])
+	ingested := end - r.pendPos
+	r.pendPos = end
+	if r.pendPos >= len(r.pend) {
+		putItems(r.pend)
+		r.pend, r.pendPos = nil, 0
+	}
+	return ingested
+}
+
+// pullBurst drains up to sourceBurst tuples' worth of envelopes from
+// the source — small ones coalesced into one ingest run, oversized
+// ones ingested in place in quota-bounded chunks — and returns
+// dry=true when the burst ended because the source ran out (the only
+// state that counts as idle) and eos=true when the source is closed.
+// A pending oversized envelope always resumes first, preserving the
+// per-reshuffler FIFO order.
+func (r *reshuffler) pullBurst() (dry, eos bool) {
+	n := r.drainPend(sourceBurst)
+	if r.pend != nil {
+		return false, false // quota went to the envelope's remainder
+	}
+	buf := r.inBuf[:0]
+	for n < sourceBurst {
+		select {
+		case env, ok := <-r.source:
+			if !ok {
+				eos = true
+			} else if len(env) >= sourceBurst/2 {
+				// A large producer envelope: ship what is already
+				// coalesced (FIFO), then ingest the envelope in place —
+				// no coalescing copy — up to the remaining quota.
+				r.ingestBatch(buf)
+				buf = buf[:0]
+				n += len(env)
+				r.pend, r.pendPos = env, 0
+				r.drainPend(sourceBurst - (n - len(env)))
+				if r.pend != nil {
+					r.inBuf = buf
+					return false, false
+				}
+				continue
+			} else {
+				n += len(env)
+				buf = append(buf, env...)
+				putItems(env)
+				continue
+			}
+		default:
+			dry = true
+		}
+		break
+	}
+	r.ingestBatch(buf)
+	if cap(buf) > maxInBufCap {
+		buf = nil
+	}
+	r.inBuf = buf[:0]
+	return dry, eos
+}
+
 func (r *reshuffler) run() error {
 	for {
 		// Fast path: a two-case receive is far cheaper than the full
@@ -83,17 +177,9 @@ func (r *reshuffler) run() error {
 		// because the source ran out — only then is the loop idle and
 		// allowed to flush partial batches; exhausting the burst quota
 		// under a hot source is not idleness.
-		dry := false
-		for i := 0; i < sourceBurst && !dry; i++ {
-			select {
-			case item, ok := <-r.source:
-				if !ok {
-					return r.drainLoop()
-				}
-				r.ingest(item)
-			default:
-				dry = true
-			}
+		dry, eos := r.pullBurst()
+		if eos {
+			return r.drainLoop()
 		}
 		// Pump pending control traffic without blocking.
 		for pumping := true; pumping; {
@@ -125,11 +211,18 @@ func (r *reshuffler) run() error {
 			if r.applyCtrl(c) {
 				return nil
 			}
-		case item, ok := <-r.source:
+		case env, ok := <-r.source:
 			if !ok {
 				return r.drainLoop()
 			}
-			r.ingest(item)
+			if len(env) >= sourceBurst/2 {
+				// Oversized: the next pullBurst drains it in
+				// quota-bounded chunks.
+				r.pend, r.pendPos = env, 0
+			} else {
+				r.ingestBatch(env)
+				putItems(env)
+			}
 		case ack, okAck := <-r.ackChan():
 			if okAck {
 				r.ctl.onAck(ack)
@@ -198,8 +291,9 @@ func (r *reshuffler) disarmLinger() {
 }
 
 // buffer appends one routed message to the destination's pending batch,
-// shipping the batch when it reaches capacity.
-func (r *reshuffler) buffer(id int, m message) {
+// shipping the batch when it reaches capacity. The message is passed by
+// pointer so the only copy made is the append into the batch slot.
+func (r *reshuffler) buffer(id int, m *message) {
 	if id >= len(r.out) {
 		grown := make([][]message, id+1)
 		copy(grown, r.out)
@@ -212,7 +306,7 @@ func (r *reshuffler) buffer(id int, m message) {
 	if b == nil {
 		b = getBatch(r.batchSize)
 	}
-	b = append(b, m)
+	b = append(b, *m)
 	if len(b) >= r.batchSize {
 		r.out[id] = nil
 		r.opm.BatchFlushFull.Add(1)
@@ -317,49 +411,85 @@ func (r *reshuffler) applyCtrl(c ctrlMsg) bool {
 	return false
 }
 
-// ingest processes one input tuple: statistics, controller decision,
-// then routing (Alg. 1).
-func (r *reshuffler) ingest(item sourceItem) {
-	t := item.t
-	if t.Rel == matrix.SideR {
-		r.est.ObserveR()
-	} else {
-		r.est.ObserveS()
+// ingestBatch processes one run of input tuples: statistics,
+// controller decision, then routing (Alg. 1). The per-tuple
+// bookkeeping of the seed's ingest — two estimator increments, a
+// controller observation with a decision check, and an atomic
+// routed-message count — is hoisted to one update per run; the
+// decision algorithm sees the same cumulative counts, it just
+// evaluates its checkpoint condition once per run instead of once per
+// tuple, which moves a migration decision by at most a burst.
+func (r *reshuffler) ingestBatch(items []sourceItem) {
+	if len(items) == 0 {
+		return
 	}
+	var nR, nS int64
+	for i := range items {
+		if items[i].t.Rel == matrix.SideR {
+			nR++
+		} else {
+			nS++
+		}
+	}
+	r.est.ObserveN(nR, nS)
 	if r.lat != nil {
-		r.lat.Arrive(t.Seq)
+		for i := range items {
+			r.lat.Arrive(items[i].t.Seq)
+		}
 	}
 	if r.ctl != nil {
-		r.ctl.onTuple(t)
+		r.ctl.onTuples(nR, nS)
 	}
-	r.route(t, item.probeOnly)
+	r.routeBatch(items)
 	if r.padDummies {
-		r.maybePad()
+		// One ratio check per ingested tuple, as on the per-tuple path:
+		// each call re-snapshots the estimates and injects at most one
+		// dummy.
+		for range items {
+			r.maybePad()
+		}
 	}
 }
 
-// route assigns the tuple a random partition of its relation and
-// forwards it to every joiner of that partition (m machines for an R
-// tuple, n for an S tuple). Messages land in per-destination batches,
-// not directly on the wire.
+// routeBatch routes a run of tuples: each is assigned a random
+// partition of its relation and forwarded to every joiner of that
+// partition (m machines for an R tuple, n for an S tuple). Messages
+// land in per-destination batches, not directly on the wire; the
+// message prototype is built once per run and only its per-tuple
+// fields are patched, so no intermediate message value is constructed
+// per destination copy.
+func (r *reshuffler) routeBatch(items []sourceItem) {
+	m := r.mapping
+	var routed int64
+	proto := message{kind: kTuple, epoch: r.epoch, from: r.id}
+	for i := range items {
+		t := items[i].t
+		if t.U == 0 {
+			t.U = r.rng.Uint64()
+		}
+		proto.tuple = t
+		proto.probeOnly = items[i].probeOnly
+		if t.Rel == matrix.SideR {
+			base := m.RowOf(t.U) * m.M
+			for c := 0; c < m.M; c++ {
+				r.buffer(r.table[base+c], &proto)
+			}
+			routed += int64(m.M)
+		} else {
+			col := m.ColOf(t.U)
+			for row := 0; row < m.N; row++ {
+				r.buffer(r.table[row*m.M+col], &proto)
+			}
+			routed += int64(m.N)
+		}
+	}
+	r.opm.RoutedMessages.Add(routed)
+}
+
+// route routes one tuple (the dummy-injection path; data tuples go
+// through routeBatch).
 func (r *reshuffler) route(t join.Tuple, probeOnly bool) {
-	if t.U == 0 {
-		t.U = r.rng.Uint64()
-	}
-	msg := message{kind: kTuple, tuple: t, epoch: r.epoch, from: r.id, probeOnly: probeOnly}
-	if t.Rel == matrix.SideR {
-		row := r.mapping.RowOf(t.U)
-		for c := 0; c < r.mapping.M; c++ {
-			r.buffer(r.table[row*r.mapping.M+c], msg)
-		}
-		r.opm.RoutedMessages.Add(int64(r.mapping.M))
-	} else {
-		col := r.mapping.ColOf(t.U)
-		for row := 0; row < r.mapping.N; row++ {
-			r.buffer(r.table[row*r.mapping.M+col], msg)
-		}
-		r.opm.RoutedMessages.Add(int64(r.mapping.N))
-	}
+	r.routeBatch([]sourceItem{{t: t, probeOnly: probeOnly}})
 }
 
 // maybePad injects at most one dummy tuple into the smaller relation

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+// pairKey is the full value identity of an emitted pair: every field
+// that survives the pipeline, so two runs agreeing on the multiset of
+// pairKeys produced byte-identical results (our test tuples carry no
+// payload).
+type pairKey struct {
+	rKey, rAux, sKey, sAux int64
+	rSeq, sSeq, rU, sU     uint64
+}
+
+func keyOf(p join.Pair) pairKey {
+	return pairKey{
+		rKey: p.R.Key, rAux: p.R.Aux, sKey: p.S.Key, sAux: p.S.Aux,
+		rSeq: p.R.Seq, sSeq: p.S.Seq, rU: p.R.U, sU: p.S.U,
+	}
+}
+
+// pairSet is a concurrency-safe pair multiset collector.
+type pairSet struct {
+	mu sync.Mutex
+	m  map[pairKey]int
+	n  int
+}
+
+func newPairSet() *pairSet { return &pairSet{m: make(map[pairKey]int)} }
+
+func (ps *pairSet) emit(p join.Pair) {
+	ps.mu.Lock()
+	ps.m[keyOf(p)]++
+	ps.n++
+	ps.mu.Unlock()
+}
+
+func (ps *pairSet) equal(other *pairSet) bool {
+	if ps.n != other.n || len(ps.m) != len(other.m) {
+		return false
+	}
+	for k, v := range ps.m {
+		if other.m[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// migratingStream is the lopsided stream the adaptive exactness tests
+// share: a small R prefix then an S flood, forcing several elementary
+// migrations mid-stream.
+func migratingStream() []join.Tuple {
+	rng := rand.New(rand.NewSource(42))
+	var tuples []join.Tuple
+	for i := 0; i < 250; i++ {
+		tuples = append(tuples, join.Tuple{Rel: matrix.SideR, Key: rng.Int63n(60), Aux: rng.Int63n(100), Size: 8})
+	}
+	for i := 0; i < 11000; i++ {
+		tuples = append(tuples, join.Tuple{Rel: matrix.SideS, Key: rng.Int63n(60), Aux: rng.Int63n(100), Size: 8})
+	}
+	return tuples
+}
+
+// feedFn delivers a tuple stream into an operator.
+type feedFn func(t *testing.T, op *Operator, tuples []join.Tuple)
+
+func feedSend(t *testing.T, op *Operator, tuples []join.Tuple) {
+	for _, tp := range tuples {
+		if err := op.Send(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// feedChunks returns a feed delivering the stream via SendBatch in
+// chunks of the given size.
+func feedChunks(size int) feedFn {
+	return func(t *testing.T, op *Operator, tuples []join.Tuple) {
+		for start := 0; start < len(tuples); start += size {
+			end := start + size
+			if end > len(tuples) {
+				end = len(tuples)
+			}
+			if err := op.SendBatch(tuples[start:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// feedMixed interleaves per-tuple Sends with SendBatch runs of varying
+// size, exercising the boundary between the two entry points.
+func feedMixed(t *testing.T, op *Operator, tuples []join.Tuple) {
+	i := 0
+	for n := 0; i < len(tuples); n++ {
+		if n%2 == 0 {
+			for k := 0; k < 3 && i < len(tuples); k++ {
+				if err := op.Send(tuples[i]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			}
+			continue
+		}
+		end := i + 1 + (n*7)%45
+		if end > len(tuples) {
+			end = len(tuples)
+		}
+		if err := op.SendBatch(tuples[i:end]); err != nil {
+			t.Fatal(err)
+		}
+		i = end
+	}
+}
+
+func runFeed(t *testing.T, cfg Config, tuples []join.Tuple, feed feedFn) (*pairSet, *Operator) {
+	t.Helper()
+	ps := newPairSet()
+	cfg.Emit = ps.emit
+	op := NewOperator(cfg)
+	op.Start()
+	feed(t, op, tuples)
+	if err := op.Finish(); err != nil {
+		t.Fatalf("operator error: %v", err)
+	}
+	return ps, op
+}
+
+// SendBatch must be byte-identical to per-tuple Send: sequence numbers,
+// routing values, and therefore every emitted pair's full contents
+// match, across chunk sizes straddling the envelope capacity and mixed
+// Send/SendBatch interleavings, with adaptive migrations relocating
+// state mid-stream — on both the batched and the degenerate BatchSize=1
+// message plane.
+func TestSendBatchMatchesSendExact(t *testing.T) {
+	tuples := migratingStream()
+	for _, bs := range []int{1, 0} { // 0 = DefaultBatchSize
+		cfg := Config{J: 16, Pred: join.EquiJoin("eq", nil), Adaptive: true, Warmup: 500, Seed: 11, BatchSize: bs}
+		want, refOp := runFeed(t, cfg, tuples, feedSend)
+		if refOp.Migrations() == 0 {
+			t.Fatalf("BatchSize=%d: reference run had no migrations", bs)
+		}
+		feeds := map[string]feedFn{
+			"chunk=1":  feedChunks(1),
+			"chunk=7":  feedChunks(7),
+			"chunk=31": feedChunks(DefaultBatchSize - 1),
+			"chunk=32": feedChunks(DefaultBatchSize),
+			"chunk=33": feedChunks(DefaultBatchSize + 1),
+			// Far beyond the reshuffler burst quota: per-destination
+			// envelopes overflow into the pend cursor and drain across
+			// several run-loop iterations.
+			"chunk=4096": feedChunks(4096),
+			"mixed":      feedMixed,
+		}
+		for name, feed := range feeds {
+			got, op := runFeed(t, cfg, tuples, feed)
+			if !got.equal(want) {
+				t.Fatalf("BatchSize=%d %s: pair multiset differs from per-tuple Send (%d vs %d pairs, migrations=%d)",
+					bs, name, got.n, want.n, op.Migrations())
+			}
+		}
+	}
+}
+
+// The grouped operator's SendBatch must match its per-tuple Send
+// exactly, including the probe-only cross-group traffic and its
+// ownership guard.
+func TestGroupedSendBatchMatchesSendExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	var tuples []join.Tuple
+	for burst := 0; burst < 4; burst++ {
+		side := matrix.SideR
+		if burst%2 == 1 {
+			side = matrix.SideS
+		}
+		for i := 0; i < 1500; i++ {
+			tuples = append(tuples, join.Tuple{Rel: side, Key: rng.Int63n(150), Size: 8})
+		}
+	}
+	run := func(batch int) *pairSet {
+		ps := newPairSet()
+		gr := NewGrouped(GroupedConfig{J: 12, Pred: join.EquiJoin("eq", nil), Adaptive: true, Seed: 9, Emit: ps.emit})
+		gr.Start()
+		if batch == 0 {
+			for _, tp := range tuples {
+				if err := gr.Send(tp); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			for start := 0; start < len(tuples); start += batch {
+				end := start + batch
+				if end > len(tuples) {
+					end = len(tuples)
+				}
+				if err := gr.SendBatch(tuples[start:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := gr.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+	want := run(0)
+	for _, batch := range []int{1, 33} {
+		if got := run(batch); !got.equal(want) {
+			t.Fatalf("grouped SendBatch(%d): pair multiset differs from Send (%d vs %d pairs)", batch, got.n, want.n)
+		}
+	}
+}
+
+// Send and SendBatch after Finish must return ErrFinished instead of
+// panicking on the closed source rings; a second Finish is a no-op.
+func TestSendAfterFinishReturnsError(t *testing.T) {
+	op := NewOperator(Config{J: 4, Pred: join.EquiJoin("eq", nil), Seed: 1})
+	op.Start()
+	if err := op.Send(join.Tuple{Rel: matrix.SideR, Key: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Send(join.Tuple{Rel: matrix.SideS, Key: 1}); !errors.Is(err, ErrFinished) {
+		t.Fatalf("Send after Finish: err=%v, want ErrFinished", err)
+	}
+	if err := op.SendBatch([]join.Tuple{{Rel: matrix.SideS, Key: 1}}); !errors.Is(err, ErrFinished) {
+		t.Fatalf("SendBatch after Finish: err=%v, want ErrFinished", err)
+	}
+	if err := op.Finish(); err != nil {
+		t.Fatalf("second Finish: %v", err)
+	}
+
+	gr := NewGrouped(GroupedConfig{J: 3, Pred: join.EquiJoin("eq", nil), Seed: 2})
+	gr.Start()
+	if err := gr.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gr.Send(join.Tuple{Rel: matrix.SideR, Key: 1}); !errors.Is(err, ErrFinished) {
+		t.Fatalf("grouped Send after Finish: err=%v, want ErrFinished", err)
+	}
+	if err := gr.SendBatch([]join.Tuple{{Rel: matrix.SideR, Key: 1}}); !errors.Is(err, ErrFinished) {
+		t.Fatalf("grouped SendBatch after Finish: err=%v, want ErrFinished", err)
+	}
+}
+
+// An EmitBatch sink must observe exactly the pairs Emit would, with
+// runs actually batched under fanout, and per-pair results from the
+// migration paths delivered through the same sink.
+func TestEmitBatchReceivesAllResults(t *testing.T) {
+	tuples := migratingStream()
+	cfg := Config{J: 16, Pred: join.EquiJoin("eq", nil), Adaptive: true, Warmup: 500, Seed: 11}
+	want, _ := runFeed(t, cfg, tuples, feedSend)
+
+	got := newPairSet()
+	var mu sync.Mutex
+	var flushes, maxRun int
+	cfg2 := cfg
+	cfg2.Emit = nil
+	cfg2.EmitBatch = func(ps []join.Pair) {
+		mu.Lock()
+		flushes++
+		if len(ps) > maxRun {
+			maxRun = len(ps)
+		}
+		mu.Unlock()
+		for i := range ps {
+			got.emit(ps[i])
+		}
+	}
+	op := NewOperator(cfg2)
+	op.Start()
+	feedChunks(DefaultBatchSize)(t, op, tuples)
+	if err := op.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !got.equal(want) {
+		t.Fatalf("EmitBatch sink saw %d pairs, Emit reference %d", got.n, want.n)
+	}
+	if flushes >= got.n {
+		t.Fatalf("EmitBatch never batched: %d flushes for %d pairs", flushes, got.n)
+	}
+	if maxRun < 2 {
+		t.Fatalf("EmitBatch max run %d, want >= 2", maxRun)
+	}
+	if pairs := op.Metrics().TotalOutputPairs(); pairs != int64(got.n) {
+		t.Fatalf("OutputPairs accounting %d, sink saw %d", pairs, got.n)
+	}
+}
+
+// EmitBatch flush ordering must preserve the latency sampler's
+// accounting: every sampled pair's newer tuple has its arrival recorded
+// before the flush emits it, so the sample count is identical across
+// the per-tuple, batched, and EmitBatch-sinked paths.
+func TestEmitBatchPreservesLatencySampling(t *testing.T) {
+	tuples := migratingStream()
+	base := Config{J: 16, Pred: join.EquiJoin("eq", nil), Adaptive: true, Warmup: 500, Seed: 11}
+
+	counts := make([]int, 0, 3)
+	for _, mode := range []string{"send", "sendbatch", "emitbatch"} {
+		lat := metrics.NewLatencySampler(16)
+		cfg := base
+		cfg.Latency = lat
+		var op *Operator
+		switch mode {
+		case "emitbatch":
+			cfg.EmitBatch = func([]join.Pair) {}
+			op = NewOperator(cfg)
+			op.Start()
+			feedChunks(DefaultBatchSize)(t, op, tuples)
+		case "sendbatch":
+			cfg.Emit = func(join.Pair) {}
+			op = NewOperator(cfg)
+			op.Start()
+			feedChunks(DefaultBatchSize)(t, op, tuples)
+		default:
+			cfg.Emit = func(join.Pair) {}
+			op = NewOperator(cfg)
+			op.Start()
+			feedSend(t, op, tuples)
+		}
+		if err := op.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if lat.Count() == 0 {
+			t.Fatalf("%s: no latency samples captured", mode)
+		}
+		counts = append(counts, lat.Count())
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Fatalf("latency sample counts diverge across paths: %v (a dropped sample means an emit outran its arrival)", counts)
+	}
+}
+
+// dealTarget's multiply-shift reduction must spread sequential sequence
+// numbers evenly: every reshuffler within ±10%% of the mean on 1e5
+// sequential seqs, for reshuffler counts crossing powers of two.
+func TestDealTargetDistribution(t *testing.T) {
+	const total = 100000
+	for _, n := range []int{2, 3, 4, 7, 16, 48} {
+		counts := make([]int, n)
+		for seq := uint64(1); seq <= total; seq++ {
+			d := dealTarget(seq, n)
+			if d < 0 || d >= n {
+				t.Fatalf("n=%d: dealTarget(%d) = %d out of range", n, seq, d)
+			}
+			counts[d]++
+		}
+		mean := float64(total) / float64(n)
+		for i, c := range counts {
+			if dev := float64(c)/mean - 1; dev > 0.10 || dev < -0.10 {
+				t.Fatalf("n=%d: reshuffler %d got %d of %d (%.1f%% off the mean)", n, i, c, total, 100*dev)
+			}
+		}
+	}
+}

@@ -176,6 +176,19 @@ func (sm *Sim) Process(side matrix.Side, key int64) {
 	sm.maybeSample()
 }
 
+// ProcessBatch ingests a run of same-side tuples with the given keys:
+// the batch entry point matching Operator.SendBatch on the replay
+// facade. Unlike the concurrent operator, the simulator's whole value
+// is bit-identical replay, so the batch form deliberately preserves
+// the per-tuple decision cadence (adapt and sample after every tuple)
+// rather than amortizing it — it is a convenience for batch-shaped
+// drivers, not a semantic variant.
+func (sm *Sim) ProcessBatch(side matrix.Side, keys []int64) {
+	for _, k := range keys {
+		sm.Process(side, k)
+	}
+}
+
 // addInput charges one joiner-share of input, applying the spill
 // multiplier to the portion beyond the memory cap.
 func (sm *Sim) addInput(perJ, bytesPerJ float64) {

@@ -1,5 +1,7 @@
 package join
 
+import "repro/internal/matrix"
+
 // OrderedIndex is a B-tree keyed on Tuple.Key supporting range probes,
 // used for band joins (the paper's joiners use "balanced binary trees
 // for band joins", §5). A B-tree is used instead of a binary tree for
@@ -147,14 +149,16 @@ func (n *btreeNode) rangeScan(lo, hi int64, fn func(Tuple)) {
 	n.children[i].rangeScan(lo, hi, fn)
 }
 
-// ProbeBatch probes every tuple of ps in order. A single relay closure
-// serves the whole batch.
-func (o *OrderedIndex) ProbeBatch(ps []Tuple, fn func(int, Tuple)) {
-	cur := 0
-	relay := func(t Tuple) { fn(cur, t) }
+// ProbeBatchCollect probes every tuple of ps in order, appending
+// oriented predicate-passing pairs to *out. One relay closure serves
+// the whole batch; match filtering and pair construction happen in the
+// shared collectPair helper.
+func (o *OrderedIndex) ProbeBatchCollect(ps []Tuple, rel matrix.Side, p Predicate, out *[]Pair) {
+	var probe Tuple
+	relay := func(t Tuple) { collectPair(probe, t, rel, p, out) }
 	for i := range ps {
-		cur = i
-		o.root.rangeScan(ps[i].Key-o.width, ps[i].Key+o.width, relay)
+		probe = ps[i]
+		o.root.rangeScan(probe.Key-o.width, probe.Key+o.width, relay)
 	}
 }
 

@@ -91,28 +91,20 @@ func TestHashIndexMatchesScanIndexReference(t *testing.T) {
 				ref.InsertBatch(batch)
 			case r < 80: // probe a key (present or absent)
 				probeBoth(rng.Int63n(domain + 4))
-			case r < 85: // batched probe of several keys
+			case r < 85: // batched probe of several keys (the collect form)
 				probes := make([]Tuple, 1+rng.Intn(8))
 				for i := range probes {
-					probes[i] = Tuple{Rel: matrix.SideR, Key: rng.Int63n(domain + 4), Size: 8}
+					probes[i] = Tuple{Rel: matrix.SideR, Key: rng.Int63n(domain + 4), Size: 8, Seq: uint64(1e9) + uint64(i)}
 				}
-				type hit struct {
-					i int
-					t Tuple
-				}
-				var got, want []hit
-				h.ProbeBatch(probes, func(i int, s Tuple) { got = append(got, hit{i, s}) })
-				ref.ProbeBatch(probes, func(i int, s Tuple) {
-					if pred.Matches(probes[i], s) {
-						want = append(want, hit{i, s})
-					}
-				})
-				less := func(hs []hit) func(a, b int) bool {
+				var got, want []Pair
+				h.ProbeBatchCollect(probes, matrix.SideR, pred, &got)
+				ref.ProbeBatchCollect(probes, matrix.SideR, pred, &want)
+				less := func(hs []Pair) func(a, b int) bool {
 					return func(a, b int) bool {
-						if hs[a].i != hs[b].i {
-							return hs[a].i < hs[b].i
+						if hs[a].R.Seq != hs[b].R.Seq {
+							return hs[a].R.Seq < hs[b].R.Seq
 						}
-						return hs[a].t.Seq < hs[b].t.Seq
+						return hs[a].S.Seq < hs[b].S.Seq
 					}
 				}
 				sort.Slice(got, less(got))
@@ -121,7 +113,7 @@ func TestHashIndexMatchesScanIndexReference(t *testing.T) {
 					t.Fatalf("trial %d: batch probe matched %d, reference %d", trial, len(got), len(want))
 				}
 				for i := range got {
-					if got[i].i != want[i].i || !eqTuple(got[i].t, want[i].t) {
+					if !eqTuple(got[i].R, want[i].R) || !eqTuple(got[i].S, want[i].S) {
 						t.Fatalf("trial %d: batch probe hit %d: %+v vs %+v", trial, i, got[i], want[i])
 					}
 				}

@@ -60,12 +60,13 @@ func (l *Local) Insert(t Tuple) {
 	}
 }
 
-// ProbeBatch joins a run of same-side tuples against the stored tuples
-// of the opposite relation without storing them. Dummy padding tuples
-// never match, so they are skipped before reaching the index — the
-// batch form of Probe's short-circuit; in the common dummy-free run
-// this costs one scan and probes the run in a single index call.
-func (l *Local) ProbeBatch(ts []Tuple, emit Emit) {
+// ProbeBatchCollect joins a run of same-side tuples against the stored
+// tuples of the opposite relation, appending every match to *out as an
+// oriented Pair instead of invoking a per-pair callback: the batch
+// form of Probe. Dummy padding tuples never match, so they are skipped
+// before reaching the index; in the common dummy-free run this costs
+// one scan and probes the run in a single index call.
+func (l *Local) ProbeBatchCollect(ts []Tuple, out *[]Pair) {
 	for start := 0; start < len(ts); {
 		if ts[start].Dummy {
 			start++
@@ -75,25 +76,13 @@ func (l *Local) ProbeBatch(ts []Tuple, emit Emit) {
 		for end < len(ts) && !ts[end].Dummy {
 			end++
 		}
-		l.probeRun(ts[start:end], emit)
+		run := ts[start:end]
+		if run[0].Rel == matrix.SideR {
+			l.s.ProbeBatchCollect(run, matrix.SideR, l.pred, out)
+		} else {
+			l.r.ProbeBatchCollect(run, matrix.SideS, l.pred, out)
+		}
 		start = end
-	}
-}
-
-// probeRun probes one dummy-free same-side run.
-func (l *Local) probeRun(ts []Tuple, emit Emit) {
-	if ts[0].Rel == matrix.SideR {
-		l.s.ProbeBatch(ts, func(i int, stored Tuple) {
-			if l.pred.Matches(ts[i], stored) {
-				emit(Pair{R: ts[i], S: stored})
-			}
-		})
-	} else {
-		l.r.ProbeBatch(ts, func(i int, stored Tuple) {
-			if l.pred.Matches(stored, ts[i]) {
-				emit(Pair{R: stored, S: ts[i]})
-			}
-		})
 	}
 }
 

@@ -68,6 +68,13 @@ type Pair struct {
 // call it inline while processing tuples.
 type Emit func(Pair)
 
+// EmitBatch receives a run of join results in one call: the vectorized
+// form of Emit, letting sinks amortize their own per-result work the
+// way the batched message plane amortizes per-tuple synchronization.
+// The slice is only valid for the duration of the call — the emitter
+// reuses the backing buffer; sinks that retain results must copy them.
+type EmitBatch func([]Pair)
+
 // CountingEmit returns an Emit that only counts results, plus the
 // counter. Useful for benchmarks where materializing output would
 // dominate.

@@ -38,6 +38,14 @@ func (e *Estimator) ObserveR() { e.localR++ }
 // ObserveS records one locally received S tuple.
 func (e *Estimator) ObserveS() { e.localS++ }
 
+// ObserveN records locally received tuples in bulk: the batch form of
+// ObserveR/ObserveS, one pair of adds per ingest envelope instead of
+// one call per tuple.
+func (e *Estimator) ObserveN(r, s int64) {
+	e.localR += r
+	e.localS += s
+}
+
 // R returns the global cardinality estimate for R: localR * J.
 func (e *Estimator) R() int64 { return e.localR * int64(e.j) }
 

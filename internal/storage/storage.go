@@ -79,24 +79,31 @@ func (s *Store) Probe(t join.Tuple, emit join.Emit) {
 	}
 }
 
-// AddBatch probes and then stores a run of same-side tuples (all ts
-// share ts[0].Rel): the batch form of Add, with spill-tier dispatch
-// and budget checks amortized per envelope. Because tuples of one
-// relation never join each other, probing the whole run before storing
-// it emits exactly the pairs per-tuple Add calls would.
-func (s *Store) AddBatch(ts []join.Tuple, emit join.Emit) {
-	s.ProbeBatch(ts, emit)
+// AddBatchCollect probes and then stores a run of same-side tuples
+// (all ts share ts[0].Rel): the batch form of Add, with spill-tier
+// dispatch and budget checks amortized per envelope, and every match
+// appended to *out instead of invoking a per-pair callback — the
+// caller owns the pair buffer and flushes it (accounting, user sink)
+// once per run. Because tuples of one relation never join each other,
+// probing the whole run before storing it collects exactly the pairs
+// per-tuple Add calls would emit.
+func (s *Store) AddBatchCollect(ts []join.Tuple, out *[]join.Pair) {
+	s.ProbeBatchCollect(ts, out)
 	s.InsertBatch(ts)
 }
 
-// ProbeBatch joins a run of same-side tuples against all stored tuples
-// of the opposite relation without storing them.
-func (s *Store) ProbeBatch(ts []join.Tuple, emit join.Emit) {
+// ProbeBatchCollect joins a run of same-side tuples against all stored
+// tuples of the opposite relation, appending matches to *out. The
+// memory tier collects with no per-pair callback; the spill tier (rare
+// by construction) adapts its per-tuple probe through an appending
+// closure.
+func (s *Store) ProbeBatchCollect(ts []join.Tuple, out *[]join.Pair) {
 	if len(ts) == 0 {
 		return
 	}
-	s.mem.ProbeBatch(ts, emit)
+	s.mem.ProbeBatchCollect(ts, out)
 	if seg := s.segs[ts[0].Rel.Other()]; seg != nil {
+		emit := func(p join.Pair) { *out = append(*out, p) }
 		for i := range ts {
 			if !ts[i].Dummy {
 				seg.probe(ts[i], s.pred, emit, &s.Metrics)

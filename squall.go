@@ -20,7 +20,10 @@
 //     interconnect (per-destination tuple batches, pool-recycled
 //     envelopes; see Config.BatchSize and Config.BatchLinger). The
 //     migration plane batches relocated state the same way (see
-//     Config.MigBatchSize).
+//     Config.MigBatchSize), and both ends of the operator are batched
+//     too: SendBatch ingests runs of tuples in pooled envelopes with
+//     one sequence-number fetch, and Config.EmitBatch receives join
+//     results a run at a time with per-flush accounting.
 //   - Grouped / GroupedConfig — the generalization to machine counts
 //     that are not powers of two (§4.2.2).
 //   - Sim / SimConfig — a deterministic single-threaded replay used to
@@ -65,6 +68,10 @@ type Pair = join.Pair
 
 // Emit receives join results; implementations must not block.
 type Emit = join.Emit
+
+// EmitBatch receives join results a run at a time (Config.EmitBatch);
+// the slice is only valid for the duration of the call.
+type EmitBatch = join.EmitBatch
 
 // Predicate is a join condition (equi, band or theta).
 type Predicate = join.Predicate
@@ -122,8 +129,12 @@ const DefaultBatchLinger = core.DefaultBatchLinger
 // Operator is the adaptive (or static) parallel online join operator.
 type Operator = core.Operator
 
-// NewOperator builds an operator; call Start, then Send tuples, then
-// Finish.
+// ErrFinished is returned by Send/SendBatch once Finish has closed the
+// operator's input.
+var ErrFinished = core.ErrFinished
+
+// NewOperator builds an operator; call Start, then Send (or SendBatch)
+// tuples, then Finish.
 func NewOperator(cfg Config) *Operator { return core.NewOperator(cfg) }
 
 // GroupedConfig configures a Grouped operator.
