@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-delta lint fmt
+.PHONY: all build test race bench bench-delta profile lint fmt
 
 all: build lint test
 
@@ -27,8 +27,16 @@ bench:
 # and pipe into one benchdelta invocation.
 bench-delta:
 	( $(GO) test -bench '^BenchmarkOperatorIngest$$' -benchtime=20000x -run '^$$' . ; \
-	  $(GO) test -bench '^BenchmarkOperatorIngestFanout$$' -benchtime=2x -run '^$$' . ) \
+	  $(GO) test -bench '^BenchmarkOperatorIngestFanout$$' -benchtime=2x -run '^$$' . ; \
+	  $(GO) test -bench '^BenchmarkStoreBuild$$' -benchtime=3x -run '^$$' . ) \
 	| $(GO) run ./cmd/benchdelta
+
+# Committed pprof recipe for the next hot-path hunt: run one evaluation
+# query under the CPU profiler and print the top consumers. Tune -sf /
+# -zipf for longer or more skewed runs.
+profile:
+	$(GO) run ./cmd/joinrun -query EQ5 -op dynamic -j 16 -sf 0.05 -zipf Z2 -cpuprofile cpu.pprof
+	$(GO) tool pprof -top -nodecount=20 cpu.pprof
 
 lint:
 	$(GO) vet ./...

@@ -11,6 +11,7 @@ package squall_test
 
 import (
 	"math/rand"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/join"
 	"repro/internal/matrix"
+	"repro/internal/storage"
 )
 
 func benchOpts() experiments.Options { return experiments.Options{SF: 0.02, Seed: 2014} }
@@ -363,6 +365,68 @@ func BenchmarkOperatorIngestFanout(b *testing.B) {
 			perIter := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 			b.ReportMetric(perIter/nTuples, "ns/tuple")
 			b.ReportMetric(float64(pairs)/nTuples, "pairs/tuple")
+		})
+	}
+}
+
+// BenchmarkStoreBuild measures the insert plane of the joiner store in
+// isolation: unique keys (R even, S odd), so every probe misses and no
+// output is produced — the workload is purely hash-directory inserts
+// and columnar arena appends, the cost BenchmarkOperatorIngest buries
+// under routing and channel work. Each iteration builds a fresh store
+// from a fixed pre-generated stream of same-side runs (the shape the
+// joiner feeds AddBatchCollect); reserve=... selects whether the store
+// gets the full-stream Reserve hint up front, so the delta between the
+// two sub-benchmarks is the total cost of incremental directory growth
+// and arena allocation. After the timed loop an untimed probe ingests
+// one more stream through a presized (resp. growing) store and reports
+// steady-state amortized allocations per tuple over its second half.
+func BenchmarkStoreBuild(b *testing.B) {
+	const (
+		nTuples = 1 << 18
+		runLen  = 64
+	)
+	stream := make([]squall.Tuple, nTuples)
+	for i := range stream {
+		side, key := squall.SideR, int64(2*i)
+		if (i/runLen)%2 == 1 {
+			side, key = squall.SideS, int64(2*i+1)
+		}
+		stream[i] = squall.Tuple{Rel: side, Key: key, Size: 8, Seq: uint64(i + 1)}
+	}
+	build := func(reserve bool, from, to int, st *storage.Store, out *[]join.Pair) *storage.Store {
+		if st == nil {
+			st = storage.NewStore(join.EquiJoin("bench", nil), storage.Config{})
+			if reserve {
+				st.Reserve(nTuples/2, nTuples/2)
+			}
+		}
+		for start := from; start < to; start += runLen {
+			st.AddBatchCollect(stream[start:start+runLen], out)
+			*out = (*out)[:0]
+		}
+		return st
+	}
+	for _, mode := range []string{"reserve=0", "reserve=exact"} {
+		reserve := mode == "reserve=exact"
+		b.Run(mode, func(b *testing.B) {
+			var out []join.Pair
+			b.ResetTimer()
+			for iter := 0; iter < b.N; iter++ {
+				build(reserve, 0, nTuples, nil, &out)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/nTuples, "ns/tuple")
+			// Steady-state allocation probe: first half warms the store
+			// (pools, directory, arena at working size), the second half
+			// is measured.
+			st := build(reserve, 0, nTuples/2, nil, &out)
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			build(reserve, nTuples/2, nTuples, st, &out)
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/(nTuples/2), "steady-allocs/tuple")
 		})
 	}
 }

@@ -7,11 +7,12 @@
 // bench-smoke job uses it to surface ingest-path drift on every run
 // without gating merges on noisy shared-runner timings.
 //
-// It understands three line shapes:
+// It understands four line shapes:
 //
 //	BenchmarkOperatorIngest/batch=N          ... ns/op       (per-tuple Send plane)
 //	BenchmarkOperatorIngest/sendbatch=N      ... ns/op       (SendBatch front end)
 //	BenchmarkOperatorIngestFanout/<mode>     ... ns/tuple    (output-dominated workload)
+//	BenchmarkStoreBuild/<mode>               ... ns/tuple    (insert-dominated store build)
 //
 // Usage:
 //
@@ -36,13 +37,15 @@ type point struct {
 }
 
 // trajectory mirrors the BENCH_PR*.json schema. Older files only have
-// Results; SendBatchResults and FanoutResults appear from PR 3 on.
+// Results; SendBatchResults and FanoutResults appear from PR 3 on,
+// StoreBuildResults from PR 4.
 type trajectory struct {
-	PR               int     `json:"pr"`
-	Benchmark        string  `json:"benchmark"`
-	Results          []point `json:"results"`
-	SendBatchResults []point `json:"sendbatch_results"`
-	FanoutResults    []point `json:"fanout_results"`
+	PR                int     `json:"pr"`
+	Benchmark         string  `json:"benchmark"`
+	Results           []point `json:"results"`
+	SendBatchResults  []point `json:"sendbatch_results"`
+	FanoutResults     []point `json:"fanout_results"`
+	StoreBuildResults []point `json:"storebuild_results"`
 }
 
 // ingestLine matches e.g.
@@ -53,6 +56,10 @@ var ingestLine = regexp.MustCompile(`^BenchmarkOperatorIngest/(batch|sendbatch)=
 // BenchmarkOperatorIngestFanout/sendbatch=32-4   3   474078088 ns/op   4741 ns/tuple   48.85 pairs/tuple
 // (the -procs suffix is absent on single-CPU runners).
 var fanoutLine = regexp.MustCompile(`^BenchmarkOperatorIngestFanout/(\S+?)(?:-\d+)?\s.*?([\d.]+) ns/tuple`)
+
+// storeLine matches e.g.
+// BenchmarkStoreBuild/reserve=exact-4   3   28018547 ns/op   106.9 ns/tuple   0 steady-allocs/tuple
+var storeLine = regexp.MustCompile(`^BenchmarkStoreBuild/(\S+?)(?:-\d+)?\s.*?([\d.]+) ns/tuple`)
 
 func main() {
 	committed := loadLatest()
@@ -70,6 +77,9 @@ func main() {
 	for _, r := range committed.FanoutResults {
 		base["fanout/"+r.Mode] = r.NsPerTuple
 	}
+	for _, r := range committed.StoreBuildResults {
+		base["storebuild/"+r.Mode] = r.NsPerTuple
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	found := false
 	for sc.Scan() {
@@ -80,6 +90,9 @@ func main() {
 			ns, _ = strconv.ParseFloat(m[3], 64)
 		} else if m := fanoutLine.FindStringSubmatch(sc.Text()); m != nil {
 			key = "fanout/" + m[1]
+			ns, _ = strconv.ParseFloat(m[2], 64)
+		} else if m := storeLine.FindStringSubmatch(sc.Text()); m != nil {
+			key = "storebuild/" + m[1]
 			ns, _ = strconv.ParseFloat(m[2], 64)
 		} else {
 			continue

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +33,7 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	zipf := flag.String("zipf", "Z0", "skew setting Z0..Z4")
 	seed := flag.Int64("seed", 42, "seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run (ingest through drain) to this file")
 	flag.Parse()
 
 	q, ok := workload.ByName(*query)
@@ -46,6 +48,26 @@ func main() {
 	emit := func(join.Pair) { out.Add(1) }
 	send, finish, report := buildOperator(*opName, q, *j, r, s, *seed, emit)
 
+	// stopProfile flushes and closes the CPU profile; it must run on
+	// every exit path (os.Exit skips defers) or the file is left
+	// unparsable mid-record.
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "joinrun: create cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "joinrun: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}
+	}
+
 	start := time.Now()
 	var total int64
 	q.Stream(g, func(t join.Tuple) bool {
@@ -54,10 +76,14 @@ func main() {
 		return true
 	})
 	if err := finish(); err != nil {
+		stopProfile()
 		fmt.Fprintf(os.Stderr, "joinrun: %v\n", err)
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
+	// Stop before reporting so the profile covers exactly the
+	// ingest-through-drain window the metrics describe.
+	stopProfile()
 
 	fmt.Printf("query      %s on %s (J=%d, SF=%.3f, %s)\n", q.Name, *opName, *j, *sf, *zipf)
 	fmt.Printf("input      |R|=%d |S|=%d (%d tuples)\n", r, s, total)

@@ -61,6 +61,12 @@ type joiner struct {
 	// emitBatch, so per-pair emission allocates nothing.
 	one [1]join.Pair
 
+	// hint is the operator's shared Reserve-hint cell (see operator.go);
+	// resR/resS remember what this joiner last reserved per side so the
+	// forecast is reapplied only after it has clearly outgrown it.
+	hint       *reserveHint
+	resR, resS int64
+
 	topo      *topology
 	ackCh     chan<- int
 	emit      join.Emit
@@ -216,6 +222,7 @@ func (w *joiner) nextMig() (message, bool) {
 // skipped entirely — a kMigBegin can wait out the (bounded) remainder
 // of the envelope.
 func (w *joiner) handleBatch(b []message) {
+	w.maybeReserve()
 	var tuples, bytes int64
 	for i := 0; i < len(b); {
 		m := &b[i]
@@ -275,6 +282,38 @@ func (w *joiner) handleBatch(b []message) {
 	}
 	w.updateStored()
 	putBatch(b)
+}
+
+// reserveMin is the smallest per-side forecast worth acting on:
+// below it the directory is a few pages at most and natural growth is
+// cheaper than hint bookkeeping.
+const reserveMin = 1 << 12
+
+// maybeReserve polls the controller's published per-joiner forecast
+// (two atomic loads per envelope) and, when a side's forecast has
+// grown past what was last applied, presizes the store to it. The
+// forecast is reserved exactly: it trails the stream, so a multiple
+// would skip the next growth doubling too, but the measured GC cost
+// of the over-allocation outweighs the rehashes it avoids — and the
+// store's incremental rehash keeps the trailing doublings smooth
+// anyway. The publisher only moves the hint on >=25% growth, so the
+// Reserve call itself runs logarithmically often, not per envelope.
+func (w *joiner) maybeReserve() {
+	if w.hint == nil {
+		return
+	}
+	changed := false
+	if hr := w.hint.perR.Load(); hr >= reserveMin && hr > w.resR {
+		w.resR = hr
+		changed = true
+	}
+	if hs := w.hint.perS.Load(); hs >= reserveMin && hs > w.resS {
+		w.resS = hs
+		changed = true
+	}
+	if changed {
+		w.state.Reserve(int(w.resR), int(w.resS))
+	}
 }
 
 // runGuardEmit returns the batch-probe sink for a probe-only run of

@@ -87,6 +87,18 @@ func (tp *topology) pushMigBatch(id int, b []message) {
 	}
 }
 
+// reserveHint is the controller's published per-joiner stored-tuple
+// forecast, one cell per side. The controller reshuffler derives it
+// from its scaled cardinality estimates (stats.Snapshot.PerJoiner)
+// and republishes on significant growth; joiners poll it once per
+// processed envelope and presize their store (hash directory and
+// columnar arena) ahead of the ingest that would otherwise grow them
+// incrementally. It is a hint in both directions: a zero or stale
+// value only means growth proceeds as usual.
+type reserveHint struct {
+	perR, perS atomic.Int64
+}
+
 // Config configures an Operator.
 type Config struct {
 	// J is the number of joiners; it must be a power of two (use
@@ -216,6 +228,7 @@ type Operator struct {
 	// whole envelopes split per destination.
 	sources []chan []sourceItem
 	ctl     *controller
+	hint    reserveHint
 
 	mu      sync.Mutex
 	joiners []*joiner
@@ -288,6 +301,7 @@ func (op *Operator) newJoiner(id int, cell matrix.Cell, mapping matrix.Mapping, 
 		stCfg:    op.cfg.Storage,
 		migBatch: op.cfg.MigBatchSize,
 		mig:      birth,
+		hint:     &op.hint,
 	}
 	ports := (*op.topo.ports.Load())[id]
 	w.dataIn = ports.dataIn
@@ -409,6 +423,7 @@ func (op *Operator) Start() {
 		}
 		if i == 0 {
 			r.ctl = op.ctl
+			r.hint = &op.hint
 		}
 		op.ctl.resh = append(op.ctl.resh, r.ctrlCh)
 		op.runner.Go(fmt.Sprintf("reshuffler-%d", i), r.run)

@@ -55,6 +55,14 @@ type reshuffler struct {
 	pend    []sourceItem
 	pendPos int
 
+	// hint is the operator's shared Reserve-hint cell; non-nil only on
+	// the controller reshuffler, which republishes its per-joiner
+	// stored-tuple forecast whenever the estimate has grown by a
+	// quarter since the last publish (lastHintR/S), so the shared cache
+	// line is written logarithmically often, not per burst.
+	hint                 *reserveHint
+	lastHintR, lastHintS int64
+
 	// padDummies enables the §4.2.2 dummy-tuple padding: when the
 	// local cardinality-ratio estimate exceeds J, pad the smaller
 	// relation so Lemma 4.1's precondition holds physically.
@@ -432,6 +440,9 @@ func (r *reshuffler) ingestBatch(items []sourceItem) {
 		}
 	}
 	r.est.ObserveN(nR, nS)
+	if r.hint != nil {
+		r.publishHint()
+	}
 	if r.lat != nil {
 		for i := range items {
 			r.lat.Arrive(items[i].t.Seq)
@@ -448,6 +459,22 @@ func (r *reshuffler) ingestBatch(items []sourceItem) {
 		for range items {
 			r.maybePad()
 		}
+	}
+}
+
+// publishHint refreshes the operator's shared Reserve-hint cell with
+// the per-joiner stored-tuple forecast under the current mapping. Only
+// significant growth (a quarter over the last published value)
+// republishes, keeping writes to the joiner-polled cache line rare.
+func (r *reshuffler) publishHint() {
+	perR, perS := r.est.Snapshot().PerJoiner(r.mapping.N, r.mapping.M)
+	if perR > r.lastHintR+r.lastHintR/4 {
+		r.lastHintR = perR
+		r.hint.perR.Store(perR)
+	}
+	if perS > r.lastHintS+r.lastHintS/4 {
+		r.lastHintS = perS
+		r.hint.perS.Store(perS)
 	}
 }
 

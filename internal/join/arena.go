@@ -1,0 +1,205 @@
+package join
+
+import "repro/internal/matrix"
+
+// The columnar tuple arena: the storage plane every index stores its
+// tuples in. Tuples are decomposed into parallel fixed-size column
+// blocks — Key, Aux, U, Seq, a packed meta word (Rel/Dummy/Size), and
+// an out-of-line payload column — instead of an array of 72-byte
+// Tuple structs. The layout buys three things on the hot path:
+//
+//   - inserts append only the hot scalar columns (40 bytes across five
+//     dense arrays, no payload slice header unless a payload exists),
+//   - the blocks are pointer-free unless a payload-carrying tuple
+//     forces the payload column into existence, so the garbage
+//     collector skips stored state instead of scanning a slice header
+//     per tuple, and
+//   - batch probes can gather match offsets from the directory first
+//     and materialize result pairs in a tight second loop, rather than
+//     interleaving hash walks with full-tuple copies.
+//
+// Growth appends a fresh block — stored tuples are never relocated —
+// and an arena offset encodes its block and position explicitly
+// (off = chunk<<arenaShift | pos) rather than as a global index, so a
+// block may sit anywhere in the chunk list while partially filled.
+// That is what lets adopt() splice another arena's blocks in wholesale
+// at migration finalization, whatever fill level either arena ends at.
+
+// arenaChunk sizes the arena's fixed blocks.
+const (
+	arenaChunk = 512
+	arenaShift = 9 // log2(arenaChunk)
+)
+
+// maxReserve caps how many tuples a single Reserve hint may
+// preallocate for, bounding what a wild cardinality estimate can
+// balloon a joiner by: at the cap, ~21 MB of arena blocks plus, for a
+// mostly-distinct key set, a 2^20-slot directory (~34 MB) per side.
+// Beyond the cap the index simply resumes incremental growth.
+const maxReserve = 1 << 19
+
+// colChunk is one block of the arena: arenaChunk tuples decomposed
+// into parallel columns. n is the fill level; slots at positions
+// >= n are unwritten. The payload column is allocated lazily, on the
+// first payload-carrying tuple appended to the block — payload-free
+// workloads keep the block a single pointer-free allocation.
+type colChunk struct {
+	key     [arenaChunk]int64
+	aux     [arenaChunk]int64
+	u       [arenaChunk]uint64
+	seq     [arenaChunk]uint64
+	meta    [arenaChunk]uint64
+	payload [][]byte
+	n       int
+}
+
+// atInto materializes the tuple stored at pos directly into *dst,
+// overwriting every field: the single column-unpack in the codebase
+// (the inverse of the per-column writes in tupleArena.append; the meta
+// word layout is defined by Tuple.metaWord).
+func (c *colChunk) atInto(pos int32, dst *Tuple) {
+	m := c.meta[pos]
+	dst.Rel = matrix.Side(m >> 32 & 1)
+	dst.Key = c.key[pos]
+	dst.Aux = c.aux[pos]
+	dst.Size = int32(uint32(m))
+	dst.U = c.u[pos]
+	dst.Seq = c.seq[pos]
+	dst.Dummy = metaDummy(m)
+	if c.payload != nil {
+		dst.Payload = c.payload[pos]
+	} else {
+		dst.Payload = nil
+	}
+}
+
+// at materializes the tuple stored at pos.
+func (c *colChunk) at(pos int32) Tuple {
+	var t Tuple
+	c.atInto(pos, &t)
+	return t
+}
+
+// tupleArena is a chunked columnar tuple store. The zero value is an
+// empty arena.
+type tupleArena struct {
+	chunks []*colChunk
+	// tail indexes the chunk receiving appends. Chunks before it may be
+	// partially filled (an adopted arena's former tail); chunks after it
+	// are reserved capacity, empty until appends reach them.
+	tail int
+	n    int
+}
+
+// grab returns the chunk (and its index) the next append lands in,
+// advancing past filled blocks into reserved ones and allocating a
+// fresh block only when no capacity is left.
+func (a *tupleArena) grab() (*colChunk, int) {
+	for a.tail < len(a.chunks) {
+		if c := a.chunks[a.tail]; c.n < arenaChunk {
+			return c, a.tail
+		}
+		a.tail++
+	}
+	c := &colChunk{}
+	a.chunks = append(a.chunks, c)
+	a.tail = len(a.chunks) - 1
+	return c, a.tail
+}
+
+// append stores t and returns its offset; t is taken by pointer so
+// the call moves five machine words into the columns instead of
+// copying the 72-byte struct twice. Arena offsets are int32: a single
+// joiner index holding >2^31 tuples would exhaust memory long before
+// the offset space.
+func (a *tupleArena) append(t *Tuple) int32 {
+	c, ci := a.grab()
+	pos := c.n
+	c.key[pos] = t.Key
+	c.aux[pos] = t.Aux
+	c.u[pos] = t.U
+	c.seq[pos] = t.Seq
+	c.meta[pos] = t.metaWord()
+	if t.Payload != nil {
+		if c.payload == nil {
+			c.payload = make([][]byte, arenaChunk)
+		}
+		c.payload[pos] = t.Payload
+	}
+	c.n++
+	a.n++
+	return int32(ci<<arenaShift | pos)
+}
+
+// at materializes the tuple at offset off.
+func (a *tupleArena) at(off int32) Tuple {
+	return a.chunks[off>>arenaShift].at(off & (arenaChunk - 1))
+}
+
+// atInto materializes the tuple at offset off directly into *dst,
+// overwriting every field — the copy-free form of at for hot loops
+// that gather into a caller-owned slot (e.g. a Pair being built in the
+// output buffer).
+func (a *tupleArena) atInto(off int32, dst *Tuple) {
+	a.chunks[off>>arenaShift].atInto(off&(arenaChunk-1), dst)
+}
+
+// scan visits every stored tuple in block order until fn returns
+// false, reporting whether the scan ran to completion.
+func (a *tupleArena) scan(fn func(Tuple) bool) bool {
+	for _, c := range a.chunks {
+		for pos := int32(0); pos < int32(c.n); pos++ {
+			if !fn(c.at(pos)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// reserve preallocates blocks so the arena can hold n tuples in total
+// without further allocation. The hint is clamped to maxReserve; a
+// reserve never shrinks the arena.
+func (a *tupleArena) reserve(n int) {
+	if n > maxReserve {
+		n = maxReserve
+	}
+	// Capacity still ahead of the append cursor; blocks before tail may
+	// be partially filled forever (adopted tails) and do not count.
+	avail := (len(a.chunks) - a.tail) * arenaChunk
+	if a.tail < len(a.chunks) {
+		avail -= a.chunks[a.tail].n
+	}
+	for need := n - a.n - avail; need > 0; need -= arenaChunk {
+		a.chunks = append(a.chunks, &colChunk{})
+	}
+}
+
+// trim drops reserved-but-empty trailing blocks, releasing unused
+// reserve capacity ahead of an adoption so it does not end up buried
+// mid-list where appends can never reach it.
+func (a *tupleArena) trim() {
+	for len(a.chunks) > 0 && a.chunks[len(a.chunks)-1].n == 0 {
+		a.chunks = a.chunks[:len(a.chunks)-1]
+	}
+	if a.tail > len(a.chunks) {
+		a.tail = len(a.chunks)
+	}
+}
+
+// adopt splices every block of o onto a, consuming o, and returns the
+// index a's chunk list gained o's blocks at: offset ci<<arenaShift|pos
+// in o becomes (base+ci)<<arenaShift|pos in a. No tuple is copied —
+// adoption is what makes migration finalization a directory rebuild
+// instead of a second ingest. a's previous tail block simply stays
+// partial; only o's tail keeps receiving appends.
+func (a *tupleArena) adopt(o *tupleArena) int {
+	a.trim()
+	o.trim()
+	base := len(a.chunks)
+	a.chunks = append(a.chunks, o.chunks...)
+	a.tail = base + o.tail
+	a.n += o.n
+	*o = tupleArena{}
+	return base
+}

@@ -6,17 +6,30 @@ import "repro/internal/matrix"
 // used for band joins (the paper's joiners use "balanced binary trees
 // for band joins", §5). A B-tree is used instead of a binary tree for
 // cache friendliness; the interface contract is identical.
+//
+// Tuples live in the shared columnar arena; tree nodes hold only
+// 12-byte (key, arena offset) items, so node splits and insertion
+// shifts move a sixth of the bytes the old tuple-bearing nodes did,
+// and range scans materialize full tuples only for keys inside the
+// probed band.
 type OrderedIndex struct {
 	width int64
 	root  *btreeNode
-	n     int
+	arena tupleArena
 	bytes int64
 }
 
 const btreeDegree = 32 // max children; max keys = 2*degree - 1
 
+// ordItem is one B-tree entry: the sort key and the arena offset of
+// the stored tuple.
+type ordItem struct {
+	key int64
+	off int32
+}
+
 type btreeNode struct {
-	items    []Tuple      // sorted by Key (stable by insertion among equals)
+	items    []ordItem    // sorted by key (stable by insertion among equals)
 	children []*btreeNode // len(children) == len(items)+1 for internal nodes
 }
 
@@ -29,21 +42,21 @@ func NewOrderedIndex(width int64) *OrderedIndex {
 }
 
 // Len returns the number of stored tuples.
-func (o *OrderedIndex) Len() int { return o.n }
+func (o *OrderedIndex) Len() int { return o.arena.n }
 
 // Bytes returns the accounted stored volume.
 func (o *OrderedIndex) Bytes() int64 { return o.bytes }
 
 // Insert stores t, keeping keys ordered.
 func (o *OrderedIndex) Insert(t Tuple) {
-	o.n++
 	o.bytes += t.Bytes()
+	off := o.arena.append(&t)
 	if len(o.root.items) == 2*btreeDegree-1 {
 		old := o.root
 		o.root = &btreeNode{children: []*btreeNode{old}}
 		o.root.splitChild(0)
 	}
-	o.root.insertNonFull(t)
+	o.root.insertNonFull(ordItem{key: t.Key, off: off})
 }
 
 // InsertBatch stores every tuple of ts. Tree insertion cost is
@@ -53,6 +66,10 @@ func (o *OrderedIndex) InsertBatch(ts []Tuple) {
 		o.Insert(ts[i])
 	}
 }
+
+// Reserve preallocates arena blocks for about n stored tuples; tree
+// nodes grow on demand.
+func (o *OrderedIndex) Reserve(n int) { o.arena.reserve(n) }
 
 // splitChild splits the full child at index i, lifting its median item
 // into n.
@@ -69,7 +86,7 @@ func (n *btreeNode) splitChild(i int) {
 		child.children = child.children[:mid+1]
 	}
 
-	n.items = append(n.items, Tuple{})
+	n.items = append(n.items, ordItem{})
 	copy(n.items[i+1:], n.items[i:])
 	n.items[i] = median
 
@@ -78,32 +95,32 @@ func (n *btreeNode) splitChild(i int) {
 	n.children[i+1] = right
 }
 
-func (n *btreeNode) insertNonFull(t Tuple) {
+func (n *btreeNode) insertNonFull(it ordItem) {
 	// Find the rightmost position among equal keys so insertion order
 	// is preserved for duplicates.
-	i := upperBound(n.items, t.Key)
+	i := upperBound(n.items, it.key)
 	if n.leaf() {
-		n.items = append(n.items, Tuple{})
+		n.items = append(n.items, ordItem{})
 		copy(n.items[i+1:], n.items[i:])
-		n.items[i] = t
+		n.items[i] = it
 		return
 	}
 	if len(n.children[i].items) == 2*btreeDegree-1 {
 		n.splitChild(i)
-		if t.Key > n.items[i].Key {
+		if it.key > n.items[i].key {
 			i++
 		}
 	}
-	n.children[i].insertNonFull(t)
+	n.children[i].insertNonFull(it)
 }
 
 // upperBound returns the first index whose key is strictly greater
 // than k.
-func upperBound(items []Tuple, k int64) int {
+func upperBound(items []ordItem, k int64) int {
 	lo, hi := 0, len(items)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if items[mid].Key <= k {
+		if items[mid].key <= k {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -113,11 +130,11 @@ func upperBound(items []Tuple, k int64) int {
 }
 
 // lowerBound returns the first index whose key is >= k.
-func lowerBound(items []Tuple, k int64) int {
+func lowerBound(items []ordItem, k int64) int {
 	lo, hi := 0, len(items)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if items[mid].Key < k {
+		if items[mid].key < k {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -131,22 +148,24 @@ func lowerBound(items []Tuple, k int64) int {
 func (o *OrderedIndex) Probe(probe Tuple, fn func(Tuple)) {
 	lo := probe.Key - o.width
 	hi := probe.Key + o.width
-	o.root.rangeScan(lo, hi, fn)
+	o.rangeScan(o.root, lo, hi, fn)
 }
 
-func (n *btreeNode) rangeScan(lo, hi int64, fn func(Tuple)) {
+// rangeScan walks the subtree under n, materializing every tuple with
+// key in [lo, hi] from the arena.
+func (o *OrderedIndex) rangeScan(n *btreeNode, lo, hi int64, fn func(Tuple)) {
 	i := lowerBound(n.items, lo)
 	if n.leaf() {
-		for ; i < len(n.items) && n.items[i].Key <= hi; i++ {
-			fn(n.items[i])
+		for ; i < len(n.items) && n.items[i].key <= hi; i++ {
+			fn(o.arena.at(n.items[i].off))
 		}
 		return
 	}
-	for ; i < len(n.items) && n.items[i].Key <= hi; i++ {
-		n.children[i].rangeScan(lo, hi, fn)
-		fn(n.items[i])
+	for ; i < len(n.items) && n.items[i].key <= hi; i++ {
+		o.rangeScan(n.children[i], lo, hi, fn)
+		fn(o.arena.at(n.items[i].off))
 	}
-	n.children[i].rangeScan(lo, hi, fn)
+	o.rangeScan(n.children[i], lo, hi, fn)
 }
 
 // ProbeBatchCollect probes every tuple of ps in order, appending
@@ -158,43 +177,48 @@ func (o *OrderedIndex) ProbeBatchCollect(ps []Tuple, rel matrix.Side, p Predicat
 	relay := func(t Tuple) { collectPair(probe, t, rel, p, out) }
 	for i := range ps {
 		probe = ps[i]
-		o.root.rangeScan(probe.Key-o.width, probe.Key+o.width, relay)
+		o.rangeScan(o.root, probe.Key-o.width, probe.Key+o.width, relay)
 	}
 }
 
 // Scan visits all stored tuples in key order.
-func (o *OrderedIndex) Scan(fn func(Tuple) bool) { o.root.scan(fn) }
+func (o *OrderedIndex) Scan(fn func(Tuple) bool) { o.treeScan(o.root, fn) }
 
-func (n *btreeNode) scan(fn func(Tuple) bool) bool {
+func (o *OrderedIndex) treeScan(n *btreeNode, fn func(Tuple) bool) bool {
 	for i, it := range n.items {
-		if !n.leaf() && !n.children[i].scan(fn) {
+		if !n.leaf() && !o.treeScan(n.children[i], fn) {
 			return false
 		}
-		if !fn(it) {
+		if !fn(o.arena.at(it.off)) {
 			return false
 		}
 	}
 	if !n.leaf() {
-		return n.children[len(n.items)].scan(fn)
+		return o.treeScan(n.children[len(n.items)], fn)
 	}
 	return true
 }
 
-// Retain keeps only tuples passing keep. The tree is rebuilt in bulk:
-// migration discards remove large contiguous fractions of the state, so
-// a rebuild is both simpler and faster than item-wise deletion.
+// Retain keeps only tuples passing keep. The tree and arena are
+// rebuilt in bulk: migration discards remove large contiguous
+// fractions of the state, so a rebuild is both simpler and faster than
+// item-wise deletion.
 func (o *OrderedIndex) Retain(keep func(Tuple) bool) int {
-	kept := make([]Tuple, 0, o.n)
+	kept := make([]Tuple, 0, o.Len())
 	o.Scan(func(t Tuple) bool {
 		if keep(t) {
 			kept = append(kept, t)
 		}
 		return true
 	})
-	removed := o.n - len(kept)
+	removed := o.Len() - len(kept)
+	if removed == 0 {
+		return 0
+	}
 	o.root = &btreeNode{}
-	o.n = 0
+	o.arena = tupleArena{}
 	o.bytes = 0
+	o.arena.reserve(len(kept))
 	// Keys are already sorted; insertion keeps the tree balanced
 	// enough (right-leaning fill) for the migration use case.
 	for _, t := range kept {

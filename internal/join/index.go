@@ -24,6 +24,12 @@ type Index interface {
 	// per-match callback at all; matches accumulate in the caller's
 	// pair buffer and flush (accounting, user sink) once per run.
 	ProbeBatchCollect(ps []Tuple, rel matrix.Side, p Predicate, out *[]Pair)
+	// Reserve hints that the index will eventually hold about n tuples,
+	// letting it presize its directory and arena so steady ingest up to
+	// the hint neither rehashes nor allocates. Reserving less than the
+	// current size, or zero, is a no-op; overshooting costs bounded
+	// memory (the hint is clamped internally).
+	Reserve(n int)
 	// Len returns the number of stored tuples.
 	Len() int
 	// Bytes returns the accounted storage volume of stored tuples.
@@ -65,19 +71,6 @@ func NewIndex(p Predicate) Index {
 	}
 }
 
-// arenaChunk sizes the tuple arena's fixed blocks. Growth appends a
-// fresh block — existing tuples are never copied, unlike a flat
-// doubling slice whose relocations would dominate the ingest path.
-// An arena offset encodes its block and position explicitly
-// (off = chunk<<arenaShift | pos) rather than as a global index, so a
-// block may sit anywhere in the chunk list while partially filled —
-// which is what lets MergeFrom adopt another arena's blocks wholesale,
-// whatever fill level either arena ends at.
-const (
-	arenaChunk = 512
-	arenaShift = 9 // log2(arenaChunk)
-)
-
 // inlineOffsets is the number of arena offsets stored directly in a
 // hash slot. Three offsets keep the slot at 32 bytes (two per cache
 // line), so a probe of a key with up to three duplicates touches only
@@ -95,24 +88,55 @@ type hslot struct {
 	inline [inlineOffsets]int32
 }
 
+// probeHit is one gathered batch-probe candidate: which probe tuple of
+// the run hit, and the arena offset of the stored tuple it hit.
+// Directory walking (ProbeBatchCollect's first loop) produces these;
+// pair materialization consumes them in a tight second loop.
+type probeHit struct {
+	probe int32
+	off   int32
+}
+
+// maxHitsCap bounds the gathered-hit scratch capacity an index retains
+// between batch probes, so one high-fanout run does not become a
+// permanent memory tax.
+const maxHitsCap = 1 << 15
+
 // HashIndex is a multimap from join key to tuples, the storage half of
-// a symmetric hash join [42]. Tuples live in a chunked arena; the key
-// directory is an open-addressed (linear probing) table of 32-byte
+// a symmetric hash join [42]. Tuples live in the columnar arena; the
+// key directory is an open-addressed (linear probing) table of 32-byte
 // slots with small inline bucket storage, overflowing into a shared
 // spill arena. The common probe — a key with at most three duplicates
 // — reads one slot and the arena, with no map iteration machinery and
-// no per-bucket pointer chase; growth moves 32-byte slots, never
-// tuples.
+// no per-bucket pointer chase.
+//
+// Directory growth is incremental: instead of re-placing every
+// occupied slot at the moment the load threshold trips (a
+// stop-the-world pause proportional to the directory), growth installs
+// a fresh directory and keeps the old one frozen, migrating a bounded
+// run of old slots on every subsequent insert until the old directory
+// drains. A key therefore lives in exactly one of the two directories:
+// lookups check the new one first and fall back to the old; inserts of
+// a key still resident in the old directory append to it in place (the
+// whole slot migrates later), while new keys always enter the new
+// directory. Reserve short-circuits the whole dance by presizing the
+// directory to an expected cardinality up front.
 type HashIndex struct {
 	slots []hslot
 	mask  uint64
-	used  int // occupied slots (distinct keys)
+	used  int // occupied slots (distinct keys), across both directories
+	// old is the draining directory of an in-flight incremental rehash
+	// (nil otherwise); slots [0, migPos) have been re-placed into the
+	// new directory, the rest still serve lookups.
+	old     []hslot
+	oldMask uint64
+	migPos  int
 	// spill holds per-key overflow offset lists, indexed by hslot.spill.
 	// Only keys with more than inlineOffsets duplicates allocate one.
-	spill  [][]int32
-	chunks [][]Tuple
-	n      int
-	bytes  int64
+	spill [][]int32
+	arena tupleArena
+	bytes int64
+	hits  []probeHit // batch-probe gather scratch
 }
 
 // NewHashIndex returns an empty hash index.
@@ -133,52 +157,152 @@ func hashKey(k int64) uint64 {
 // minSlots is the initial directory size.
 const minSlots = 16
 
-// grow doubles the slot directory and re-places occupied slots. Spill
-// lists are carried by id, so only 32-byte slots move.
-func (h *HashIndex) grow() {
-	newCap := 2 * len(h.slots)
+// rehashStep is how many old-directory slots each insert migrates
+// while a rehash is draining. The step picks the bounded-latency point
+// in a three-way trade: total migration work is len(old) slots
+// regardless, but while the drain lasts every lookup miss probes both
+// directories, so a larger step shortens that double-probe window; in
+// the other direction the step bounds the per-insert pause (64 slots
+// is a 2 KB scan). The new directory holds at least twice the old one,
+// so the next growth cannot trip before len(old)/0.25 further
+// distinct-key inserts — draining at rehashStep slots per insert
+// finishes two orders of magnitude earlier, and growTo's forced drain
+// is only a safety valve.
+const rehashStep = 64
+
+// growTo installs a directory of newCap slots (a power of two) and
+// starts the incremental migration of the current one. The rare caller
+// that grows while a previous rehash is still draining (an extreme
+// Reserve, or adversarial duplicate-free ingest) pays a forced drain
+// first, preserving the two-directory invariant.
+func (h *HashIndex) growTo(newCap int) {
 	if newCap < minSlots {
 		newCap = minSlots
 	}
-	old := h.slots
+	if h.old != nil {
+		h.migrate(len(h.old))
+	}
+	if h.used == 0 {
+		h.slots = make([]hslot, newCap)
+		h.mask = uint64(newCap - 1)
+		return
+	}
+	h.old, h.oldMask, h.migPos = h.slots, h.mask, 0
 	h.slots = make([]hslot, newCap)
 	h.mask = uint64(newCap - 1)
-	for i := range old {
-		if old[i].n != 0 {
-			j := hashKey(old[i].key) & h.mask
+}
+
+// migrate re-places up to k slots of the draining old directory into
+// the new one, retiring the old directory once fully scanned. Only
+// 32-byte slots move; spill lists are carried by id and tuples never
+// relocate.
+func (h *HashIndex) migrate(k int) {
+	end := h.migPos + k
+	if end > len(h.old) {
+		end = len(h.old)
+	}
+	for i := h.migPos; i < end; i++ {
+		if h.old[i].n != 0 {
+			// The key cannot already be in the new directory (a key
+			// lives in exactly one), so this is a pure placement walk.
+			j := hashKey(h.old[i].key) & h.mask
 			for h.slots[j].n != 0 {
 				j = (j + 1) & h.mask
 			}
-			h.slots[j] = old[i]
+			h.slots[j] = h.old[i]
 		}
 	}
+	h.migPos = end
+	if h.migPos >= len(h.old) {
+		h.old, h.oldMask, h.migPos = nil, 0, 0
+	}
 }
 
-// arenaAppend stores t in the chunked arena and returns its offset.
-// Arena offsets are int32: a single joiner index holding >2^31 tuples
-// would exhaust memory long before the offset space.
-func (h *HashIndex) arenaAppend(t Tuple) int32 {
-	c := len(h.chunks) - 1
-	if c < 0 || len(h.chunks[c]) == arenaChunk {
-		h.chunks = append(h.chunks, make([]Tuple, 0, arenaChunk))
-		c++
+// rehashing reports whether an incremental rehash is mid-drain
+// (exposed for the property tests, which pin Scan/Retain/MergeFrom
+// behavior at exactly this state).
+func (h *HashIndex) rehashing() bool { return h.old != nil }
+
+// appendOffset adds one more arena offset to an occupied slot,
+// spilling past the inline capacity into the shared overflow arena.
+func (h *HashIndex) appendOffset(s *hslot, off int32) {
+	switch {
+	case s.n < inlineOffsets:
+		s.inline[s.n] = off
+	case s.spill < 0:
+		s.spill = int32(len(h.spill))
+		h.spill = append(h.spill, []int32{off})
+	default:
+		h.spill[s.spill] = append(h.spill[s.spill], off)
 	}
-	off := int32(c<<arenaShift | len(h.chunks[c]))
-	h.chunks[c] = append(h.chunks[c], t)
-	h.n++
-	return off
+	s.n++
 }
 
-// insertOffset records key -> off in the slot directory.
-func (h *HashIndex) insertOffset(key int64, off int32) {
-	// Grow on distinct-key load: 3/4 of the directory.
-	if h.used >= len(h.slots)-len(h.slots)/4 {
-		h.grow()
+// oldFind returns the slot holding key in the draining directory, or
+// nil. The old directory is frozen (no new keys), so its probe chains
+// stay intact throughout the drain.
+func (h *HashIndex) oldFind(hash uint64, key int64) *hslot {
+	i := hash & h.oldMask
+	for {
+		s := &h.old[i]
+		if s.n == 0 {
+			return nil
+		}
+		if s.key == key {
+			return s
+		}
+		i = (i + 1) & h.oldMask
 	}
-	i := hashKey(key) & h.mask
+}
+
+// findSlot returns the slot holding key — new directory first, then
+// the draining old one — or nil.
+func (h *HashIndex) findSlot(hash uint64, key int64) *hslot {
+	if h.used == 0 {
+		return nil
+	}
+	i := hash & h.mask
 	for {
 		s := &h.slots[i]
 		if s.n == 0 {
+			break
+		}
+		if s.key == key {
+			return s
+		}
+		i = (i + 1) & h.mask
+	}
+	if h.old != nil {
+		return h.oldFind(hash, key)
+	}
+	return nil
+}
+
+// insertOffset records key -> off in the slot directory, reusing the
+// caller's hash (probe-then-insert steps hash each key exactly once).
+func (h *HashIndex) insertOffset(hash uint64, key int64, off int32) {
+	// Grow on distinct-key load: 3/4 of the directory. used counts keys
+	// across both directories — exactly the population the new
+	// directory must hold once the drain completes.
+	if h.used >= len(h.slots)-len(h.slots)/4 {
+		h.growTo(2 * len(h.slots))
+	}
+	if h.old != nil {
+		h.migrate(rehashStep)
+	}
+	i := hash & h.mask
+	for {
+		s := &h.slots[i]
+		if s.n == 0 {
+			if h.old != nil {
+				// Not in the new directory; the key may still be
+				// resident in the draining one — append there in place,
+				// the whole slot migrates later.
+				if os := h.oldFind(hash, key); os != nil {
+					h.appendOffset(os, off)
+					return
+				}
+			}
 			s.key = key
 			s.n = 1
 			s.spill = -1
@@ -187,16 +311,7 @@ func (h *HashIndex) insertOffset(key int64, off int32) {
 			return
 		}
 		if s.key == key {
-			switch {
-			case s.n < inlineOffsets:
-				s.inline[s.n] = off
-			case s.spill < 0:
-				s.spill = int32(len(h.spill))
-				h.spill = append(h.spill, []int32{off})
-			default:
-				h.spill[s.spill] = append(h.spill[s.spill], off)
-			}
-			s.n++
+			h.appendOffset(s, off)
 			return
 		}
 		i = (i + 1) & h.mask
@@ -205,8 +320,8 @@ func (h *HashIndex) insertOffset(key int64, off int32) {
 
 // Insert stores t under its key.
 func (h *HashIndex) Insert(t Tuple) {
-	off := h.arenaAppend(t)
-	h.insertOffset(t.Key, off)
+	off := h.arena.append(&t)
+	h.insertOffset(hashKey(t.Key), t.Key, off)
 	h.bytes += t.Bytes()
 }
 
@@ -214,106 +329,181 @@ func (h *HashIndex) Insert(t Tuple) {
 func (h *HashIndex) InsertBatch(ts []Tuple) {
 	var bytes int64
 	for i := range ts {
-		off := h.arenaAppend(ts[i])
-		h.insertOffset(ts[i].Key, off)
+		off := h.arena.append(&ts[i])
+		h.insertOffset(hashKey(ts[i].Key), ts[i].Key, off)
 		bytes += ts[i].Bytes()
 	}
 	h.bytes += bytes
 }
 
-// at returns the tuple at arena offset i.
-func (h *HashIndex) at(i int32) Tuple { return h.chunks[i>>arenaShift][i&(arenaChunk-1)] }
-
-// findSlot returns the slot index holding key, or -1.
-func (h *HashIndex) findSlot(key int64) int {
-	if h.used == 0 {
-		return -1
+// Reserve presizes the directory and arena for about n stored tuples
+// (assuming distinct keys — a safe overestimate for the directory).
+// Ingest below the hint then neither rehashes nor allocates; the hint
+// is clamped so a wild estimate costs bounded memory.
+func (h *HashIndex) Reserve(n int) {
+	if n <= 0 {
+		return
 	}
-	i := hashKey(key) & h.mask
-	for {
-		s := &h.slots[i]
-		if s.n == 0 {
-			return -1
-		}
-		if s.key == key {
-			return int(i)
-		}
-		i = (i + 1) & h.mask
+	if n > maxReserve {
+		n = maxReserve
+	}
+	// The hint counts tuples; the directory holds distinct keys. Scale
+	// by the observed distinct fraction once enough tuples have arrived
+	// to trust it — presizing a duplicate-heavy index for one key per
+	// tuple would spread a few hot slots over a mostly-empty directory,
+	// wasting memory and cache reach.
+	keys := n
+	if h.arena.n >= 1024 {
+		keys = int(int64(n) * int64(h.used) / int64(h.arena.n))
+	}
+	h.reserveSlots(keys)
+	h.arena.reserve(n)
+}
+
+// reserveSlots presizes only the directory, for n distinct keys under
+// the 3/4 load threshold.
+func (h *HashIndex) reserveSlots(n int) {
+	target := minSlots
+	for target-target/4 < n {
+		target <<= 1
+	}
+	if target > len(h.slots) {
+		h.growTo(target)
 	}
 }
 
-// Probe enumerates stored tuples with key equal to the probe's key, in
-// per-key insertion order.
-func (h *HashIndex) Probe(probe Tuple, fn func(Tuple)) {
-	si := h.findSlot(probe.Key)
-	if si < 0 {
-		return
-	}
-	s := &h.slots[si]
+// gather appends a slot's arena offsets to hits, tagged with the probe
+// index that matched the slot.
+func (h *HashIndex) gather(s *hslot, probe int32, hits []probeHit) []probeHit {
 	in := int(s.n)
 	if in > inlineOffsets {
 		in = inlineOffsets
 	}
 	for k := 0; k < in; k++ {
-		fn(h.at(s.inline[k]))
+		hits = append(hits, probeHit{probe: probe, off: s.inline[k]})
 	}
 	if s.spill >= 0 {
 		for _, off := range h.spill[s.spill] {
-			fn(h.at(off))
+			hits = append(hits, probeHit{probe: probe, off: off})
+		}
+	}
+	return hits
+}
+
+// materialize runs the gathered hits through the predicate, appending
+// passing pairs to *out: the tight second loop of the batch probe,
+// touching the arena columns only after all directory walking is done.
+// Hits arrive grouped by probe (gather appends one probe's offsets
+// contiguously), so the probe tuple loads once per group, not per hit;
+// each candidate is materialized straight into the output Pair slot
+// (truncated again if the predicate rejects it) instead of passing
+// 72-byte tuples through an intermediate copy chain. A plain equi
+// predicate short-circuits entirely: the directory already guarantees
+// key equality, leaving only the dummy flags to check.
+func (h *HashIndex) materialize(ps []Tuple, hits []probeHit, rel matrix.Side, p Predicate, out *[]Pair) {
+	plainEqui := p.Kind == Equi && p.Residual == nil
+	buf := *out
+	for i := 0; i < len(hits); {
+		pi := hits[i].probe
+		j := i + 1
+		for j < len(hits) && hits[j].probe == pi {
+			j++
+		}
+		probe := &ps[pi]
+		for k := i; k < j; k++ {
+			n := len(buf)
+			if n < cap(buf) {
+				buf = buf[:n+1] // stale contents are fully overwritten
+			} else {
+				buf = append(buf, Pair{})
+			}
+			pr := &buf[n]
+			var stored *Tuple
+			if rel == matrix.SideR {
+				pr.R = *probe
+				stored = &pr.S
+			} else {
+				pr.S = *probe
+				stored = &pr.R
+			}
+			h.arena.atInto(hits[k].off, stored)
+			if plainEqui {
+				if probe.Dummy || stored.Dummy {
+					buf = buf[:n]
+				}
+			} else if !p.Matches(pr.R, pr.S) {
+				buf = buf[:n]
+			}
+		}
+		i = j
+	}
+	*out = buf
+}
+
+// putHits retires the gather scratch, capping the retained capacity.
+func (h *HashIndex) putHits(hits []probeHit) {
+	if cap(hits) > maxHitsCap {
+		hits = nil
+	}
+	h.hits = hits[:0]
+}
+
+// Probe enumerates stored tuples with key equal to the probe's key, in
+// per-key insertion order.
+func (h *HashIndex) Probe(probe Tuple, fn func(Tuple)) {
+	s := h.findSlot(hashKey(probe.Key), probe.Key)
+	if s == nil {
+		return
+	}
+	in := int(s.n)
+	if in > inlineOffsets {
+		in = inlineOffsets
+	}
+	for k := 0; k < in; k++ {
+		fn(h.arena.at(s.inline[k]))
+	}
+	if s.spill >= 0 {
+		for _, off := range h.spill[s.spill] {
+			fn(h.arena.at(off))
 		}
 	}
 }
 
 // ProbeBatchCollect probes every tuple of ps in order, appending
-// oriented predicate-passing pairs to *out. The common probe — a key
-// with at most three duplicates — is one slot read plus inline arena
-// loads, with no callback in the loop.
+// oriented predicate-passing pairs to *out. The run is processed in
+// two phases: a gather loop that walks only the slot directory,
+// collecting (probe, arena offset) hits, then a materialize loop that
+// reads the arena columns and builds pairs — so directory cache lines
+// and tuple columns each stream through once instead of alternating
+// per match.
 func (h *HashIndex) ProbeBatchCollect(ps []Tuple, rel matrix.Side, p Predicate, out *[]Pair) {
 	if h.used == 0 {
 		return
 	}
+	hits := h.hits[:0]
 	for i := range ps {
-		si := h.findSlot(ps[i].Key)
-		if si < 0 {
-			continue
-		}
-		s := &h.slots[si]
-		in := int(s.n)
-		if in > inlineOffsets {
-			in = inlineOffsets
-		}
-		for k := 0; k < in; k++ {
-			collectPair(ps[i], h.at(s.inline[k]), rel, p, out)
-		}
-		if s.spill >= 0 {
-			for _, off := range h.spill[s.spill] {
-				collectPair(ps[i], h.at(off), rel, p, out)
-			}
+		if s := h.findSlot(hashKey(ps[i].Key), ps[i].Key); s != nil {
+			hits = h.gather(s, int32(i), hits)
 		}
 	}
+	h.materialize(ps, hits, rel, p, out)
+	h.putHits(hits)
 }
 
 // Len returns the number of stored tuples.
-func (h *HashIndex) Len() int { return h.n }
+func (h *HashIndex) Len() int { return h.arena.n }
 
 // Bytes returns the accounted stored volume.
 func (h *HashIndex) Bytes() int64 { return h.bytes }
 
 // Scan visits all stored tuples.
-func (h *HashIndex) Scan(fn func(Tuple) bool) {
-	for _, chunk := range h.chunks {
-		for i := range chunk {
-			if !fn(chunk[i]) {
-				return
-			}
-		}
-	}
-}
+func (h *HashIndex) Scan(fn func(Tuple) bool) { h.arena.scan(fn) }
 
 // Retain drops tuples failing keep, compacting the arena and
 // rebuilding the slot directory. Migration discards touch on the
 // order of half the state, so the O(n) rebuild matches the old
-// per-bucket sweep.
+// per-bucket sweep; the rebuild is presized to the surviving count so
+// it performs no incremental growth of its own.
 func (h *HashIndex) Retain(keep func(Tuple) bool) int {
 	removed := 0
 	h.Scan(func(t Tuple) bool {
@@ -326,6 +516,20 @@ func (h *HashIndex) Retain(keep func(Tuple) bool) int {
 		return 0 // common for the non-splitting relation: no rebuild
 	}
 	fresh := NewHashIndex()
+	// Presize from what the rebuild will actually hold: the surviving
+	// tuple count for the arena, and at most the current distinct-key
+	// count for the directory (Reserve's own distinct-fraction scaling
+	// cannot help here — fresh is empty).
+	kept := h.Len() - removed
+	keys := h.used
+	if keys > kept {
+		keys = kept
+	}
+	if keys > maxReserve {
+		keys = maxReserve
+	}
+	fresh.reserveSlots(keys)
+	fresh.arena.reserve(kept)
 	h.Scan(func(t Tuple) bool {
 		if keep(t) {
 			fresh.Insert(t)
@@ -337,24 +541,31 @@ func (h *HashIndex) Retain(keep func(Tuple) bool) int {
 }
 
 // MergeFrom bulk-merges every tuple of o into h, consuming o (o must
-// not be used afterward). The source chunk blocks are adopted
+// not be used afterward). The source arena blocks are adopted
 // wholesale — no tuple is copied, only the 32-byte directory entries
-// are built — which is what makes migration finalization a directory
-// rebuild instead of a full re-insert. The (chunk,pos) offset encoding
-// is what makes adoption unconditional: a partially filled block is
+// are built, and only the key column of the adopted blocks is read —
+// which is what makes migration finalization a directory rebuild
+// instead of a full re-insert. The (chunk,pos) offset encoding is what
+// makes adoption unconditional: a partially filled block is
 // addressable anywhere in the chunk list, so neither arena needs to
-// end on a block boundary. h's previous tail block simply stays
-// partial; only o's tail keeps receiving appends.
+// end on a block boundary, and either index may even be mid-rehash (h
+// keeps draining incrementally; o's directories are simply dropped).
 func (h *HashIndex) MergeFrom(o *HashIndex) {
-	if o.n == 0 {
+	if o.arena.n == 0 {
+		*o = HashIndex{}
 		return
 	}
-	base := len(h.chunks)
-	h.chunks = append(h.chunks, o.chunks...)
-	h.n += o.n
-	for ci, chunk := range o.chunks {
-		for i := range chunk {
-			h.insertOffset(chunk[i].Key, int32((base+ci)<<arenaShift|i))
+	// Presize the directory (not the arena — its blocks arrive by
+	// adoption) so the offset rebuild below rarely grows mid-loop.
+	if n := h.used + o.used; n <= maxReserve {
+		h.reserveSlots(n)
+	}
+	base := h.arena.adopt(&o.arena)
+	adopted := h.arena.chunks[base:]
+	for ci, c := range adopted {
+		for pos := 0; pos < c.n; pos++ {
+			key := c.key[pos]
+			h.insertOffset(hashKey(key), key, int32((base+ci)<<arenaShift|pos))
 		}
 	}
 	h.bytes += o.bytes
@@ -366,7 +577,7 @@ func (h *HashIndex) MergeFrom(o *HashIndex) {
 // fall back to it for arbitrary predicates, where no index structure
 // can restrict candidates.
 type ScanIndex struct {
-	ts    []Tuple
+	arena tupleArena
 	bytes int64
 }
 
@@ -374,62 +585,88 @@ type ScanIndex struct {
 func NewScanIndex() *ScanIndex { return &ScanIndex{} }
 
 // Insert appends t.
-func (s *ScanIndex) Insert(t Tuple) { s.ts = append(s.ts, t); s.bytes += t.Bytes() }
+func (s *ScanIndex) Insert(t Tuple) {
+	s.arena.append(&t)
+	s.bytes += t.Bytes()
+}
 
 // InsertBatch appends every tuple of ts.
 func (s *ScanIndex) InsertBatch(ts []Tuple) {
-	s.ts = append(s.ts, ts...)
 	for i := range ts {
+		s.arena.append(&ts[i])
 		s.bytes += ts[i].Bytes()
 	}
 }
 
+// Reserve preallocates arena blocks for about n stored tuples.
+func (s *ScanIndex) Reserve(n int) { s.arena.reserve(n) }
+
 // Probe enumerates every stored tuple: all are structural candidates
 // under a theta predicate.
 func (s *ScanIndex) Probe(_ Tuple, fn func(Tuple)) {
-	for _, t := range s.ts {
-		fn(t)
-	}
+	s.arena.scan(func(t Tuple) bool { fn(t); return true })
 }
 
 // ProbeBatchCollect probes every tuple of ps in order, appending
-// oriented predicate-passing pairs to *out: a plain nested loop with
-// no per-match callback.
+// oriented predicate-passing pairs to *out: a plain nested loop over
+// the arena blocks with no per-match callback.
 func (s *ScanIndex) ProbeBatchCollect(ps []Tuple, rel matrix.Side, p Predicate, out *[]Pair) {
 	for i := range ps {
-		for _, t := range s.ts {
-			collectPair(ps[i], t, rel, p, out)
+		for _, c := range s.arena.chunks {
+			for pos := int32(0); pos < int32(c.n); pos++ {
+				collectPair(ps[i], c.at(pos), rel, p, out)
+			}
 		}
 	}
 }
 
 // Len returns the number of stored tuples.
-func (s *ScanIndex) Len() int { return len(s.ts) }
+func (s *ScanIndex) Len() int { return s.arena.n }
 
 // Bytes returns the accounted stored volume.
 func (s *ScanIndex) Bytes() int64 { return s.bytes }
 
 // Scan visits all stored tuples in insertion order.
-func (s *ScanIndex) Scan(fn func(Tuple) bool) {
-	for _, t := range s.ts {
-		if !fn(t) {
-			return
+func (s *ScanIndex) Scan(fn func(Tuple) bool) { s.arena.scan(fn) }
+
+// Retain drops tuples failing keep, rebuilding the arena compactly.
+// A counting pass runs first so the common nothing-removed case (the
+// non-splitting relation of a migration) costs no allocation.
+func (s *ScanIndex) Retain(keep func(Tuple) bool) int {
+	removed := 0
+	s.arena.scan(func(t Tuple) bool {
+		if !keep(t) {
+			removed++
 		}
+		return true
+	})
+	if removed == 0 {
+		return 0
 	}
+	var fresh tupleArena
+	fresh.reserve(s.arena.n - removed)
+	var bytes int64
+	s.arena.scan(func(t Tuple) bool {
+		if keep(t) {
+			fresh.append(&t)
+			bytes += t.Bytes()
+		}
+		return true
+	})
+	s.arena = fresh
+	s.bytes = bytes
+	return removed
 }
 
-// Retain drops tuples failing keep.
-func (s *ScanIndex) Retain(keep func(Tuple) bool) int {
-	w := s.ts[:0]
-	removed := 0
-	for _, t := range s.ts {
-		if keep(t) {
-			w = append(w, t)
-		} else {
-			removed++
-			s.bytes -= t.Bytes()
-		}
+// MergeFrom bulk-merges every tuple of o into s by adopting its arena
+// blocks, consuming o. Insertion order is preserved: o's tuples follow
+// s's, exactly as a scan-and-insert merge would order them.
+func (s *ScanIndex) MergeFrom(o *ScanIndex) {
+	if o.arena.n == 0 {
+		*o = ScanIndex{}
+		return
 	}
-	s.ts = w
-	return removed
+	s.arena.adopt(&o.arena)
+	s.bytes += o.bytes
+	*o = ScanIndex{}
 }

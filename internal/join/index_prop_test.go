@@ -8,11 +8,13 @@ import (
 	"repro/internal/matrix"
 )
 
-// eqTuple compares the comparable projection of two tuples (payloads
-// are nil throughout this test).
+// eqTuple compares two tuples field by field, payload bytes included
+// (the columnar arena stores payloads out of line, so the tests must
+// verify they survive storage, adoption, and rebuilds).
 func eqTuple(a, b Tuple) bool {
 	return a.Rel == b.Rel && a.Key == b.Key && a.Aux == b.Aux &&
-		a.Size == b.Size && a.U == b.U && a.Seq == b.Seq && a.Dummy == b.Dummy
+		a.Size == b.Size && a.U == b.U && a.Seq == b.Seq && a.Dummy == b.Dummy &&
+		string(a.Payload) == string(b.Payload)
 }
 
 // sortTuples orders a tuple multiset deterministically for comparison.
@@ -49,7 +51,13 @@ func TestHashIndexMatchesScanIndexReference(t *testing.T) {
 		}
 		mk := func() Tuple {
 			seq++
-			return Tuple{Rel: matrix.SideS, Key: rng.Int63n(domain), Size: 8, Seq: seq}
+			tp := Tuple{Rel: matrix.SideS, Key: rng.Int63n(domain), Size: 8, Seq: seq}
+			// A quarter of the tuples carry a payload, exercising the
+			// arena's lazily allocated out-of-line payload column.
+			if rng.Intn(4) == 0 {
+				tp.Payload = []byte{byte(seq), byte(seq >> 8), byte(tp.Key)}
+			}
+			return tp
 		}
 		probeBoth := func(key int64) {
 			probe := Tuple{Rel: matrix.SideR, Key: key, Size: 8}
@@ -117,6 +125,16 @@ func TestHashIndexMatchesScanIndexReference(t *testing.T) {
 						t.Fatalf("trial %d: batch probe hit %d: %+v vs %+v", trial, i, got[i], want[i])
 					}
 				}
+			case r < 88: // Reserve hint (zero, exact, or a 2x overshoot)
+				hint := 0
+				switch rng.Intn(3) {
+				case 1:
+					hint = h.Len()
+				case 2:
+					hint = 2*h.Len() + 100
+				}
+				h.Reserve(hint)
+				ref.Reserve(hint)
 			case r < 93: // interleaved Scan: full contents must agree
 				var got, want []Tuple
 				h.Scan(func(tp Tuple) bool { got = append(got, tp); return true })
@@ -159,7 +177,11 @@ func TestHashIndexMergeFrom(t *testing.T) {
 		add := func(idx Index, n int, rng *rand.Rand) {
 			for i := 0; i < n; i++ {
 				seq++
-				idx.Insert(Tuple{Rel: matrix.SideS, Key: rng.Int63n(64), Size: 8, Seq: seq})
+				tp := Tuple{Rel: matrix.SideS, Key: rng.Int63n(64), Size: 8, Seq: seq}
+				if rng.Intn(4) == 0 {
+					tp.Payload = []byte{byte(seq), byte(seq >> 8)}
+				}
+				idx.Insert(tp)
 			}
 		}
 		rng := rand.New(rand.NewSource(int64(dstN)))
@@ -206,5 +228,186 @@ func TestHashIndexMergeFrom(t *testing.T) {
 		if h.Len() != dstN+srcN+10 {
 			t.Fatalf("dstN=%d: post-merge inserts broke Len: %d", dstN, h.Len())
 		}
+	}
+}
+
+// buildMidRehash grows a hash index (mirrored into a scan-index
+// reference) with distinct keys until an incremental rehash is
+// mid-drain, then layers a few duplicates on top so inline buckets and
+// in-place appends to the draining directory are both exercised.
+func buildMidRehash(t *testing.T, seed int64) (*HashIndex, *ScanIndex) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	h := NewHashIndex()
+	ref := NewScanIndex()
+	seq := uint64(0)
+	ins := func(key int64) {
+		seq++
+		tp := Tuple{Rel: matrix.SideS, Key: key, Size: 8, Seq: seq}
+		if rng.Intn(5) == 0 {
+			tp.Payload = []byte{byte(seq)}
+		}
+		h.Insert(tp)
+		ref.Insert(tp)
+	}
+	for key := int64(0); ; key++ {
+		ins(key)
+		// Distinct keys eventually trip the load threshold; stop while
+		// the old directory is still draining, once it is big enough
+		// that the duplicate layer below cannot finish the drain.
+		if key > 1<<16 {
+			t.Fatal("never entered a mid-rehash state")
+		}
+		if h.rehashing() && len(h.old) > 64*rehashStep {
+			break
+		}
+	}
+	// Duplicates of keys resident in the draining directory append to
+	// it in place — the mid-rehash path the two-directory scheme must
+	// keep consistent.
+	for i := 0; i < 50 && h.rehashing(); i++ {
+		ins(rng.Int63n(int64(h.Len())))
+	}
+	if !h.rehashing() {
+		t.Fatal("duplicate layer drained the rehash; shrink it")
+	}
+	return h, ref
+}
+
+// assertSameContents compares the hash index against the scan-index
+// reference via Scan, Len/Bytes, and per-key probes.
+func assertSameContents(t *testing.T, label string, h *HashIndex, ref *ScanIndex) {
+	t.Helper()
+	if h.Len() != ref.Len() || h.Bytes() != ref.Bytes() {
+		t.Fatalf("%s: Len/Bytes %d/%d vs reference %d/%d", label, h.Len(), h.Bytes(), ref.Len(), ref.Bytes())
+	}
+	var got, want []Tuple
+	h.Scan(func(tp Tuple) bool { got = append(got, tp); return true })
+	ref.Scan(func(tp Tuple) bool { want = append(want, tp); return true })
+	sortTuples(got)
+	sortTuples(want)
+	for i := range got {
+		if !eqTuple(got[i], want[i]) {
+			t.Fatalf("%s: scan[%d] = %+v, reference %+v", label, i, got[i], want[i])
+		}
+	}
+	keys := map[int64]bool{}
+	ref.Scan(func(tp Tuple) bool { keys[tp.Key] = true; return true })
+	keys[int64(len(keys))+7] = true // one guaranteed miss
+	for key := range keys {
+		probe := Tuple{Rel: matrix.SideR, Key: key, Size: 8}
+		var g, w []Tuple
+		h.Probe(probe, func(s Tuple) { g = append(g, s) })
+		ref.Scan(func(s Tuple) bool {
+			if s.Key == key {
+				w = append(w, s)
+			}
+			return true
+		})
+		sortTuples(g)
+		sortTuples(w)
+		if len(g) != len(w) {
+			t.Fatalf("%s: probe(%d) matched %d, reference %d", label, key, len(g), len(w))
+		}
+		for i := range g {
+			if !eqTuple(g[i], w[i]) {
+				t.Fatalf("%s: probe(%d)[%d] mismatch", label, key, i)
+			}
+		}
+	}
+}
+
+// TestHashIndexMidRehash pins every directory operation at the state
+// the incremental growth scheme introduces: an old directory mid-drain
+// alongside the new one. Scans, probes, Retain rebuilds, Reserve
+// (which force-drains), and MergeFrom in both roles must all behave as
+// if the rehash had never been split across inserts.
+func TestHashIndexMidRehash(t *testing.T) {
+	t.Run("scan-probe", func(t *testing.T) {
+		h, ref := buildMidRehash(t, 1)
+		assertSameContents(t, "mid-rehash", h, ref)
+	})
+	t.Run("retain", func(t *testing.T) {
+		h, ref := buildMidRehash(t, 2)
+		keep := func(tp Tuple) bool { return tp.Key%3 != 1 }
+		if hr, rr := h.Retain(keep), ref.Retain(keep); hr != rr {
+			t.Fatalf("Retain removed %d, reference %d", hr, rr)
+		}
+		assertSameContents(t, "after retain", h, ref)
+	})
+	t.Run("reserve-force-drain", func(t *testing.T) {
+		h, ref := buildMidRehash(t, 3)
+		// Reserving past the current size force-drains the in-flight
+		// rehash and starts a fresh incremental one toward the larger
+		// directory; contents must be unaffected at every point.
+		h.Reserve(4 * h.Len())
+		ref.Reserve(4 * ref.Len())
+		assertSameContents(t, "after reserve", h, ref)
+		for h.rehashing() {
+			// Drive the new drain to completion through ordinary inserts.
+			tp := Tuple{Rel: matrix.SideS, Key: int64(h.Len()), Size: 8, Seq: uint64(h.Len())}
+			h.Insert(tp)
+			ref.Insert(tp)
+		}
+		assertSameContents(t, "after drain", h, ref)
+	})
+	t.Run("merge-into-midrehash", func(t *testing.T) {
+		h, ref := buildMidRehash(t, 4)
+		src := NewHashIndex()
+		rng := rand.New(rand.NewSource(40))
+		for i := 0; i < arenaChunk+33; i++ {
+			tp := Tuple{Rel: matrix.SideS, Key: rng.Int63n(512), Size: 8, Seq: uint64(1e6) + uint64(i)}
+			src.Insert(tp)
+			ref.Insert(tp)
+		}
+		h.MergeFrom(src)
+		assertSameContents(t, "merged into mid-rehash dst", h, ref)
+	})
+	t.Run("merge-from-midrehash", func(t *testing.T) {
+		src, ref := buildMidRehash(t, 5)
+		h := NewHashIndex()
+		rng := rand.New(rand.NewSource(50))
+		for i := 0; i < arenaChunk/2; i++ {
+			tp := Tuple{Rel: matrix.SideS, Key: rng.Int63n(512), Size: 8, Seq: uint64(2e6) + uint64(i)}
+			h.Insert(tp)
+			ref.Insert(tp)
+		}
+		h.MergeFrom(src)
+		assertSameContents(t, "adopted mid-rehash src", h, ref)
+	})
+}
+
+// TestHashIndexReserveHints drives the same stream through indexes
+// reserved with nothing, the exact cardinality, and a large
+// overestimate (plus a mid-stream re-reserve), checking contents stay
+// identical to the unreserved reference: a hint may only move
+// allocations around, never change semantics.
+func TestHashIndexReserveHints(t *testing.T) {
+	const n = 3000
+	for _, tc := range []struct {
+		name string
+		pre  int
+		mid  int
+	}{
+		{"zero", 0, 0},
+		{"exact", n, 0},
+		{"over", 4 * n, 0},
+		{"midstream", 0, 2 * n},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			h := NewHashIndex()
+			ref := NewScanIndex()
+			h.Reserve(tc.pre)
+			for i := 0; i < n; i++ {
+				tp := Tuple{Rel: matrix.SideS, Key: rng.Int63n(2000), Size: 8, Seq: uint64(i + 1)}
+				h.Insert(tp)
+				ref.Insert(tp)
+				if tc.mid != 0 && i == n/2 {
+					h.Reserve(tc.mid)
+				}
+			}
+			assertSameContents(t, tc.name, h, ref)
+		})
 	}
 }

@@ -60,6 +60,58 @@ func (l *Local) Insert(t Tuple) {
 	}
 }
 
+// AddBatchCollect probes and then stores a run of same-side tuples
+// (all ts share ts[0].Rel), appending every match to *out: the batch
+// form of Add. When both sides are hash-indexed (the equi-join hot
+// path) the probe and the insert are fused per tuple: the key is
+// hashed exactly once and the hash drives both the probe of the
+// opposite directory and the insert into the own-side one, instead of
+// a probe pass and an insert pass each re-hashing the run. Because
+// tuples of one relation never join each other, the fused walk emits
+// exactly the pairs the two-pass form would.
+func (l *Local) AddBatchCollect(ts []Tuple, out *[]Pair) {
+	if len(ts) == 0 {
+		return
+	}
+	own, opp := l.s, l.r
+	if ts[0].Rel == matrix.SideR {
+		own, opp = l.r, l.s
+	}
+	oh, ownHash := own.(*HashIndex)
+	ph, oppHash := opp.(*HashIndex)
+	if !ownHash || !oppHash {
+		l.ProbeBatchCollect(ts, out)
+		l.InsertBatch(ts)
+		return
+	}
+	hits := ph.hits[:0]
+	var bytes int64
+	for i := range ts {
+		t := &ts[i]
+		hash := hashKey(t.Key)
+		if !t.Dummy {
+			if s := ph.findSlot(hash, t.Key); s != nil {
+				hits = ph.gather(s, int32(i), hits)
+			}
+		}
+		oh.insertOffset(hash, t.Key, oh.arena.append(t))
+		bytes += t.Bytes()
+	}
+	oh.bytes += bytes
+	// The gathered offsets point into the opposite side's arena, which
+	// the inserts above never touch, so materialization can run after
+	// the whole run is stored.
+	ph.materialize(ts, hits, ts[0].Rel, l.pred, out)
+	ph.putHits(hits)
+}
+
+// Reserve passes per-side expected-cardinality hints through to the
+// indexes, presizing their directories and arenas (see Index.Reserve).
+func (l *Local) Reserve(r, s int) {
+	l.r.Reserve(r)
+	l.s.Reserve(s)
+}
+
 // ProbeBatchCollect joins a run of same-side tuples against the stored
 // tuples of the opposite relation, appending every match to *out as an
 // oriented Pair instead of invoking a per-pair callback: the batch
@@ -106,11 +158,18 @@ func (l *Local) MergeFrom(other *Local) {
 	l.s = mergeIndex(l.s, other.s)
 }
 
-// mergeIndex merges src into dst, using the chunk-stealing bulk path
-// when both are hash indexes.
+// mergeIndex merges src into dst, using the chunk-adopting bulk path
+// when both sides share an arena-backed implementation (hash or scan);
+// ordered indexes fall back to scan-and-insert.
 func mergeIndex(dst, src Index) Index {
 	if d, ok := dst.(*HashIndex); ok {
 		if s, ok := src.(*HashIndex); ok {
+			d.MergeFrom(s)
+			return d
+		}
+	}
+	if d, ok := dst.(*ScanIndex); ok {
+		if s, ok := src.(*ScanIndex); ok {
 			d.MergeFrom(s)
 			return d
 		}

@@ -59,6 +59,23 @@ func (t Tuple) Bytes() int64 {
 	return 1
 }
 
+// metaWord packs the tuple's small scalar fields — Size in the low 32
+// bits, Rel at bit 32, Dummy at bit 33 — into the columnar arena's one
+// meta word, so an insert appends five dense machine words instead of
+// a padded 72-byte struct.
+func (t Tuple) metaWord() uint64 {
+	m := uint64(uint32(t.Size)) | uint64(t.Rel&1)<<32
+	if t.Dummy {
+		m |= 1 << 33
+	}
+	return m
+}
+
+// metaDummy reports the Dummy bit of a packed meta word without
+// materializing the tuple; the full inverse unpack lives in
+// colChunk.atInto.
+func metaDummy(m uint64) bool { return m&(1<<33) != 0 }
+
 // Pair is one join result: the matched R and S tuples.
 type Pair struct {
 	R, S Tuple

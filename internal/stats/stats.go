@@ -94,6 +94,19 @@ type Snapshot struct {
 // Snapshot returns the current estimates.
 func (e *Estimator) Snapshot() Snapshot { return Snapshot{R: e.R(), S: e.S()} }
 
+// PerJoiner returns the expected stored-tuple count per joiner and per
+// side under an (n,m) grid: an R tuple is replicated to the m joiners
+// of its random row, so each of the n·m joiners stores |R|·m/(n·m) =
+// |R|/n of them; symmetrically each stores |S|/m S tuples. Joiners use
+// the forecast as a storage Reserve hint, presizing their hash
+// directories and arenas so steady ingest rarely rehashes.
+func (s Snapshot) PerJoiner(n, m int) (r, sCount int64) {
+	if n <= 0 || m <= 0 {
+		return 0, 0
+	}
+	return s.R / int64(n), s.S / int64(m)
+}
+
 // Ratio returns |R|/|S| with S floored at 1 to avoid division by zero.
 func (s Snapshot) Ratio() float64 {
 	den := s.S

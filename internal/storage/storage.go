@@ -86,30 +86,44 @@ func (s *Store) Probe(t join.Tuple, emit join.Emit) {
 // caller owns the pair buffer and flushes it (accounting, user sink)
 // once per run. Because tuples of one relation never join each other,
 // probing the whole run before storing it collects exactly the pairs
-// per-tuple Add calls would emit.
+// per-tuple Add calls would emit. The unbudgeted, unspilled store (the
+// common case) takes the memory tier's fused probe-then-insert walk,
+// which hashes each key exactly once for both halves of the step.
 func (s *Store) AddBatchCollect(ts []join.Tuple, out *[]join.Pair) {
+	if len(ts) == 0 {
+		return
+	}
+	if s.cfg.CapBytes == 0 && s.segs[0] == nil && s.segs[1] == nil {
+		s.mem.AddBatchCollect(ts, out)
+		return
+	}
 	s.ProbeBatchCollect(ts, out)
 	s.InsertBatch(ts)
 }
 
 // ProbeBatchCollect joins a run of same-side tuples against all stored
-// tuples of the opposite relation, appending matches to *out. The
-// memory tier collects with no per-pair callback; the spill tier (rare
-// by construction) adapts its per-tuple probe through an appending
-// closure.
+// tuples of the opposite relation, appending matches to *out. Both
+// tiers collect without a per-pair callback; the spill tier (rare by
+// construction) gathers matching directory skeletons for the whole run
+// first and then reads and tests the spilled records.
 func (s *Store) ProbeBatchCollect(ts []join.Tuple, out *[]join.Pair) {
 	if len(ts) == 0 {
 		return
 	}
 	s.mem.ProbeBatchCollect(ts, out)
 	if seg := s.segs[ts[0].Rel.Other()]; seg != nil {
-		emit := func(p join.Pair) { *out = append(*out, p) }
-		for i := range ts {
-			if !ts[i].Dummy {
-				seg.probe(ts[i], s.pred, emit, &s.Metrics)
-			}
-		}
+		seg.probeBatch(ts, s.pred, out, &s.Metrics)
 	}
+}
+
+// Reserve passes an expected per-side stored-tuple forecast through to
+// the memory tier (see join.Index.Reserve). Budgeted stores ignore the
+// hint: their memory tier is bounded by CapBytes, not by the stream.
+func (s *Store) Reserve(r, sCount int) {
+	if s.cfg.CapBytes != 0 {
+		return
+	}
+	s.mem.Reserve(r, sCount)
 }
 
 // InsertBatch stores a run of same-side tuples. Unbudgeted stores (the
@@ -253,6 +267,19 @@ type segment struct {
 	off   int64
 	n     int
 	bytes int64
+	// scratch is the reusable record-encoding buffer: append encodes
+	// every spilled tuple into it instead of allocating a fresh buffer
+	// per record, so sustained spilling costs disk writes, not garbage.
+	scratch []byte
+	// hits is the reusable batch-probe gather buffer of (probe index,
+	// file offset) candidates.
+	hits []segHit
+}
+
+// segHit is one gathered spill-probe candidate.
+type segHit struct {
+	probe int32
+	off   int64
 }
 
 func newSegment(dir string, p join.Predicate) (*segment, error) {
@@ -268,14 +295,24 @@ func newSegment(dir string, p join.Predicate) (*segment, error) {
 
 const recordHeader = 8 + 8 + 8 + 8 + 4 + 1 + 1 + 4 // key aux u seq size rel dummy payloadLen
 
-func encodeRecord(t join.Tuple) []byte {
-	buf := make([]byte, recordHeader+len(t.Payload))
+// encodeRecordInto serializes t into buf (grown as needed) and returns
+// the filled slice; callers reuse one scratch buffer across records.
+func encodeRecordInto(buf []byte, t join.Tuple) []byte {
+	need := recordHeader + len(t.Payload)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	} else {
+		buf = buf[:need]
+	}
 	binary.LittleEndian.PutUint64(buf[0:], uint64(t.Key))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(t.Aux))
 	binary.LittleEndian.PutUint64(buf[16:], t.U)
 	binary.LittleEndian.PutUint64(buf[24:], t.Seq)
 	binary.LittleEndian.PutUint32(buf[32:], uint32(t.Size))
 	buf[36] = byte(t.Rel)
+	// The buffer is reused, so the dummy byte must be written on both
+	// branches — a stale 1 from a previous record would otherwise leak.
+	buf[37] = 0
 	if t.Dummy {
 		buf[37] = 1
 	}
@@ -302,7 +339,8 @@ func decodeRecord(buf []byte) (join.Tuple, int) {
 }
 
 func (g *segment) append(t join.Tuple, m *Metrics) {
-	rec := encodeRecord(t)
+	g.scratch = encodeRecordInto(g.scratch, t)
+	rec := g.scratch
 	if _, err := g.f.WriteAt(rec, g.off); err != nil {
 		return // best effort; the directory entry is only added on success
 	}
@@ -335,23 +373,69 @@ func (g *segment) readAt(off int64, m *Metrics) (join.Tuple, bool) {
 	return t, true
 }
 
+// matchAt reads the spilled record at file offset off and, when it
+// joins with probe, returns the oriented pair: the shared
+// read-and-test step of both the single-tuple and batched spill
+// probes.
+func (g *segment) matchAt(probe join.Tuple, off int64, p join.Predicate, m *Metrics) (join.Pair, bool) {
+	t, ok := g.readAt(off, m)
+	if !ok {
+		return join.Pair{}, false
+	}
+	if probe.Rel == matrix.SideR {
+		if p.Matches(probe, t) {
+			return join.Pair{R: probe, S: t}, true
+		}
+	} else {
+		if p.Matches(t, probe) {
+			return join.Pair{R: t, S: probe}, true
+		}
+	}
+	return join.Pair{}, false
+}
+
 func (g *segment) probe(probe join.Tuple, p join.Predicate, emit join.Emit, m *Metrics) {
 	g.dir.Probe(probe, func(skel join.Tuple) {
-		t, ok := g.readAt(skel.Aux, m)
-		if !ok {
-			return
-		}
-		if probe.Rel == matrix.SideR {
-			if p.Matches(probe, t) {
-				emit(join.Pair{R: probe, S: t})
-			}
-		} else {
-			if p.Matches(t, probe) {
-				emit(join.Pair{R: t, S: probe})
-			}
+		if pr, ok := g.matchAt(probe, skel.Aux, p, m); ok {
+			emit(pr)
 		}
 	})
 }
+
+// probeBatch probes a run of same-side tuples against the spilled
+// records: one directory-gathering pass per run (a single closure
+// collecting candidate file offsets, instead of a probe closure per
+// tuple), then a read-and-test loop appending passing pairs to *out.
+// The predicate runs on the materialized record, never on the
+// skeleton, whose Aux carries the file offset.
+func (g *segment) probeBatch(ts []join.Tuple, p join.Predicate, out *[]join.Pair, m *Metrics) {
+	hits := g.hits[:0]
+	probe := int32(0)
+	gather := func(skel join.Tuple) { hits = append(hits, segHit{probe: probe, off: skel.Aux}) }
+	for i := range ts {
+		if ts[i].Dummy {
+			continue
+		}
+		probe = int32(i)
+		g.dir.Probe(ts[i], gather)
+	}
+	for _, ht := range hits {
+		if pr, ok := g.matchAt(ts[ht.probe], ht.off, p, m); ok {
+			*out = append(*out, pr)
+		}
+	}
+	// Cap the retained scratch so one high-fanout run against a hot
+	// spilled key does not pin its peak capacity for the segment's
+	// lifetime (mirrors the memory tier's gather-scratch cap).
+	if cap(hits) > maxSegHitsCap {
+		hits = nil
+	}
+	g.hits = hits[:0]
+}
+
+// maxSegHitsCap bounds the spill-probe gather scratch retained
+// between runs.
+const maxSegHitsCap = 1 << 15
 
 func (g *segment) len() int { return g.n }
 

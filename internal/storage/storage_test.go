@@ -199,7 +199,13 @@ func TestStoreDummyNeverJoins(t *testing.T) {
 func TestEncodeDecodeRecord(t *testing.T) {
 	in := join.Tuple{Rel: matrix.SideS, Key: -42, Aux: 1 << 40, U: ^uint64(0), Seq: 77,
 		Size: 3, Dummy: true, Payload: []byte{1, 2, 3}}
-	buf := encodeRecord(in)
+	buf := encodeRecordInto(nil, in)
+	// Reusing the buffer must overwrite every stale byte — in
+	// particular the dummy flag the previous record set.
+	if clean, _ := decodeRecord(encodeRecordInto(buf, join.Tuple{Rel: matrix.SideR, Key: 1})); clean.Dummy {
+		t.Fatal("stale dummy byte survived buffer reuse")
+	}
+	buf = encodeRecordInto(buf, in)
 	out, n := decodeRecord(buf)
 	if n != len(buf) {
 		t.Fatalf("decoded %d bytes of %d", n, len(buf))
