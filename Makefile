@@ -3,12 +3,18 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-delta profile lint fmt
+.PHONY: all build build-examples test race bench bench-delta profile lint fmt
 
 all: build lint test
 
 build:
 	$(GO) build ./...
+
+# The examples are the documented face of the pipeline API; building
+# them separately (mirrored by a dedicated CI step) guarantees the
+# README/examples surface can never drift from the code.
+build-examples:
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...
@@ -28,7 +34,8 @@ bench:
 bench-delta:
 	( $(GO) test -bench '^BenchmarkOperatorIngest$$' -benchtime=20000x -run '^$$' . ; \
 	  $(GO) test -bench '^BenchmarkOperatorIngestFanout$$' -benchtime=2x -run '^$$' . ; \
-	  $(GO) test -bench '^BenchmarkStoreBuild$$' -benchtime=3x -run '^$$' . ) \
+	  $(GO) test -bench '^BenchmarkStoreBuild$$' -benchtime=3x -run '^$$' . ; \
+	  $(GO) test -bench '^BenchmarkPipelineChain$$' -benchtime=3x -run '^$$' . ) \
 	| $(GO) run ./cmd/benchdelta
 
 # Committed pprof recipe for the next hot-path hunt: run one evaluation

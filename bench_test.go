@@ -10,10 +10,12 @@
 package squall_test
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -367,6 +369,141 @@ func BenchmarkOperatorIngestFanout(b *testing.B) {
 			b.ReportMetric(float64(pairs)/nTuples, "pairs/tuple")
 		})
 	}
+}
+
+// BenchmarkPipelineChain measures the cost of multi-way chaining
+// through the pipeline API against the same plan hand-wired from raw
+// operators: two equi-join stages, the first stage's pairs re-keyed
+// and forwarded into the second, over a fixed pre-generated stream.
+// The "handwired" mode wires op1's EmitBatch into op2.SendBatch with
+// an inline rekey buffer — exactly what the pipeline's bridge does —
+// so the delta between the modes is the pipeline abstraction's
+// overhead (acceptance: <= 10%). Each iteration runs the fixed stream
+// through fresh engines; ns/tuple is reported over the externally fed
+// tuples.
+func BenchmarkPipelineChain(b *testing.B) {
+	const (
+		nStage1 = 60000 // R and S interleaved, keys in [0, 2^14)
+		nStage2 = 10000 // T, keys in [0, 2^13)
+		k1Dom   = 1 << 14
+		k2Dom   = 1 << 13
+		chunk   = 32
+	)
+	stage1, stage2 := chainStreams(nStage1, nStage2, k1Dom, k2Dom)
+	rekey := func(pr squall.Pair) squall.Tuple {
+		return squall.Tuple{Rel: squall.SideR, Key: (pr.R.Key*31 + pr.S.Key) % k2Dom, Size: 8}
+	}
+	feed := func(b *testing.B, send1, send2 func([]squall.Tuple) error) {
+		b.Helper()
+		for start := 0; start < len(stage2); start += chunk {
+			if err := send2(stage2[start:min(start+chunk, len(stage2))]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for start := 0; start < len(stage1); start += chunk {
+			if err := send1(stage1[start:min(start+chunk, len(stage1))]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	var pipelinePairs, handwiredPairs int64
+	b.Run("pipeline", func(b *testing.B) {
+		var pairs int64
+		b.ResetTimer()
+		for iter := 0; iter < b.N; iter++ {
+			sink, n := squall.Counter()
+			p := squall.NewPipeline(squall.WithJoiners(16), squall.WithSeed(1))
+			s1 := p.Join(squall.Equi("chain-1"))
+			s2 := s1.Join(squall.Equi("chain-2"), rekey).To(sink)
+			if err := p.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			feed(b, s1.SendBatch, s2.SendBatch)
+			if err := p.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			pairs = n.Load()
+		}
+		b.StopTimer()
+		reportChain(b, pairs, nStage1+nStage2)
+		pipelinePairs = pairs
+	})
+	b.Run("handwired", func(b *testing.B) {
+		var pairs int64
+		b.ResetTimer()
+		for iter := 0; iter < b.N; iter++ {
+			var n atomic.Int64
+			op2 := squall.NewOperator(squall.Config{
+				J: 16, Pred: squall.EquiJoin("chain-2", nil), Seed: 1,
+				EmitBatch: func(ps []squall.Pair) { n.Add(int64(len(ps))) },
+			})
+			var mu sync.Mutex
+			buf := make([]squall.Tuple, 0, squall.DefaultBatchSize)
+			op1 := squall.NewOperator(squall.Config{
+				J: 16, Pred: squall.EquiJoin("chain-1", nil), Seed: 1,
+				EmitBatch: func(ps []squall.Pair) {
+					mu.Lock()
+					for i := range ps {
+						buf = append(buf, rekey(ps[i]))
+						if len(buf) == cap(buf) {
+							if err := op2.SendBatch(buf); err != nil {
+								panic(err)
+							}
+							buf = buf[:0]
+						}
+					}
+					mu.Unlock()
+				},
+			})
+			op1.Start()
+			op2.Start()
+			feed(b, op1.SendBatch, op2.SendBatch)
+			if err := op1.Finish(); err != nil {
+				b.Fatal(err)
+			}
+			if err := op2.SendBatch(buf); err != nil {
+				b.Fatal(err)
+			}
+			buf = buf[:0]
+			if err := op2.Finish(); err != nil {
+				b.Fatal(err)
+			}
+			pairs = n.Load()
+		}
+		b.StopTimer()
+		reportChain(b, pairs, nStage1+nStage2)
+		handwiredPairs = pairs
+	})
+	if pipelinePairs != 0 && handwiredPairs != 0 && pipelinePairs != handwiredPairs {
+		b.Fatalf("pipeline emitted %d pairs, handwired %d — the modes must compute the same join",
+			pipelinePairs, handwiredPairs)
+	}
+}
+
+// chainStreams pre-builds the fixed two-stage input: an interleaved
+// R/S stream for stage 1 and a T stream for stage 2.
+func chainStreams(nStage1, nStage2 int, k1Dom, k2Dom int64) (stage1, stage2 []squall.Tuple) {
+	rng := rand.New(rand.NewSource(23))
+	stage1 = make([]squall.Tuple, nStage1)
+	for i := range stage1 {
+		side := squall.SideR
+		if i%2 == 1 {
+			side = squall.SideS
+		}
+		stage1[i] = squall.Tuple{Rel: side, Key: rng.Int63n(k1Dom), Size: 8}
+	}
+	stage2 = make([]squall.Tuple, nStage2)
+	for i := range stage2 {
+		stage2[i] = squall.Tuple{Rel: squall.SideS, Key: rng.Int63n(k2Dom), Size: 8}
+	}
+	return stage1, stage2
+}
+
+func reportChain(b *testing.B, pairs int64, fedTuples int) {
+	perIter := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(perIter/float64(fedTuples), "ns/tuple")
+	b.ReportMetric(float64(pairs), "final-pairs")
 }
 
 // BenchmarkStoreBuild measures the insert plane of the joiner store in

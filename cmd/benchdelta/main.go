@@ -7,12 +7,13 @@
 // bench-smoke job uses it to surface ingest-path drift on every run
 // without gating merges on noisy shared-runner timings.
 //
-// It understands four line shapes:
+// It understands five line shapes:
 //
 //	BenchmarkOperatorIngest/batch=N          ... ns/op       (per-tuple Send plane)
 //	BenchmarkOperatorIngest/sendbatch=N      ... ns/op       (SendBatch front end)
 //	BenchmarkOperatorIngestFanout/<mode>     ... ns/tuple    (output-dominated workload)
 //	BenchmarkStoreBuild/<mode>               ... ns/tuple    (insert-dominated store build)
+//	BenchmarkPipelineChain/<mode>            ... ns/tuple    (two chained equi-join stages)
 //
 // Usage:
 //
@@ -38,7 +39,7 @@ type point struct {
 
 // trajectory mirrors the BENCH_PR*.json schema. Older files only have
 // Results; SendBatchResults and FanoutResults appear from PR 3 on,
-// StoreBuildResults from PR 4.
+// StoreBuildResults from PR 4, ChainResults from PR 5.
 type trajectory struct {
 	PR                int     `json:"pr"`
 	Benchmark         string  `json:"benchmark"`
@@ -46,6 +47,7 @@ type trajectory struct {
 	SendBatchResults  []point `json:"sendbatch_results"`
 	FanoutResults     []point `json:"fanout_results"`
 	StoreBuildResults []point `json:"storebuild_results"`
+	ChainResults      []point `json:"chain_results"`
 }
 
 // ingestLine matches e.g.
@@ -60,6 +62,10 @@ var fanoutLine = regexp.MustCompile(`^BenchmarkOperatorIngestFanout/(\S+?)(?:-\d
 // storeLine matches e.g.
 // BenchmarkStoreBuild/reserve=exact-4   3   28018547 ns/op   106.9 ns/tuple   0 steady-allocs/tuple
 var storeLine = regexp.MustCompile(`^BenchmarkStoreBuild/(\S+?)(?:-\d+)?\s.*?([\d.]+) ns/tuple`)
+
+// chainLine matches e.g.
+// BenchmarkPipelineChain/pipeline-4   20   149866266 ns/op   60895 final-pairs   2141 ns/tuple
+var chainLine = regexp.MustCompile(`^BenchmarkPipelineChain/(\S+?)(?:-\d+)?\s.*?([\d.]+) ns/tuple`)
 
 func main() {
 	committed := loadLatest()
@@ -80,6 +86,9 @@ func main() {
 	for _, r := range committed.StoreBuildResults {
 		base["storebuild/"+r.Mode] = r.NsPerTuple
 	}
+	for _, r := range committed.ChainResults {
+		base["chain/"+r.Mode] = r.NsPerTuple
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	found := false
 	for sc.Scan() {
@@ -93,6 +102,9 @@ func main() {
 			ns, _ = strconv.ParseFloat(m[2], 64)
 		} else if m := storeLine.FindStringSubmatch(sc.Text()); m != nil {
 			key = "storebuild/" + m[1]
+			ns, _ = strconv.ParseFloat(m[2], 64)
+		} else if m := chainLine.FindStringSubmatch(sc.Text()); m != nil {
+			key = "chain/" + m[1]
 			ns, _ = strconv.ParseFloat(m[2], 64)
 		} else {
 			continue

@@ -7,10 +7,15 @@
 //
 //	joinrun -query EQ5 -op dynamic -j 16 -sf 0.01 -zipf Z4
 //
-// Operators: dynamic, staticmid, staticopt, shj, grouped.
+// Operators: dynamic, staticmid, staticopt, shj, grouped. Every
+// operator is driven through the uniform squall.Engine surface: one
+// ingest loop, one metrics report, regardless of which engine runs
+// behind it. -timeout aborts a runaway run through the engine's
+// context-aware lifecycle.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,10 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/join"
-	"repro/internal/matrix"
+	squall "repro"
 	"repro/internal/tpch"
 	"repro/internal/workload"
 )
@@ -33,6 +35,7 @@ func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	zipf := flag.String("zipf", "Z0", "skew setting Z0..Z4")
 	seed := flag.Int64("seed", 42, "seed")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0: no limit)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run (ingest through drain) to this file")
 	flag.Parse()
 
@@ -45,8 +48,16 @@ func main() {
 	r, s := q.Cardinalities(g)
 
 	var out atomic.Int64
-	emit := func(join.Pair) { out.Add(1) }
-	send, finish, report := buildOperator(*opName, q, *j, r, s, *seed, emit)
+	emit := func(squall.Pair) { out.Add(1) }
+	engine, report := buildEngine(*opName, q, *j, r, s, *seed, emit)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	engine.StartContext(ctx)
 
 	// stopProfile flushes and closes the CPU profile; it must run on
 	// every exit path (os.Exit skips defers) or the file is left
@@ -70,12 +81,19 @@ func main() {
 
 	start := time.Now()
 	var total int64
-	q.Stream(g, func(t join.Tuple) bool {
-		send(t)
+	var sendErr error
+	q.Stream(g, func(t squall.Tuple) bool {
+		if sendErr = engine.Send(t); sendErr != nil {
+			return false
+		}
 		total++
 		return true
 	})
-	if err := finish(); err != nil {
+	err := engine.Finish()
+	if err == nil {
+		err = sendErr
+	}
+	if err != nil {
 		stopProfile()
 		fmt.Fprintf(os.Stderr, "joinrun: %v\n", err)
 		os.Exit(1)
@@ -90,56 +108,56 @@ func main() {
 	fmt.Printf("output     %d pairs\n", out.Load())
 	fmt.Printf("elapsed    %v (%.0f tuples/s)\n", elapsed.Round(time.Millisecond),
 		float64(total)/elapsed.Seconds())
+	m := engine.Metrics()
+	fmt.Printf("ILF        %d tuples/machine (max; mean %d)\n",
+		m.MaxILFTuples(), m.TotalInputTuples()/int64(*j))
+	fmt.Printf("storage    %d bytes total, %d migrated tuples (migrations=%d)\n",
+		m.TotalStorageBytes(), m.TotalMigrated(), m.Migrations.Load())
 	report()
 }
 
-// buildOperator wires the requested operator and returns its send,
-// finish and report hooks.
-func buildOperator(name string, q workload.Query, j int, r, s int64, seed int64, emit join.Emit) (func(join.Tuple) error, func() error, func()) {
+// buildEngine wires the requested engine through the options API and
+// returns it plus an engine-specific postscript for the report.
+func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emit func(squall.Pair)) (squall.Engine, func()) {
 	switch name {
 	case "dynamic", "staticmid", "staticopt":
-		cfg := core.Config{J: j, Pred: q.Pred, Seed: seed, Emit: emit}
+		// Fail fast, like the raw constructor used to: a non-power-of-two
+		// count would silently select the grouped engine, dropping the
+		// staticopt initial mapping and breaking the report's
+		// DeployedMapping access.
+		if j <= 0 || j&(j-1) != 0 {
+			fmt.Fprintf(os.Stderr, "joinrun: -op %s needs a power-of-two -j (got %d); use -op grouped\n", name, j)
+			os.Exit(2)
+		}
+		opts := []squall.Option{squall.WithJoiners(j), squall.WithSeed(seed)}
 		switch name {
 		case "dynamic":
-			cfg.Adaptive = true
-			cfg.Warmup = (r + s) / 100
+			opts = append(opts, squall.WithAdaptive(), squall.WithWarmup((r+s)/100))
 		case "staticopt":
-			cfg.Initial = matrix.Optimal(j, float64(r), float64(s))
+			opts = append(opts, squall.WithInitialMapping(squall.OptimalMapping(j, float64(r), float64(s))))
 		}
-		op := core.NewOperator(cfg)
-		op.Start()
-		return op.Send, op.Finish, func() {
-			m := op.Metrics()
-			fmt.Printf("mapping    %v (migrations=%d)\n", op.DeployedMapping(), op.Migrations())
-			fmt.Printf("ILF        %d tuples/machine (max)\n", m.MaxILFTuples())
-			fmt.Printf("storage    %d bytes total, %d migrated tuples\n",
-				m.TotalStorageBytes(), m.TotalMigrated())
+		e := squall.NewEngine(q.Pred, squall.Each(emit), opts...)
+		return e, func() {
+			op := e.(*squall.Operator)
+			fmt.Printf("mapping    %v\n", op.DeployedMapping())
 		}
 	case "shj":
-		if q.Pred.Kind != join.Equi {
+		if q.Pred.Kind != squall.KindEqui {
 			fmt.Fprintf(os.Stderr, "joinrun: SHJ supports only equi-joins\n")
 			os.Exit(2)
 		}
-		op := baseline.NewSHJ(baseline.SHJConfig{J: j, Pred: q.Pred, Emit: emit})
-		op.Start()
-		send := func(t join.Tuple) error { op.Send(t); return nil }
-		return send, op.Finish, func() {
-			m := op.Metrics()
-			fmt.Printf("ILF        %d tuples/machine (max; mean %d)\n",
-				m.MaxILFTuples(), m.TotalInputTuples()/int64(j))
-		}
+		return squall.NewSHJ(squall.SHJConfig{J: j, Pred: q.Pred, Emit: emit}), func() {}
 	case "grouped":
-		op := core.NewGrouped(core.GroupedConfig{J: j, Pred: q.Pred, Adaptive: true,
-			Warmup: (r + s) / 100, Seed: seed, Emit: emit})
-		op.Start()
-		return op.Send, op.Finish, func() {
-			fmt.Printf("groups     %v mappings %v (migrations=%d)\n",
-				op.Groups(), op.GroupMappings(), op.Migrations())
-			fmt.Printf("ILF        %d tuples/machine (max)\n", op.MaxILFTuples())
+		e := squall.NewEngine(q.Pred, squall.Each(emit),
+			squall.WithJoiners(j), squall.WithGrouped(),
+			squall.WithAdaptive(), squall.WithWarmup((r+s)/100), squall.WithSeed(seed))
+		gr := e.(*squall.Grouped)
+		return e, func() {
+			fmt.Printf("groups     %v mappings %v\n", gr.Groups(), gr.GroupMappings())
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "joinrun: unknown operator %q\n", name)
 		os.Exit(2)
-		return nil, nil, nil
+		return nil, nil
 	}
 }

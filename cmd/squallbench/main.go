@@ -1,10 +1,12 @@
 // Command squallbench regenerates the paper's evaluation artifacts
 // (Table 2 and Figures 6a–8d of Elseidy et al., VLDB 2014) and prints
-// them as aligned text tables.
+// them as aligned text tables. Live-operator experiments (the latency
+// figure, the SHJ throughput probe) drive their operators through the
+// uniform core.Engine surface the pipeline API is built on.
 //
 // Usage:
 //
-//	squallbench [-sf 0.05] [-seed 2014] [ids...]
+//	squallbench [-sf 0.05] [-seed 2014] [-timeout 10m] [ids...]
 //
 // With no ids, every experiment runs in order. Available ids:
 // table2 fig6a fig6b fig6c fig6d fig7a fig7b fig7c fig7d fig8a fig8b
@@ -24,7 +26,19 @@ func main() {
 	sf := flag.Float64("sf", 0, "TPC-H scale factor (0 = experiment default)")
 	seed := flag.Int64("seed", 0, "data generation seed (0 = default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0: no limit)")
 	flag.Parse()
+
+	if *timeout > 0 {
+		// Experiments are deterministic replays with no cancellation
+		// points, so a runaway run (e.g. an accidental -sf 10) is
+		// aborted by a watchdog rather than drained gracefully.
+		go func() {
+			time.Sleep(*timeout)
+			fmt.Fprintf(os.Stderr, "squallbench: timed out after %v\n", *timeout)
+			os.Exit(1)
+		}()
+	}
 
 	ids, registry := experiments.Registry()
 	if *list {

@@ -1,0 +1,71 @@
+package squall_test
+
+import (
+	"context"
+	"fmt"
+
+	squall "repro"
+)
+
+// ExamplePipeline is the pipeline-API quickstart: one adaptive
+// equi-join stage, terminated by a counting sink and driven through
+// the context-aware lifecycle.
+func ExamplePipeline() {
+	sink, pairs := squall.Counter()
+
+	p := squall.NewPipeline(squall.WithSeed(42))
+	orders := p.Join(squall.Equi("orders"),
+		squall.WithJoiners(16),
+		squall.WithAdaptive(),
+	).To(sink)
+
+	if err := p.Run(context.Background()); err != nil {
+		panic(err)
+	}
+	orders.Send(squall.Tuple{Rel: squall.SideR, Key: 42})
+	orders.Send(squall.Tuple{Rel: squall.SideS, Key: 42}) // matches
+	orders.Send(squall.Tuple{Rel: squall.SideS, Key: 7})  // no partner
+	if err := p.Wait(); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("pairs:", pairs.Load())
+	// Output: pairs: 1
+}
+
+// ExamplePipeline_multiway chains two equi-join stages into the
+// three-relation plan R ⋈ S ⋈ T: the first stage's (r,s) pairs are
+// re-keyed on the attribute S carries in Aux and forwarded downstream
+// through the batched ingest front end, where externally fed T tuples
+// complete the triples.
+func ExamplePipeline_multiway() {
+	sink, triples := squall.Counter()
+
+	p := squall.NewPipeline(squall.WithJoiners(8), squall.WithSeed(7), squall.WithAdaptive())
+	rs := p.Join(squall.Equi("r-s"))
+	rst := rs.Join(squall.Equi("rs-t"), func(pr squall.Pair) squall.Tuple {
+		// The intermediate (r,s) probes T on the key s carried in Aux.
+		return squall.Tuple{Rel: squall.SideR, Key: pr.S.Aux}
+	}).To(sink)
+
+	if err := p.Run(context.Background()); err != nil {
+		panic(err)
+	}
+	// R and S join on Key; s.Aux links to T's Key.
+	rs.SendBatch([]squall.Tuple{
+		{Rel: squall.SideR, Key: 1},
+		{Rel: squall.SideS, Key: 1, Aux: 10}, // joins r, links to t=10
+		{Rel: squall.SideS, Key: 1, Aux: 11}, // joins r, links to t=11
+		{Rel: squall.SideS, Key: 2, Aux: 10}, // no R partner
+	})
+	rst.SendBatch([]squall.Tuple{
+		{Rel: squall.SideS, Key: 10}, // completes (r, s@10, t)
+		{Rel: squall.SideS, Key: 99}, // no intermediate partner
+	})
+	if err := p.Wait(); err != nil {
+		panic(err)
+	}
+
+	fmt.Println("triples:", triples.Load())
+	// Output: triples: 1
+}

@@ -7,9 +7,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 
 	squall "repro"
 )
@@ -21,16 +21,17 @@ func main() {
 		total = 80000 // tuples per run
 	)
 
-	// Live operator.
-	var out atomic.Int64
-	op := squall.NewOperator(squall.Config{
-		J:        j,
-		Pred:     squall.EquiJoin("fluct", nil),
-		Adaptive: true,
-		Warmup:   total / 100,
-		Emit:     func(squall.Pair) { out.Add(1) },
-	})
-	op.Start()
+	// Live operator behind the pipeline surface.
+	sink, out := squall.Counter()
+	p := squall.NewPipeline(squall.WithSeed(5))
+	fluct := p.Join(squall.Equi("fluct"),
+		squall.WithJoiners(j),
+		squall.WithAdaptive(),
+		squall.WithWarmup(total/100),
+	).To(sink)
+	if err := p.Run(context.Background()); err != nil {
+		panic(err)
+	}
 
 	// Deterministic shadow simulation for the competitive-ratio series.
 	sim := squall.NewSim(squall.SimConfig{
@@ -42,7 +43,9 @@ func main() {
 	side := squall.SideR
 	for i := 0; i < total; i++ {
 		t := squall.Tuple{Rel: side, Key: rng.Int63n(5000), Size: 16}
-		op.Send(t)
+		if err := fluct.Send(t); err != nil {
+			panic(err)
+		}
 		sim.Process(side, t.Key)
 		if side == squall.SideR {
 			nr++
@@ -56,14 +59,15 @@ func main() {
 			}
 		}
 	}
-	if err := op.Finish(); err != nil {
+	if err := p.Wait(); err != nil {
 		panic(err)
 	}
 	res := sim.Finish()
 
+	op := fluct.Engine().(*squall.Operator)
 	fmt.Printf("fluctuation factor k=%d on %d machines\n\n", k, j)
 	fmt.Printf("live operator:  %d results, %d migrations, final mapping %v\n",
-		out.Load(), op.Migrations(), op.DeployedMapping())
+		out.Load(), fluct.Metrics().Migrations.Load(), op.DeployedMapping())
 	fmt.Printf("shadow sim:     %d migrations, final mapping %v\n", res.Migrations, res.Final)
 
 	// Render the ratio series as a sparkline-style table.

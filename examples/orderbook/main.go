@@ -5,9 +5,15 @@
 // to marketable quantities. Order books are full-history state (orders
 // may rest indefinitely), which is exactly the workload the operator's
 // full-history joins target.
+//
+// The pipeline lifecycle is context-aware: the trading day runs under
+// a cancellable context, so an operational abort (here wired to a
+// deadline far beyond the demo's runtime) stops every joiner and
+// reshuffler task immediately instead of draining the day's backlog.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync/atomic"
@@ -16,29 +22,28 @@ import (
 	squall "repro"
 )
 
-// side encodings for the residual predicate.
-const (
-	buy  = 0
-	sell = 1
-)
-
 func main() {
 	var crosses atomic.Int64
 	lat := squall.NewLatencySampler(128)
 
-	op := squall.NewOperator(squall.Config{
-		J: 16,
-		// |buyPrice - sellPrice| <= 1 tick, buys against sells only,
-		// and only for orders of at least 100 shares.
-		Pred: squall.BandJoin("cross-detector", 1, func(r, s squall.Tuple) bool {
+	p := squall.NewPipeline(squall.WithSeed(7))
+	// |buyPrice - sellPrice| <= 1 tick, buys against sells only, and
+	// only for orders of at least 100 shares.
+	book := p.Join(
+		squall.BandJoin("cross-detector", 1, func(r, s squall.Tuple) bool {
 			return r.Aux >= 100 && s.Aux >= 100
 		}),
-		Adaptive: true,
-		Warmup:   1000,
-		Latency:  lat,
-		Emit:     func(p squall.Pair) { crosses.Add(1) },
-	})
-	op.Start()
+		squall.WithJoiners(16),
+		squall.WithAdaptive(),
+		squall.WithWarmup(1000),
+		squall.WithLatency(lat),
+	).To(squall.Each(func(squall.Pair) { crosses.Add(1) }))
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := p.Run(ctx); err != nil {
+		panic(err)
+	}
 
 	// Simulated trading day: the buy book is deep early, then a wave
 	// of sell interest arrives — the cardinality ratio swings, and the
@@ -49,27 +54,40 @@ func main() {
 
 	start := time.Now()
 	const phase = 40000
-	for i := 0; i < phase; i++ { // morning: buy-side flow
-		op.Send(squall.Tuple{Rel: squall.SideR, Key: price(), Aux: qty(), Size: 24})
+	// send stops the feed on the first error — after a context abort
+	// the remaining sends would fail anyway, so the day ends early
+	// rather than spinning through them.
+	aborted := false
+	send := func(t squall.Tuple) bool {
+		if err := book.Send(t); err != nil {
+			aborted = true
+			return false
+		}
+		return true
+	}
+	for i := 0; i < phase && !aborted; i++ { // morning: buy-side flow
+		send(squall.Tuple{Rel: squall.SideR, Key: price(), Aux: qty(), Size: 24})
 		if i%8 == 0 {
-			op.Send(squall.Tuple{Rel: squall.SideS, Key: price(), Aux: qty(), Size: 24})
+			send(squall.Tuple{Rel: squall.SideS, Key: price(), Aux: qty(), Size: 24})
 		}
 	}
-	for i := 0; i < phase; i++ { // afternoon: sell-side wave
-		op.Send(squall.Tuple{Rel: squall.SideS, Key: price(), Aux: qty(), Size: 24})
+	for i := 0; i < phase && !aborted; i++ { // afternoon: sell-side wave
+		send(squall.Tuple{Rel: squall.SideS, Key: price(), Aux: qty(), Size: 24})
 		if i%8 == 0 {
-			op.Send(squall.Tuple{Rel: squall.SideR, Key: price(), Aux: qty(), Size: 24})
+			send(squall.Tuple{Rel: squall.SideR, Key: price(), Aux: qty(), Size: 24})
 		}
 	}
-	if err := op.Finish(); err != nil {
+	if err := p.Wait(); err != nil {
 		panic(err)
 	}
 	elapsed := time.Since(start)
 
+	m := book.Metrics()
 	fmt.Printf("orders processed:  %d (%.0f orders/s)\n",
-		op.Metrics().TotalInputTuples(), float64(2*phase+phase/4)/elapsed.Seconds())
+		m.TotalInputTuples(), float64(2*phase+phase/4)/elapsed.Seconds())
 	fmt.Printf("potential crosses: %d\n", crosses.Load())
-	fmt.Printf("final mapping:     %v after %d migrations\n", op.DeployedMapping(), op.Migrations())
+	fmt.Printf("final mapping:     %v after %d migrations\n",
+		book.Engine().(*squall.Operator).DeployedMapping(), m.Migrations.Load())
 	if mean, ok := lat.Mean(); ok {
 		p99, _ := lat.Quantile(0.99)
 		fmt.Printf("detection latency: mean %v, p99 %v\n", mean.Round(time.Microsecond), p99.Round(time.Microsecond))

@@ -1,44 +1,59 @@
 // Quickstart: the smallest end-to-end use of the adaptive online join
-// operator. Two streams of integers are joined on equality while the
-// operator adapts its grid mapping to their (initially unknown, very
-// lopsided) sizes.
+// operator through the pipeline API. Two streams of integers are
+// joined on equality while the operator adapts its grid mapping to
+// their (initially unknown, very lopsided) sizes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"sync/atomic"
 
 	squall "repro"
 )
 
 func main() {
-	var results atomic.Int64
-	op := squall.NewOperator(squall.Config{
-		J:        16,                           // 16 simulated machines
-		Pred:     squall.EquiJoin("demo", nil), // r.Key == s.Key
-		Adaptive: true,                         // enable the controller
-		Warmup:   500,                          // adapt after ~500 tuples
-		Emit:     func(p squall.Pair) { results.Add(1) },
-	})
-	op.Start()
+	sink, results := squall.Counter()
+
+	p := squall.NewPipeline(squall.WithSeed(1))
+	orders := p.Join(squall.Equi("demo"), // r.Key == s.Key
+		squall.WithJoiners(16), // 16 simulated machines
+		squall.WithAdaptive(),  // enable the controller
+		squall.WithWarmup(500), // adapt after ~500 tuples
+	).To(sink)
+
+	if err := p.Run(context.Background()); err != nil {
+		panic(err)
+	}
 
 	// R is tiny, S is large: the optimal mapping is far from the
 	// square default, so the controller will migrate a few times.
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 100; i++ {
-		op.Send(squall.Tuple{Rel: squall.SideR, Key: rng.Int63n(1000), Size: 8})
+		orders.Send(squall.Tuple{Rel: squall.SideR, Key: rng.Int63n(1000), Size: 8})
 	}
+	batch := make([]squall.Tuple, 0, 256)
 	for i := 0; i < 50000; i++ {
-		op.Send(squall.Tuple{Rel: squall.SideS, Key: rng.Int63n(1000), Size: 8})
+		batch = append(batch, squall.Tuple{Rel: squall.SideS, Key: rng.Int63n(1000), Size: 8})
+		if len(batch) == cap(batch) {
+			if err := orders.SendBatch(batch); err != nil {
+				panic(err)
+			}
+			batch = batch[:0]
+		}
 	}
-	if err := op.Finish(); err != nil {
+	if err := orders.SendBatch(batch); err != nil {
+		panic(err)
+	}
+	if err := p.Wait(); err != nil {
 		panic(err)
 	}
 
+	m := orders.Metrics()
 	fmt.Printf("join results:   %d pairs\n", results.Load())
-	fmt.Printf("final mapping:  %v (started at %v)\n", op.DeployedMapping(), squall.SquareMapping(16))
-	fmt.Printf("migrations:     %d\n", op.Migrations())
+	fmt.Printf("final mapping:  %v (started at %v)\n",
+		orders.Engine().(*squall.Operator).DeployedMapping(), squall.SquareMapping(16))
+	fmt.Printf("migrations:     %d\n", m.Migrations.Load())
 	fmt.Printf("max ILF:        %d tuples/machine (square mapping would give ~%d)\n",
-		op.Metrics().MaxILFTuples(), (100+50000)/4)
+		m.MaxILFTuples(), (100+50000)/4)
 }

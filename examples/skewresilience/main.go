@@ -4,6 +4,9 @@
 // operator on the same number of machines. SHJ's hash partitioning
 // funnels the hot keys to a handful of workers; the grid operator's
 // random routing keeps every machine equally loaded.
+//
+// Both operators implement squall.Engine, so one drive function runs
+// them identically — the uniform surface the pipeline layer builds on.
 package main
 
 import (
@@ -31,20 +34,26 @@ func zipfKey(rng *rand.Rand) int64 {
 	return k
 }
 
-func run(name string, send func(squall.Tuple) error, finish func() error, m *squall.OperatorMetrics, out *atomic.Int64) {
+// run drives any engine over the same skewed stream and reports its
+// hottest machine against its own mean load.
+func run(name string, e squall.Engine, out *atomic.Int64) {
+	e.Start()
 	rng := rand.New(rand.NewSource(99))
 	for i := 0; i < tuples; i++ {
 		side := squall.SideR
 		if i%2 == 1 {
 			side = squall.SideS
 		}
-		send(squall.Tuple{Rel: side, Key: zipfKey(rng), Size: 16})
+		if err := e.Send(squall.Tuple{Rel: side, Key: zipfKey(rng), Size: 16}); err != nil {
+			panic(err)
+		}
 	}
-	if err := finish(); err != nil {
+	if err := e.Finish(); err != nil {
 		panic(err)
 	}
 	// Imbalance is each operator's hottest machine against its own
 	// mean load (the grid operator's mean includes replication).
+	m := e.Metrics()
 	mean := m.TotalInputTuples() / int64(machines)
 	fmt.Printf("%-8s results=%-9d hottest machine=%6d tuples = %.2fx its mean load\n",
 		name, out.Load(), m.MaxILFTuples(), float64(m.MaxILFTuples())/float64(mean))
@@ -59,22 +68,19 @@ func main() {
 		Pred: squall.EquiJoin("skewed", nil),
 		Emit: func(squall.Pair) { shjOut.Add(1) },
 	})
-	shj.Start()
-	run("SHJ", func(t squall.Tuple) error { shj.Send(t); return nil }, shj.Finish, shj.Metrics(), &shjOut)
+	run("SHJ", shj, &shjOut)
 
 	var dynOut atomic.Int64
-	dyn := squall.NewOperator(squall.Config{
-		J:        machines,
-		Pred:     squall.EquiJoin("skewed", nil),
-		Adaptive: true,
-		Warmup:   1000,
-		Emit:     func(squall.Pair) { dynOut.Add(1) },
-	})
-	dyn.Start()
-	run("Dynamic", dyn.Send, dyn.Finish, dyn.Metrics(), &dynOut)
+	dyn := squall.NewEngine(squall.Equi("skewed"),
+		squall.Each(func(squall.Pair) { dynOut.Add(1) }),
+		squall.WithJoiners(machines),
+		squall.WithAdaptive(),
+		squall.WithWarmup(1000),
+	)
+	run("Dynamic", dyn, &dynOut)
 
 	fmt.Printf("\nBoth emit identical results; SHJ concentrates the hot keys on a few\n")
 	fmt.Printf("workers while Dynamic's random routing stays balanced (the Dynamic\n")
 	fmt.Printf("figure includes its replication: each tuple is stored on one row or\n")
-	fmt.Printf("column of the %v grid).\n", dyn.DeployedMapping())
+	fmt.Printf("column of the %v grid).\n", dyn.(*squall.Operator).DeployedMapping())
 }

@@ -8,7 +8,9 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -35,16 +37,31 @@ type SHJConfig struct {
 	QueueCap int
 }
 
-// SHJ is the baseline parallel symmetric hash join operator.
+// SHJ is the baseline parallel symmetric hash join operator. It
+// implements core.Engine, so the pipeline layer and the experiment
+// harnesses drive it exactly like the grid operators.
 type SHJ struct {
 	cfg     SHJConfig
 	met     *metrics.Operator
 	runner  dataflow.Runner
 	inboxes []chan join.Tuple
 	seq     atomic.Uint64
-	done    bool
 	stores  []*storage.Store
+	// lifeMu guards done against Send/SendBatch racing Finish: senders
+	// hold the read side while checking the flag and pushing into an
+	// inbox, Finish takes the write side before closing the inboxes —
+	// so a send either lands before the close or observes done and
+	// returns ErrFinished, never a send-on-closed-channel panic.
+	lifeMu  sync.RWMutex
+	started bool
+	done    bool
+	// stop is the runner's cancellation signal; finishedCh releases
+	// the context watcher once Finish completes.
+	stop       <-chan struct{}
+	finishedCh chan struct{}
 }
+
+var _ core.Engine = (*SHJ)(nil)
 
 // NewSHJ builds the operator; call Start before Send.
 func NewSHJ(cfg SHJConfig) *SHJ {
@@ -60,7 +77,8 @@ func NewSHJ(cfg SHJConfig) *SHJ {
 	if cfg.Emit == nil {
 		cfg.Emit = func(join.Pair) {}
 	}
-	s := &SHJ{cfg: cfg, met: metrics.NewOperator(cfg.J)}
+	s := &SHJ{cfg: cfg, met: metrics.NewOperator(cfg.J), finishedCh: make(chan struct{})}
+	s.stop = s.runner.Done()
 	for i := 0; i < cfg.J; i++ {
 		s.inboxes = append(s.inboxes, make(chan join.Tuple, cfg.QueueCap))
 		s.stores = append(s.stores, storage.NewStore(cfg.Pred, cfg.Storage))
@@ -69,7 +87,18 @@ func NewSHJ(cfg SHJConfig) *SHJ {
 }
 
 // Start launches the workers.
-func (s *SHJ) Start() {
+func (s *SHJ) Start() { s.StartContext(context.Background()) }
+
+// StartContext launches the workers under ctx; cancellation stops
+// them promptly and surfaces through Send, SendBatch, and Finish.
+func (s *SHJ) StartContext(ctx context.Context) {
+	s.lifeMu.Lock()
+	if s.started {
+		s.lifeMu.Unlock()
+		panic("baseline: SHJ Start called twice")
+	}
+	s.started = true
+	s.lifeMu.Unlock()
 	for i := 0; i < s.cfg.J; i++ {
 		i := i
 		s.runner.Go(fmt.Sprintf("shj-worker-%d", i), func() error {
@@ -79,7 +108,17 @@ func (s *SHJ) Start() {
 				met.OutputPairs.Add(1)
 				s.cfg.Emit(p)
 			}
-			for t := range s.inboxes[i] {
+			for {
+				var t join.Tuple
+				var ok bool
+				select {
+				case t, ok = <-s.inboxes[i]:
+					if !ok {
+						return nil
+					}
+				case <-s.stop:
+					return nil
+				}
 				met.InputTuples.Add(1)
 				met.InputBytes.Add(t.Bytes())
 				store.Add(t, emit)
@@ -87,9 +126,9 @@ func (s *SHJ) Start() {
 				met.StoredBytes.Store(store.Bytes())
 				met.SpilledTuples.Store(store.Metrics.SpilledTuples.Load())
 			}
-			return nil
 		})
 	}
+	s.runner.WatchContext(ctx, s.finishedCh)
 }
 
 // Partition returns the worker a key hashes to.
@@ -98,21 +137,49 @@ func (s *SHJ) Partition(key int64) int { return int(hash64(uint64(key)) % uint64
 // Send routes one tuple to the worker owning its key. Content
 // sensitivity is the point: both relations partition on the join key,
 // so matching tuples always meet — and popular keys always collide.
-func (s *SHJ) Send(t join.Tuple) {
+// After Finish it returns core.ErrFinished; after cancellation, the
+// stop cause.
+func (s *SHJ) Send(t join.Tuple) error {
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	if s.done {
+		return core.ErrFinished
+	}
 	t.Seq = s.seq.Add(1)
-	s.inboxes[s.Partition(t.Key)] <- t
+	select {
+	case s.inboxes[s.Partition(t.Key)] <- t:
+		return nil
+	case <-s.stop:
+		return s.runner.Err()
+	}
+}
+
+// SendBatch feeds a run of tuples in order. SHJ's partitioning is
+// per-tuple content-sensitive, so the batch form is a convenience
+// loop, not an amortization.
+func (s *SHJ) SendBatch(ts []join.Tuple) error {
+	for i := range ts {
+		if err := s.Send(ts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Finish closes the input and waits for the workers.
 func (s *SHJ) Finish() error {
+	s.lifeMu.Lock()
 	if s.done {
+		s.lifeMu.Unlock()
 		return nil
 	}
 	s.done = true
 	for _, in := range s.inboxes {
 		close(in)
 	}
+	s.lifeMu.Unlock()
 	err := s.runner.Wait()
+	close(s.finishedCh)
 	for _, st := range s.stores {
 		_ = st.Close()
 	}

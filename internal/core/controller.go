@@ -146,7 +146,11 @@ func (c *controller) issueNext() {
 
 func (c *controller) broadcast(m ctrlMsg) {
 	for _, ch := range c.resh {
-		ch <- m
+		select {
+		case ch <- m:
+		case <-c.op.stop:
+			return
+		}
 	}
 }
 

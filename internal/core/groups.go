@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/join"
@@ -75,6 +77,11 @@ type Grouped struct {
 	seq    atomic.Uint64
 	rng    *rand.Rand
 	done   atomic.Bool
+	// sendMu serializes Send/SendBatch: the grouped mode's correctness
+	// rests on every group observing tuples in one arrival order, and
+	// the pipeline layer may interleave a chaining bridge's SendBatch
+	// with external sends from another goroutine.
+	sendMu sync.Mutex
 }
 
 // NewGrouped builds the operator; call Start before Send.
@@ -105,10 +112,28 @@ func NewGrouped(cfg GroupedConfig) *Grouped {
 func (gr *Grouped) Groups() []int { return append([]int(nil), gr.sizes...) }
 
 // Start launches all groups.
-func (gr *Grouped) Start() {
+func (gr *Grouped) Start() { gr.StartContext(context.Background()) }
+
+// StartContext launches all groups under ctx; cancellation stops every
+// group's tasks and surfaces through Send/SendBatch and Finish (see
+// Operator.StartContext).
+func (gr *Grouped) StartContext(ctx context.Context) {
 	for _, op := range gr.groups {
-		op.Start()
+		op.StartContext(ctx)
 	}
+}
+
+// Metrics returns a point-in-time aggregation of every group's
+// counters: joiner blocks are concatenated across groups (so ILF and
+// storage maxima are cluster-wide) and operator-level event counters
+// are summed. The returned value is a snapshot — it does not track
+// counters that advance after the call.
+func (gr *Grouped) Metrics() *metrics.Operator {
+	ms := make([]*metrics.Operator, len(gr.groups))
+	for i, op := range gr.groups {
+		ms[i] = op.Metrics()
+	}
+	return metrics.Merged(ms...)
 }
 
 // storingGroup picks the group that stores a tuple with routing value
@@ -127,10 +152,12 @@ func (gr *Grouped) storingGroup(u uint64) int {
 }
 
 // Send feeds one tuple: it is stored in exactly one group and probes
-// the stored state of all others. Send must be called from a single
-// goroutine (it is the serialization point that keeps cross-group
-// arrival order consistent). After Finish it returns ErrFinished.
+// the stored state of all others. Sends serialize internally — the
+// single arrival order every group observes is what keeps cross-group
+// results consistent (§4.2.2). After Finish it returns ErrFinished.
 func (gr *Grouped) Send(t join.Tuple) error {
+	gr.sendMu.Lock()
+	defer gr.sendMu.Unlock()
 	if gr.done.Load() {
 		return ErrFinished
 	}
@@ -156,10 +183,12 @@ func (gr *Grouped) Send(t join.Tuple) error {
 // one envelope delivery per group: every group receives the whole run
 // in stream order (owner groups as stored items, the rest as
 // probe-only items), preserving the cross-group arrival-order
-// consistency Send provides tuple by tuple. Like Send it must be
-// called from a single goroutine, and it may be freely interleaved
-// with Send.
+// consistency Send provides tuple by tuple. Like Send it serializes
+// internally and may be freely interleaved with Send from any
+// goroutine.
 func (gr *Grouped) SendBatch(ts []join.Tuple) error {
+	gr.sendMu.Lock()
+	defer gr.sendMu.Unlock()
 	if gr.done.Load() {
 		return ErrFinished
 	}
@@ -198,8 +227,14 @@ func (gr *Grouped) assignU(t *join.Tuple) {
 	}
 }
 
-// Finish drains and stops every group.
+// Finish drains and stops every group. It takes the send lock first,
+// so a Send/SendBatch racing Finish either completes its delivery to
+// every group or observes done and returns ErrFinished — never a
+// partial delivery that stores a tuple in one group but skips its
+// probes of the others.
 func (gr *Grouped) Finish() error {
+	gr.sendMu.Lock()
+	defer gr.sendMu.Unlock()
 	if gr.done.Swap(true) {
 		return nil
 	}

@@ -73,8 +73,11 @@ type joiner struct {
 	emitBatch join.EmitBatch
 	met       *metrics.Joiner
 	stCfg     storage.Config
-	eos       int
-	exited    bool
+	// stop is the operator's cancellation signal; the task loop's
+	// blocking waits select on it.
+	stop   <-chan struct{}
+	eos    int
+	exited bool
 }
 
 // emitOne is the thin single-pair adapter over the batched sink: the
@@ -181,6 +184,8 @@ func (w *joiner) run() error {
 			case b := <-w.dataIn:
 				w.handleBatch(b)
 			case <-w.migNotify:
+			case <-w.stop:
+				return nil
 			}
 		}
 	}
@@ -619,7 +624,10 @@ func (w *joiner) maybeFinalize() {
 	w.epoch = mig.epoch
 	w.mig = nil
 	w.updateStored()
-	w.ackCh <- w.id
+	select {
+	case w.ackCh <- w.id:
+	case <-w.stop:
+	}
 }
 
 // updateStored refreshes the stored-state gauges.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -22,6 +23,10 @@ import (
 type topology struct {
 	ports atomic.Pointer[[]*joinerPorts]
 	met   *metrics.Operator
+	// stop is the operator's cancellation signal (the runner's Done
+	// channel): bounded-link sends select on it so a reshuffler can
+	// never block forever against a stopped joiner's inbox.
+	stop <-chan struct{}
 }
 
 type joinerPorts struct {
@@ -62,8 +67,16 @@ func (tp *topology) add(ports []*joinerPorts) {
 
 // pushData delivers a batch on a joiner's (bounded) data link,
 // providing backpressure to reshufflers. The receiver owns the slice
-// and recycles it via putBatch after processing.
-func (tp *topology) pushData(id int, b []message) { (*tp.ports.Load())[id].dataIn <- b }
+// and recycles it via putBatch after processing. When the operator is
+// cancelled mid-send the batch is dropped — the topology is unwinding
+// and exactness no longer applies.
+func (tp *topology) pushData(id int, b []message) {
+	select {
+	case (*tp.ports.Load())[id].dataIn <- b:
+	case <-tp.stop:
+		putBatch(b)
+	}
+}
 
 // pushMig delivers one protocol message (kMigBegin, kMigDone) alone in
 // its own envelope on a joiner's unbounded migration link, preserving
@@ -230,6 +243,14 @@ type Operator struct {
 	ctl     *controller
 	hint    reserveHint
 
+	// stop is the runner's Done channel: closed on context
+	// cancellation or on the first task failure. Every blocking
+	// channel operation in the operator selects on it.
+	stop <-chan struct{}
+	// finishedCh closes when Finish completes, releasing the context
+	// watcher goroutine of StartContext.
+	finishedCh chan struct{}
+
 	mu      sync.Mutex
 	joiners []*joiner
 
@@ -249,11 +270,14 @@ type Operator struct {
 func NewOperator(cfg Config) *Operator {
 	cfg.fill()
 	op := &Operator{
-		cfg:  cfg,
-		topo: &topology{},
-		met:  metrics.NewOperator(cfg.J),
+		cfg:        cfg,
+		topo:       &topology{},
+		met:        metrics.NewOperator(cfg.J),
+		finishedCh: make(chan struct{}),
 	}
+	op.stop = op.runner.Done()
 	op.topo.met = op.met
+	op.topo.stop = op.stop
 	op.sources = make([]chan []sourceItem, cfg.NumReshufflers)
 	for i := range op.sources {
 		// Sized in envelopes; a Send wraps one tuple per envelope, so
@@ -302,6 +326,7 @@ func (op *Operator) newJoiner(id int, cell matrix.Cell, mapping matrix.Mapping, 
 		migBatch: op.cfg.MigBatchSize,
 		mig:      birth,
 		hint:     &op.hint,
+		stop:     op.stop,
 	}
 	ports := (*op.topo.ports.Load())[id]
 	w.dataIn = ports.dataIn
@@ -386,8 +411,17 @@ func (op *Operator) spawnChildren(table []int, epoch uint32, newMapping matrix.M
 	}
 }
 
-// Start launches all tasks.
-func (op *Operator) Start() {
+// Start launches all tasks. It is StartContext with a background
+// context: the operator stops only via Finish.
+func (op *Operator) Start() { op.StartContext(context.Background()) }
+
+// StartContext launches all tasks under ctx. When ctx is cancelled
+// every joiner and reshuffler task stops promptly (without draining),
+// in-flight and subsequent Send/SendBatch calls return the
+// cancellation error, and Finish returns it too. A task panic or error
+// cancels the remaining tasks the same way, so a crashed joiner
+// surfaces as a Finish error instead of a deadlock.
+func (op *Operator) StartContext(ctx context.Context) {
 	op.lifeMu.Lock()
 	if op.started {
 		op.lifeMu.Unlock()
@@ -420,6 +454,7 @@ func (op *Operator) Start() {
 			padDummies: op.cfg.PadDummies,
 			batchSize:  op.cfg.BatchSize,
 			linger:     op.cfg.BatchLinger,
+			stop:       op.stop,
 		}
 		if i == 0 {
 			r.ctl = op.ctl
@@ -428,6 +463,7 @@ func (op *Operator) Start() {
 		op.ctl.resh = append(op.ctl.resh, r.ctrlCh)
 		op.runner.Go(fmt.Sprintf("reshuffler-%d", i), r.run)
 	}
+	op.runner.WatchContext(ctx, op.finishedCh)
 }
 
 // Send feeds one tuple into the operator, assigning its ingestion
@@ -464,8 +500,7 @@ func (op *Operator) SendBatch(ts []join.Tuple) error {
 			t.Seq = base + uint64(i)
 			env = append(env, sourceItem{t: t})
 		}
-		op.sources[0] <- env
-		return nil
+		return op.push(0, env)
 	}
 	outs := make([][]sourceItem, len(op.sources))
 	for i := range ts {
@@ -478,12 +513,29 @@ func (op *Operator) SendBatch(ts []join.Tuple) error {
 		t.Seq = seq
 		outs[d] = append(outs[d], sourceItem{t: t})
 	}
+	var firstErr error
 	for d := range outs {
 		if len(outs[d]) > 0 {
-			op.sources[d] <- outs[d]
+			if err := op.push(d, outs[d]); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
-	return nil
+	return firstErr
+}
+
+// push delivers one envelope into a source ring, giving up (and
+// recycling the envelope) when the operator stops. The returned error
+// is the stop cause: the context's error after cancellation, or the
+// first task failure.
+func (op *Operator) push(d int, env []sourceItem) error {
+	select {
+	case op.sources[d] <- env:
+		return nil
+	case <-op.stop:
+		putItems(env)
+		return op.runner.Err()
+	}
 }
 
 // dealTarget maps a sequence number to a reshuffler index: a
@@ -508,8 +560,7 @@ func (op *Operator) deal(item sourceItem) error {
 		return ErrFinished
 	}
 	env := append(getItems(1), item)
-	op.sources[dealTarget(item.t.Seq, len(op.sources))] <- env
-	return nil
+	return op.push(dealTarget(item.t.Seq, len(op.sources)), env)
 }
 
 // sendItems delivers a pooled envelope of items, splitting it per
@@ -525,8 +576,7 @@ func (op *Operator) sendItems(env []sourceItem) error {
 	if len(op.sources) == 1 {
 		// Single reshuffler (the grouped mode): forward the envelope
 		// itself, no split and no copy.
-		op.sources[0] <- env
-		return nil
+		return op.push(0, env)
 	}
 	outs := make([][]sourceItem, len(op.sources))
 	for i := range env {
@@ -537,12 +587,15 @@ func (op *Operator) sendItems(env []sourceItem) error {
 		outs[d] = append(outs[d], env[i])
 	}
 	putItems(env)
+	var firstErr error
 	for d := range outs {
 		if len(outs[d]) > 0 {
-			op.sources[d] <- outs[d]
+			if err := op.push(d, outs[d]); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // sendProbe feeds a probe-only tuple (multi-group traffic); the caller
@@ -571,6 +624,7 @@ func (op *Operator) Finish() error {
 	}
 	op.lifeMu.Unlock()
 	err := op.runner.Wait()
+	close(op.finishedCh)
 	op.mu.Lock()
 	for _, w := range op.joiners {
 		_ = w.state.Close()

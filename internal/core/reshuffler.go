@@ -40,6 +40,9 @@ type reshuffler struct {
 	lat     *metrics.LatencySampler
 	ctl     *controller // non-nil on the controller reshuffler
 	drainCh chan<- int
+	// stop is the operator's cancellation signal; every blocking wait
+	// in the task loop selects on it.
+	stop <-chan struct{}
 
 	// inBuf coalesces small source envelopes (per-tuple Send wraps
 	// each tuple in a singleton) into one ingest run per burst, so the
@@ -240,6 +243,8 @@ func (r *reshuffler) run() error {
 		case <-r.lingerCh():
 			r.lingerArmed = false
 			r.flushAll(&r.opm.BatchFlushLinger)
+		case <-r.stop:
+			return nil
 		}
 	}
 }
@@ -371,7 +376,11 @@ func (r *reshuffler) drainLoop() error {
 	if r.ctl != nil {
 		r.ctl.onSourceDrained()
 	} else {
-		r.drainCh <- r.id
+		select {
+		case r.drainCh <- r.id:
+		case <-r.stop:
+			return nil
+		}
 	}
 	for {
 		select {
@@ -385,6 +394,8 @@ func (r *reshuffler) drainLoop() error {
 			}
 		case d := <-r.drainChan():
 			r.ctl.onDrained(d)
+		case <-r.stop:
+			return nil
 		}
 	}
 }

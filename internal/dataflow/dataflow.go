@@ -9,6 +9,7 @@
 package dataflow
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -19,13 +20,27 @@ import (
 // protocol: two joiners exchanging state must never block on each
 // other's inboxes. Per-producer FIFO order is preserved (each producer
 // appends under the same lock).
+//
+// Storage is a single slice with a consumed-head index rather than a
+// head reslice (`items = items[1:]`): reslicing advances the slice
+// base but keeps the whole backing array — and every popped element —
+// reachable for as long as the queue lives, so a burst's memory is
+// retained indefinitely. The head index lets the buffer be reused in
+// place (head resets to 0 whenever the queue drains) and compacted or
+// shrunk when the consumed prefix dominates the backing array.
 type Queue[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []T
+	head   int // items[:head] are consumed and zeroed
 	closed bool
 	count  int64
 }
+
+// queueShrinkCap is the backing-array capacity above which a mostly
+// drained queue re-allocates a right-sized buffer instead of
+// compacting in place, returning a burst's memory to the collector.
+const queueShrinkCap = 1024
 
 // NewQueue returns an empty queue.
 func NewQueue[T any]() *Queue[T] {
@@ -46,20 +61,48 @@ func (q *Queue[T]) Push(v T) {
 	q.mu.Unlock()
 }
 
+// popLocked removes the head item; the caller guarantees one exists.
+func (q *Queue[T]) popLocked() T {
+	var zero T
+	v := q.items[q.head]
+	q.items[q.head] = zero // drop the reference; popped items must be collectable
+	q.head++
+	if q.head == len(q.items) {
+		// Drained: reuse the buffer from the start, unless it grew past
+		// the shrink bound — then release it entirely.
+		if cap(q.items) > queueShrinkCap {
+			q.items = nil
+		} else {
+			q.items = q.items[:0]
+		}
+		q.head = 0
+	} else if q.head > queueShrinkCap && q.head > len(q.items)/2 {
+		// The consumed prefix dominates a large buffer: compact the
+		// live tail into a smaller allocation so the old backing array
+		// (twice the live volume or more) is released. Half the live
+		// length of headroom keeps the very next Push from immediately
+		// reallocating what was just compacted.
+		n := len(q.items) - q.head
+		live := make([]T, n, n+n/2+1)
+		copy(live, q.items[q.head:])
+		q.items = live
+		q.head = 0
+	}
+	return v
+}
+
 // Pop removes the head item, blocking until one is available or the
 // queue is closed and drained; ok is false in the latter case.
 func (q *Queue[T]) Pop() (v T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.head == len(q.items) && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.popLocked(), true
 }
 
 // TryPop removes the head item without blocking; ok is false if the
@@ -67,19 +110,17 @@ func (q *Queue[T]) Pop() (v T, ok bool) {
 func (q *Queue[T]) TryPop() (v T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.popLocked(), true
 }
 
 // Len returns the number of queued items.
 func (q *Queue[T]) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return len(q.items) - q.head
 }
 
 // Count returns the total number of items ever pushed, a cheap message
@@ -103,33 +144,107 @@ func (q *Queue[T]) Close() {
 
 // Runner manages a set of goroutines and collects the first error or
 // panic. It plays the part of the Storm worker supervisor.
+//
+// A runner is also the topology's stop signal: Cancel (called on
+// context cancellation, or automatically when any task fails) closes
+// the Done channel, and every blocking channel operation in the
+// operator selects on it — so one crashed joiner, or a cancelled
+// context, unwinds the whole task set instead of deadlocking the
+// survivors against a dead peer's inbox.
 type Runner struct {
 	wg   sync.WaitGroup
 	mu   sync.Mutex
 	errs []error
+	done chan struct{}
+	// stopped is true once done is closed; guarded by mu.
+	stopped bool
 }
 
 // Go launches fn under the runner. Panics are converted to errors so a
-// task crash fails the topology instead of the process.
+// task crash fails the topology instead of the process, and any task
+// failure cancels the runner so sibling tasks observe Done and exit
+// rather than waiting forever on the dead task's channels.
 func (r *Runner) Go(name string, fn func() error) {
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
 		defer func() {
 			if p := recover(); p != nil {
-				r.record(fmt.Errorf("dataflow: task %s panicked: %v", name, p))
+				r.Cancel(fmt.Errorf("dataflow: task %s panicked: %v", name, p))
 			}
 		}()
 		if err := fn(); err != nil {
-			r.record(fmt.Errorf("dataflow: task %s: %w", name, err))
+			r.Cancel(fmt.Errorf("dataflow: task %s: %w", name, err))
 		}
 	}()
 }
 
-func (r *Runner) record(err error) {
+// doneLocked returns the done channel, creating it on first use so the
+// zero-value Runner works.
+func (r *Runner) doneLocked() chan struct{} {
+	if r.done == nil {
+		r.done = make(chan struct{})
+	}
+	return r.done
+}
+
+// Done returns a channel closed when the runner is cancelled — by a
+// caller (context cancellation) or by a task failing. Tasks and
+// blocking sends select on it as their stop signal.
+func (r *Runner) Done() <-chan struct{} {
 	r.mu.Lock()
-	r.errs = append(r.errs, err)
+	defer r.mu.Unlock()
+	return r.doneLocked()
+}
+
+// Cancel records cause (if non-nil) and stops the runner: Done closes
+// and every task is expected to unwind. Cancel is idempotent; only the
+// causes recorded before and including the first one are reported by
+// Err, later ones append to Errs.
+func (r *Runner) Cancel(cause error) {
+	r.mu.Lock()
+	if cause != nil {
+		r.errs = append(r.errs, cause)
+	}
+	if !r.stopped {
+		r.stopped = true
+		close(r.doneLocked())
+	}
 	r.mu.Unlock()
+}
+
+// WatchContext bridges ctx cancellation into the runner: when ctx is
+// cancelled the runner cancels with ctx's error. The watcher goroutine
+// exits when finished closes (normal shutdown) or when the runner is
+// cancelled by other means, so a long-lived parent ctx does not leak a
+// goroutine per finished topology. A ctx that can never be cancelled
+// installs no watcher.
+func (r *Runner) WatchContext(ctx context.Context, finished <-chan struct{}) {
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			r.Cancel(ctx.Err())
+		case <-finished:
+		case <-r.Done():
+		}
+	}()
+}
+
+// Err returns the first recorded error, or nil. Unlike Wait it does
+// not block, so in-flight senders can report why the topology stopped.
+func (r *Runner) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.errs) > 0 {
+		return r.errs[0]
+	}
+	if r.stopped {
+		return context.Canceled
+	}
+	return nil
 }
 
 // Wait blocks until all tasks finish and returns the first recorded
@@ -140,6 +255,9 @@ func (r *Runner) Wait() error {
 	defer r.mu.Unlock()
 	if len(r.errs) > 0 {
 		return r.errs[0]
+	}
+	if r.stopped {
+		return context.Canceled
 	}
 	return nil
 }
@@ -167,13 +285,31 @@ func NewRateLimiter(perSec int) *RateLimiter {
 }
 
 // Take blocks until the next item may be emitted.
-func (l *RateLimiter) Take() {
+func (l *RateLimiter) Take() { _ = l.TakeCtx(context.Background()) }
+
+// TakeCtx blocks until the next item may be emitted or ctx is
+// cancelled, returning ctx's error in the latter case. A cancelled
+// pipeline source should use this form so it stops immediately instead
+// of sleeping out its remaining pacing budget.
+func (l *RateLimiter) TakeCtx(ctx context.Context) error {
 	if l.perSec <= 0 {
-		return
+		return ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	l.emitted++
 	due := l.start.Add(time.Duration(l.emitted * int64(time.Second) / int64(l.perSec)))
-	if d := time.Until(due); d > 0 {
-		time.Sleep(d)
+	d := time.Until(due)
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }

@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -106,6 +107,89 @@ func TestQueuePerProducerOrder(t *testing.T) {
 	}
 }
 
+// The queue must not retain a burst's backing array after the burst is
+// consumed. The old head-reslice (`items = items[1:]`) kept the entire
+// backing array — and every popped element — reachable for the queue's
+// lifetime; this is the regression test for the compact-and-shrink
+// replacement.
+func TestQueueShrinksAfterBurst(t *testing.T) {
+	q := NewQueue[[]byte]()
+	const burst = 8 * queueShrinkCap
+	for i := 0; i < burst; i++ {
+		q.Push(make([]byte, 64))
+	}
+	// Drain most of the burst: once the consumed prefix dominates the
+	// large buffer, the live tail must have been compacted into a
+	// right-sized allocation.
+	for i := 0; i < burst-16; i++ {
+		if _, ok := q.TryPop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	q.mu.Lock()
+	capAfter, headAfter, lenAfter := cap(q.items), q.head, len(q.items)
+	q.mu.Unlock()
+	if lenAfter-headAfter != 16 {
+		t.Fatalf("live items = %d, want 16", lenAfter-headAfter)
+	}
+	if capAfter >= burst/2 {
+		t.Fatalf("backing array cap %d still holds the burst (%d); consumed prefix not released", capAfter, burst)
+	}
+	// Fully drained, the oversized buffer must be dropped entirely.
+	for i := 0; i < 16; i++ {
+		q.TryPop()
+	}
+	q.mu.Lock()
+	capDrained := cap(q.items)
+	q.mu.Unlock()
+	if capDrained > queueShrinkCap {
+		t.Fatalf("drained queue retains cap %d > %d", capDrained, queueShrinkCap)
+	}
+}
+
+// Consumed slots must be zeroed promptly so popped elements are
+// collectable even before a compaction or drain resets the buffer.
+func TestQueueZeroesConsumedSlots(t *testing.T) {
+	q := NewQueue[*int]()
+	for i := 0; i < 8; i++ {
+		v := i
+		q.Push(&v)
+	}
+	q.TryPop()
+	q.TryPop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := 0; i < q.head; i++ {
+		if q.items[i] != nil {
+			t.Fatalf("consumed slot %d still pins its element", i)
+		}
+	}
+}
+
+// A small queue keeps reusing its buffer in place instead of
+// reallocating per cycle.
+func TestQueueReusesSmallBuffer(t *testing.T) {
+	q := NewQueue[int]()
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 32; i++ {
+			q.Push(i)
+		}
+		for i := 0; i < 32; i++ {
+			if v, ok := q.TryPop(); !ok || v != i {
+				t.Fatalf("round %d pop %d: got %d ok=%v", round, i, v, ok)
+			}
+		}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head != 0 || len(q.items) != 0 {
+		t.Fatalf("drained queue not reset: head=%d len=%d", q.head, len(q.items))
+	}
+	if cap(q.items) > queueShrinkCap {
+		t.Fatalf("small workload grew cap to %d", cap(q.items))
+	}
+}
+
 func TestRunnerCollectsErrors(t *testing.T) {
 	var r Runner
 	sentinel := errors.New("boom")
@@ -139,6 +223,43 @@ func TestRunnerNoError(t *testing.T) {
 	}
 }
 
+// Cancel must unblock tasks waiting on Done and surface the cause
+// through Err and Wait.
+func TestRunnerCancelUnblocks(t *testing.T) {
+	var r Runner
+	sentinel := errors.New("stop now")
+	r.Go("blocked", func() error {
+		<-r.Done()
+		return nil
+	})
+	r.Cancel(sentinel)
+	if err := r.Wait(); !errors.Is(err, sentinel) {
+		t.Fatalf("Wait = %v, want %v", err, sentinel)
+	}
+	if err := r.Err(); !errors.Is(err, sentinel) {
+		t.Fatalf("Err = %v, want %v", err, sentinel)
+	}
+}
+
+// A failing task must cancel the runner so sibling tasks blocked on its
+// channels can exit instead of deadlocking Wait.
+func TestRunnerTaskFailureCancelsSiblings(t *testing.T) {
+	var r Runner
+	sentinel := errors.New("task died")
+	r.Go("sibling", func() error {
+		select {
+		case <-r.Done():
+			return nil
+		case <-time.After(5 * time.Second):
+			return errors.New("sibling never unblocked")
+		}
+	})
+	r.Go("failing", func() error { return sentinel })
+	if err := r.Wait(); !errors.Is(err, sentinel) {
+		t.Fatalf("Wait = %v, want %v", err, sentinel)
+	}
+}
+
 func TestRateLimiterPacing(t *testing.T) {
 	l := NewRateLimiter(1000) // 1k/s -> 50 items ≈ 50ms
 	start := time.Now()
@@ -158,5 +279,27 @@ func TestRateLimiterUnlimited(t *testing.T) {
 	}
 	if el := time.Since(start); el > time.Second {
 		t.Fatalf("unlimited limiter throttled: %v", el)
+	}
+}
+
+// TakeCtx must return promptly on cancellation instead of sleeping out
+// the pacing budget.
+func TestRateLimiterTakeCtxCancel(t *testing.T) {
+	l := NewRateLimiter(1) // 1/s: the first Take owes ~1s of sleep
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := l.TakeCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TakeCtx = %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > 500*time.Millisecond {
+		t.Fatalf("cancelled TakeCtx slept %v", el)
+	}
+	// Once cancelled, subsequent calls fail immediately.
+	if err := l.TakeCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel TakeCtx = %v", err)
 	}
 }

@@ -47,6 +47,28 @@ func (o *Options) fill() {
 	}
 }
 
+// driveEngine streams one query through any live engine — the grid
+// operator, the grouped decomposition, or SHJ — over the uniform
+// core.Engine surface: start, feed the generated stream, finish. It
+// returns the tuple count fed and the first engine error.
+func driveEngine(e core.Engine, q workload.Query, g *tpch.Gen) (int64, error) {
+	e.Start()
+	var total int64
+	var sendErr error
+	q.Stream(g, func(t join.Tuple) bool {
+		if sendErr = e.Send(t); sendErr != nil {
+			return false
+		}
+		total++
+		return true
+	})
+	err := e.Finish()
+	if err == nil {
+		err = sendErr
+	}
+	return total, err
+}
+
 // Table is a printable experiment result.
 type Table struct {
 	ID     string

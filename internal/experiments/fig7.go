@@ -91,13 +91,7 @@ func Fig7b(o Options) []Table {
 			case "StaticOpt":
 				cfg.Initial = optimalMapping(j, r, s)
 			}
-			op := core.NewOperator(cfg)
-			op.Start()
-			q.Stream(g, func(tp join.Tuple) bool {
-				op.Send(tp)
-				return true
-			})
-			if err := op.Finish(); err != nil {
+			if _, err := driveEngine(core.NewOperator(cfg), q, g); err != nil {
 				row = append(row, "err")
 				continue
 			}
@@ -209,15 +203,9 @@ func shjThroughputProbe(o Options) float64 {
 	q := workload.EQ5()
 	var n atomic.Int64
 	shj := baseline.NewSHJ(baseline.SHJConfig{J: 8, Pred: q.Pred, Emit: func(join.Pair) { n.Add(1) }})
-	shj.Start()
 	start := time.Now()
-	var total int64
-	q.Stream(g, func(tp join.Tuple) bool {
-		shj.Send(tp)
-		total++
-		return true
-	})
-	if err := shj.Finish(); err != nil {
+	total, err := driveEngine(shj, q, g)
+	if err != nil {
 		return 0
 	}
 	el := time.Since(start).Seconds()

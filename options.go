@@ -1,0 +1,175 @@
+package squall
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/join"
+)
+
+// Option configures one pipeline stage, or — passed to NewPipeline —
+// the defaults every stage of that pipeline inherits. Options are the
+// documented construction path for engines; the raw Config structs
+// remain as compatibility shims.
+type Option func(*stageConfig)
+
+// stageConfig is the resolved configuration of one stage before its
+// engine is built.
+type stageConfig struct {
+	cfg core.Config
+	// grouped forces the power-of-two group decomposition even when J
+	// is a power of two (one group); it is implied when J is not.
+	grouped bool
+}
+
+// DefaultJoiners is the joiner-task count used when WithJoiners is not
+// given.
+const DefaultJoiners = 16
+
+func newStageConfig(defaults, opts []Option) stageConfig {
+	sc := stageConfig{cfg: core.Config{J: DefaultJoiners}}
+	for _, o := range defaults {
+		o(&sc)
+	}
+	for _, o := range opts {
+		o(&sc)
+	}
+	return sc
+}
+
+// WithJoiners sets the machine (joiner-task) count. Powers of two run
+// the single-grid operator; any other count runs the power-of-two
+// group decomposition (§4.2.2) automatically.
+func WithJoiners(j int) Option { return func(sc *stageConfig) { sc.cfg.J = j } }
+
+// WithGrouped forces the group-decomposed operator even for a
+// power-of-two joiner count (a single group); mostly useful for tests
+// comparing the two drive paths.
+func WithGrouped() Option { return func(sc *stageConfig) { sc.grouped = true } }
+
+// WithAdaptive enables the controller's migration decisions; without
+// it the stage runs a static grid.
+func WithAdaptive() Option { return func(sc *stageConfig) { sc.cfg.Adaptive = true } }
+
+// WithWarmup sets the minimum (estimated) input before the first
+// adaptation (the paper uses 500K tuples, §5.4).
+func WithWarmup(tuples int64) Option { return func(sc *stageConfig) { sc.cfg.Warmup = tuples } }
+
+// WithEpsilon sets Alg. 2's ε (0 means 1, the 1.25-competitive
+// setting): smaller tracks the optimum more tightly but migrates more.
+func WithEpsilon(eps float64) Option { return func(sc *stageConfig) { sc.cfg.Epsilon = eps } }
+
+// WithInitialMapping pins the starting (n,m) grid; the zero value
+// means the square mapping. Combine with a non-adaptive stage for the
+// StaticMid/StaticOpt baselines.
+func WithInitialMapping(m Mapping) Option { return func(sc *stageConfig) { sc.cfg.Initial = m } }
+
+// WithSeed makes the stage's routing randomness reproducible.
+func WithSeed(seed int64) Option { return func(sc *stageConfig) { sc.cfg.Seed = seed } }
+
+// WithBatchSize sets the data-plane batch envelope capacity in
+// messages (default DefaultBatchSize; 1 degenerates to the
+// per-message plane). Chained stages also size their inter-stage
+// forwarding buffers with it.
+func WithBatchSize(n int) Option { return func(sc *stageConfig) { sc.cfg.BatchSize = n } }
+
+// WithBatchLinger bounds how long a routed tuple may wait in a partial
+// batch (default DefaultBatchLinger; negative disables the timer).
+func WithBatchLinger(d time.Duration) Option {
+	return func(sc *stageConfig) { sc.cfg.BatchLinger = d }
+}
+
+// WithMigBatchSize sets the migration-plane envelope capacity
+// (default: the data-plane batch size; 1 degenerates to per-message).
+func WithMigBatchSize(n int) Option { return func(sc *stageConfig) { sc.cfg.MigBatchSize = n } }
+
+// WithStorage bounds per-joiner memory and configures the disk-spill
+// tier.
+func WithStorage(cfg StorageConfig) Option { return func(sc *stageConfig) { sc.cfg.Storage = cfg } }
+
+// WithLatency attaches a latency sampler to the stage.
+func WithLatency(l *LatencySampler) Option { return func(sc *stageConfig) { sc.cfg.Latency = l } }
+
+// WithReshufflers sets the reshuffler-task count (default: one per
+// joiner). The grouped engine ignores it: each group structurally
+// runs a single reshuffler to obtain a total delivery order.
+func WithReshufflers(n int) Option { return func(sc *stageConfig) { sc.cfg.NumReshufflers = n } }
+
+// WithElastic enables 1-to-4 elastic expansion once any joiner stores
+// more than maxPerJoiner tuples, capped at maxJoiners total (0: no
+// cap).
+func WithElastic(maxPerJoiner int64, maxJoiners int) Option {
+	return func(sc *stageConfig) {
+		sc.cfg.MaxTuplesPerJoiner = maxPerJoiner
+		sc.cfg.MaxJoiners = maxJoiners
+	}
+}
+
+// WithPadDummies enables physical dummy-tuple padding, keeping the
+// cardinality ratio within J (§4.2.2). Only the single-grid engine
+// honors it; a grouped stage (non-power-of-two joiners) ignores it.
+func WithPadDummies() Option { return func(sc *stageConfig) { sc.cfg.PadDummies = true } }
+
+// Equi returns an equality predicate on Tuple.Key — the pipeline-API
+// shorthand for EquiJoin(name, nil).
+func Equi(name string) Predicate { return join.EquiJoin(name, nil) }
+
+// Band returns a |r.Key - s.Key| <= width predicate — the shorthand
+// for BandJoin(name, width, nil).
+func Band(name string, width int64) Predicate { return join.BandJoin(name, width, nil) }
+
+// Theta returns an arbitrary join predicate — the shorthand for
+// ThetaJoin.
+func Theta(name string, pred func(r, s Tuple) bool) Predicate { return join.ThetaJoin(name, pred) }
+
+// NewEngine builds a standalone engine from options, without a
+// pipeline: the operator implementation is chosen from the joiner
+// count (single grid for powers of two, group decomposition
+// otherwise), and sink wires the result path (nil counts results
+// internally). Drive it with the Engine lifecycle: Start or
+// StartContext, Send/SendBatch, Finish.
+func NewEngine(pred Predicate, sink Sink, opts ...Option) Engine {
+	sc := newStageConfig(nil, opts)
+	return sc.build(pred, sink)
+}
+
+// build constructs the stage's engine. The grouped operator exposes a
+// narrower tuning surface; options it cannot honor fall back to its
+// defaults: batch sizes and linger, the initial mapping, elasticity,
+// dummy padding (WithPadDummies), and the reshuffler count (each
+// group structurally runs one reshuffler to keep a total delivery
+// order).
+func (sc stageConfig) build(pred Predicate, sink Sink) Engine {
+	var emitBatch EmitBatch
+	if sink != nil {
+		emitBatch = sink.sinkBatch()
+	}
+	if sc.grouped || !isPow2(sc.cfg.J) {
+		return core.NewGrouped(core.GroupedConfig{
+			J:         sc.cfg.J,
+			Pred:      pred,
+			Adaptive:  sc.cfg.Adaptive,
+			Warmup:    sc.cfg.Warmup,
+			Epsilon:   sc.cfg.Epsilon,
+			Storage:   sc.cfg.Storage,
+			EmitBatch: emitBatch,
+			Latency:   sc.cfg.Latency,
+			Seed:      sc.cfg.Seed,
+		})
+	}
+	cfg := sc.cfg
+	cfg.Pred = pred
+	cfg.EmitBatch = emitBatch
+	return core.NewOperator(cfg)
+}
+
+// batchSize returns the stage's effective data-plane batch size, which
+// also sizes inter-stage forwarding buffers.
+func (sc stageConfig) batchSize() int {
+	if sc.cfg.BatchSize > 0 {
+		return sc.cfg.BatchSize
+	}
+	return core.DefaultBatchSize
+}
+
+func isPow2(j int) bool { return j > 0 && j&(j-1) == 0 }

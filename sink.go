@@ -1,0 +1,63 @@
+package squall
+
+import "sync/atomic"
+
+// Sink is the unified result path of a pipeline stage: one abstraction
+// over the per-pair and per-run emit hooks, so a stage is always
+// terminated the same way regardless of how the consumer wants its
+// results. Build one with Each (per-pair callback), Batches (per-run
+// callback, the vectorized form), or Counter (count only).
+//
+// Sinks are invoked concurrently by the stage's joiner tasks and must
+// be safe for concurrent use; the callbacks must not block. A slice
+// passed to a Batches sink is only valid for the duration of the call
+// — the emitter reuses the backing buffer.
+type Sink interface {
+	// sinkBatch resolves the sink to the engine's vectorized emit
+	// hook. The interface is sealed: the pipeline owns the adaptation
+	// from sinks to engine hooks.
+	sinkBatch() EmitBatch
+}
+
+// eachSink adapts a per-pair function.
+type eachSink func(Pair)
+
+func (s eachSink) sinkBatch() EmitBatch {
+	return func(ps []Pair) {
+		for i := range ps {
+			s(ps[i])
+		}
+	}
+}
+
+// Each returns a sink calling f once per result pair. f runs inline on
+// joiner tasks: it must be cheap, non-blocking, and safe for
+// concurrent use.
+func Each(f func(Pair)) Sink { return eachSink(f) }
+
+// batchSink adapts a per-run function.
+type batchSink func([]Pair)
+
+func (s batchSink) sinkBatch() EmitBatch { return EmitBatch(s) }
+
+// Batches returns a sink calling f once per flushed run of results —
+// the vectorized form, amortizing the consumer's per-result work the
+// way the batched message plane amortizes per-tuple synchronization.
+// The slice is only valid during the call; copy pairs that must be
+// retained.
+func Batches(f func([]Pair)) Sink { return batchSink(f) }
+
+// counterSink counts results.
+type counterSink struct{ n *atomic.Int64 }
+
+func (s counterSink) sinkBatch() EmitBatch {
+	return func(ps []Pair) { s.n.Add(int64(len(ps))) }
+}
+
+// Counter returns a sink that only counts results, plus the counter —
+// the cheapest terminal when the output volume, not its content, is
+// the quantity of interest.
+func Counter() (Sink, *atomic.Int64) {
+	n := new(atomic.Int64)
+	return counterSink{n: n}, n
+}

@@ -13,11 +13,47 @@
 // (Fig. 3), and keeps joining new tuples during relocation via the
 // eventually-consistent epoch protocol (Alg. 3, Thm 4.5).
 //
-// The package exposes:
+// The public surface is the composable pipeline API: stages built
+// from functional options, terminated by Sinks, chained into
+// multi-way plans, and driven through one context-aware lifecycle.
 //
-//   - Operator / Config — the concurrent operator: one goroutine per
-//     joiner and reshuffler task, with a batched message plane as the
-//     interconnect (per-destination tuple batches, pool-recycled
+// Quickstart:
+//
+//	sink, pairs := squall.Counter()
+//	p := squall.NewPipeline(squall.WithSeed(42))
+//	orders := p.Join(squall.Equi("orders"),
+//		squall.WithJoiners(16),
+//		squall.WithAdaptive(),
+//	).To(sink)
+//	if err := p.Run(ctx); err != nil { ... }
+//	orders.Send(squall.Tuple{Rel: squall.SideR, Key: 42})
+//	orders.Send(squall.Tuple{Rel: squall.SideS, Key: 42}) // matches
+//	if err := p.Wait(); err != nil { ... }
+//	fmt.Println(pairs.Load())
+//
+// Cancelling ctx stops every joiner and reshuffler task of every
+// stage; in-flight sends return the cancellation error and Wait
+// returns it. Task panics and errors cancel their stage and surface
+// from Wait the same way instead of being swallowed.
+//
+// Multi-way plans chain stages: Stream.Join re-keys each result pair
+// into a tuple of the next stage (a user ReKey function picks the
+// next join attribute) and forwards it through the batched ingest
+// front end — chaining never touches a per-tuple path. The other side
+// of the downstream stage is fed externally:
+//
+//	rs := p.Join(squall.Equi("r-s"))
+//	rst := rs.Join(squall.Equi("rs-t"), func(pr squall.Pair) squall.Tuple {
+//		return squall.Tuple{Rel: squall.SideR, Key: pr.S.Aux}
+//	}).To(sink)
+//	// feed R/S into rs, T into rst
+//
+// Below the pipeline sit the engines, all implementing Engine and all
+// drivable standalone (NewEngine, or the legacy constructors):
+//
+//   - Operator / Config — the concurrent grid operator: one goroutine
+//     per joiner and reshuffler task, with a batched message plane as
+//     the interconnect (per-destination tuple batches, pool-recycled
 //     envelopes; see Config.BatchSize and Config.BatchLinger). The
 //     migration plane batches relocated state the same way (see
 //     Config.MigBatchSize), and both ends of the operator are batched
@@ -25,28 +61,19 @@
 //     one sequence-number fetch, and Config.EmitBatch receives join
 //     results a run at a time with per-flush accounting.
 //   - Grouped / GroupedConfig — the generalization to machine counts
-//     that are not powers of two (§4.2.2).
-//   - Sim / SimConfig — a deterministic single-threaded replay used to
-//     regenerate the paper's tables and figures bit-identically.
+//     that are not powers of two (§4.2.2); the pipeline selects it
+//     automatically for non-power-of-two WithJoiners counts.
 //   - SHJ — the content-sensitive parallel symmetric-hash-join
 //     baseline the evaluation compares against.
-//   - Predicates — equi, band, and arbitrary theta joins.
+//   - Sim / SimConfig — a deterministic single-threaded replay used to
+//     regenerate the paper's tables and figures bit-identically (not
+//     an Engine: it is synchronous by design).
 //
-// Quickstart:
-//
-//	op := squall.NewOperator(squall.Config{
-//		J:        16,
-//		Pred:     squall.EquiJoin("orders", nil),
-//		Adaptive: true,
-//		Emit:     func(p squall.Pair) { fmt.Println(p.R.Key) },
-//	})
-//	op.Start()
-//	op.Send(squall.Tuple{Rel: squall.SideR, Key: 42})
-//	op.Send(squall.Tuple{Rel: squall.SideS, Key: 42}) // emits a pair
-//	_ = op.Finish()
-//
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every table and figure.
+// The raw constructors (NewOperator, NewGrouped) and the Config
+// structs remain as compatibility shims for one release; see the
+// MIGRATION section of the README for the Config-field-to-option
+// mapping. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the paper-versus-measured record of every table and figure.
 package squall
 
 import (
@@ -75,6 +102,18 @@ type EmitBatch = join.EmitBatch
 
 // Predicate is a join condition (equi, band or theta).
 type Predicate = join.Predicate
+
+// PredicateKind classifies a predicate's structure; engines use it to
+// pick the local algorithm (hash, ordered, or scan index), and SHJ
+// accepts only KindEqui.
+type PredicateKind = join.Kind
+
+// The predicate kinds.
+const (
+	KindEqui  = join.Equi
+	KindBand  = join.Band
+	KindTheta = join.Theta
+)
 
 // Side identifies a join input.
 type Side = matrix.Side
@@ -115,7 +154,17 @@ func OptimalMapping(j int, r, s float64) Mapping { return matrix.Optimal(j, r, s
 // guess absent cardinality knowledge, and the paper's initialization.
 func SquareMapping(j int) Mapping { return matrix.Square(j) }
 
-// Config configures an Operator. See core.Config for field docs.
+// Engine is the uniform driving surface over every operator in the
+// package: Operator, Grouped, and SHJ all implement it, so sinks,
+// metrics collection, and the bench/experiment harnesses drive any of
+// them identically. The pipeline layer builds engines from options;
+// NewEngine builds a standalone one.
+type Engine = core.Engine
+
+// Config configures an Operator. It remains as the compatibility shim
+// for direct NewOperator construction; new code should prefer the
+// pipeline/options API (NewPipeline, NewEngine). See core.Config for
+// field docs.
 type Config = core.Config
 
 // DefaultBatchSize is the data-plane batch envelope capacity used when
@@ -133,8 +182,10 @@ type Operator = core.Operator
 // operator's input.
 var ErrFinished = core.ErrFinished
 
-// NewOperator builds an operator; call Start, then Send (or SendBatch)
-// tuples, then Finish.
+// NewOperator builds an operator; call Start (or StartContext), then
+// Send (or SendBatch) tuples, then Finish. It remains as a
+// compatibility shim: new code should construct engines through
+// NewPipeline or NewEngine options.
 func NewOperator(cfg Config) *Operator { return core.NewOperator(cfg) }
 
 // GroupedConfig configures a Grouped operator.
@@ -144,7 +195,9 @@ type GroupedConfig = core.GroupedConfig
 // decomposing J into power-of-two groups (§4.2.2).
 type Grouped = core.Grouped
 
-// NewGrouped builds a grouped operator.
+// NewGrouped builds a grouped operator. It remains as a compatibility
+// shim: new code should pass a non-power-of-two WithJoiners count (or
+// WithGrouped) to NewPipeline/NewEngine instead.
 func NewGrouped(cfg GroupedConfig) *Grouped { return core.NewGrouped(cfg) }
 
 // SimConfig configures a deterministic simulation run.
