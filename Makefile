@@ -26,17 +26,13 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
-# Ingest ns/tuple versus the committed BENCH_*.json trajectory
-# (informational; mirrors the CI bench-smoke delta step). The sparse
-# and high-fanout benchmarks need different iteration budgets — fanout
-# runs a fixed 100k-tuple stream per iteration — so they run separately
-# and pipe into one benchdelta invocation.
+# Benchmarks versus the committed BENCH_*.json trajectory, via the
+# same script CI's bench-smoke job runs (scripts/benchdelta.sh), so
+# the benchmark set and gating flags cannot drift between local and CI
+# runs. Exits non-zero on a >25% regression; BENCHDELTA_FLAGS passes
+# extra cmd/benchdelta flags (e.g. -minscale 2.5, -tolerance -1).
 bench-delta:
-	( $(GO) test -bench '^BenchmarkOperatorIngest$$' -benchtime=20000x -run '^$$' . ; \
-	  $(GO) test -bench '^BenchmarkOperatorIngestFanout$$' -benchtime=2x -run '^$$' . ; \
-	  $(GO) test -bench '^BenchmarkStoreBuild$$' -benchtime=3x -run '^$$' . ; \
-	  $(GO) test -bench '^BenchmarkPipelineChain$$' -benchtime=3x -run '^$$' . ) \
-	| $(GO) run ./cmd/benchdelta
+	GO=$(GO) ./scripts/benchdelta.sh $(BENCHDELTA_FLAGS)
 
 # Committed pprof recipe for the next hot-path hunt: run one evaluation
 # query under the CPU profiler and print the top consumers. Tune -sf /

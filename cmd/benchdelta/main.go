@@ -3,30 +3,44 @@
 // ns/tuple delta per configuration. The trajectory file is discovered
 // automatically: whichever BENCH_PR*.json has the highest pr number is
 // the baseline, so adding BENCH_PR<n+1>.json re-bases the comparison
-// with no tooling change. It is informational and never fails: CI's
-// bench-smoke job uses it to surface ingest-path drift on every run
-// without gating merges on noisy shared-runner timings.
+// with no tooling change.
 //
-// It understands five line shapes:
+// Since PR 6 the comparison gates: any stable-benchmark configuration
+// slower than the committed point by more than -tolerance percent
+// (default 25) makes benchdelta exit non-zero. Scaling rows
+// (BenchmarkScaling*) are exempt from the tolerance gate — their
+// committed points are machine-shaped (a 1-CPU host records flat rows,
+// a 4-vCPU runner does not) — and are gated instead by -minscale,
+// which requires the best procs=1 -> procs=4 ingest speedup of the
+// current run to reach the given factor. The -minscale gate arms only
+// on hosts with at least 4 CPUs; elsewhere it prints a skip note, so
+// single-core laptops and CI runners share one invocation.
 //
-//	BenchmarkOperatorIngest/batch=N          ... ns/op       (per-tuple Send plane)
-//	BenchmarkOperatorIngest/sendbatch=N      ... ns/op       (SendBatch front end)
-//	BenchmarkOperatorIngestFanout/<mode>     ... ns/tuple    (output-dominated workload)
-//	BenchmarkStoreBuild/<mode>               ... ns/tuple    (insert-dominated store build)
-//	BenchmarkPipelineChain/<mode>            ... ns/tuple    (two chained equi-join stages)
+// It understands these line shapes:
+//
+//	BenchmarkOperatorIngest/batch=N            ... ns/op       (per-tuple Send plane)
+//	BenchmarkOperatorIngest/sendbatch=N        ... ns/op       (SendBatch front end)
+//	BenchmarkOperatorIngestFanout/<mode>       ... ns/tuple    (output-dominated workload)
+//	BenchmarkStoreBuild/<mode>                 ... ns/tuple    (insert-dominated store build)
+//	BenchmarkPipelineChain/<mode>              ... ns/tuple    (two chained equi-join stages)
+//	BenchmarkScalingIngest/j=J/procs=P         ... ns/tuple    (concurrent-feeder scaling grid)
+//	BenchmarkScalingFanout/j=J/procs=P         ... ns/tuple    (output-dominated scaling row)
 //
 // Usage:
 //
-//	go test -bench BenchmarkOperatorIngest -benchtime=20000x -run '^$' . | go run ./cmd/benchdelta
+//	scripts/benchdelta.sh                 # full set, gating
+//	scripts/benchdelta.sh -minscale 2.5   # additionally gate 1->4 scaling
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"strconv"
 )
 
@@ -37,17 +51,29 @@ type point struct {
 	NsPerTuple float64 `json:"ns_per_tuple"`
 }
 
+// scalingPoint is one committed scaling-grid measurement: a
+// (benchmark, J, GOMAXPROCS) cell of the concurrent-feeder trajectory.
+type scalingPoint struct {
+	Bench        string  `json:"bench"` // "ingest" or "fanout"
+	J            int     `json:"j"`
+	Procs        int     `json:"procs"`
+	NsPerTuple   float64 `json:"ns_per_tuple"`
+	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
+}
+
 // trajectory mirrors the BENCH_PR*.json schema. Older files only have
 // Results; SendBatchResults and FanoutResults appear from PR 3 on,
-// StoreBuildResults from PR 4, ChainResults from PR 5.
+// StoreBuildResults from PR 4, ChainResults from PR 5, ScalingResults
+// from PR 6.
 type trajectory struct {
-	PR                int     `json:"pr"`
-	Benchmark         string  `json:"benchmark"`
-	Results           []point `json:"results"`
-	SendBatchResults  []point `json:"sendbatch_results"`
-	FanoutResults     []point `json:"fanout_results"`
-	StoreBuildResults []point `json:"storebuild_results"`
-	ChainResults      []point `json:"chain_results"`
+	PR                int            `json:"pr"`
+	Benchmark         string         `json:"benchmark"`
+	Results           []point        `json:"results"`
+	SendBatchResults  []point        `json:"sendbatch_results"`
+	FanoutResults     []point        `json:"fanout_results"`
+	StoreBuildResults []point        `json:"storebuild_results"`
+	ChainResults      []point        `json:"chain_results"`
+	ScalingResults    []scalingPoint `json:"scaling_results"`
 }
 
 // ingestLine matches e.g.
@@ -67,7 +93,17 @@ var storeLine = regexp.MustCompile(`^BenchmarkStoreBuild/(\S+?)(?:-\d+)?\s.*?([\
 // BenchmarkPipelineChain/pipeline-4   20   149866266 ns/op   60895 final-pairs   2141 ns/tuple
 var chainLine = regexp.MustCompile(`^BenchmarkPipelineChain/(\S+?)(?:-\d+)?\s.*?([\d.]+) ns/tuple`)
 
+// scalingLine matches e.g.
+// BenchmarkScalingIngest/j=16/procs=4-4   1   93187135 ns/op   465.9 ns/tuple   2146271 tuples/s
+var scalingLine = regexp.MustCompile(`^BenchmarkScaling(Ingest|Fanout)/j=(\d+)/procs=(\d+)(?:-\d+)?\s.*?([\d.]+) ns/tuple`)
+
 func main() {
+	tolerance := flag.Float64("tolerance", 25,
+		"max regression (percent) vs the committed trajectory before exiting non-zero; negative disables the gate")
+	minScale := flag.Float64("minscale", 0,
+		"required best procs=1 -> procs=4 ingest speedup factor (0 disables; skipped below 4 CPUs)")
+	flag.Parse()
+
 	committed := loadLatest()
 	if committed == nil {
 		fmt.Println("benchdelta: no BENCH_*.json trajectory found; nothing to compare")
@@ -89,12 +125,38 @@ func main() {
 	for _, r := range committed.ChainResults {
 		base["chain/"+r.Mode] = r.NsPerTuple
 	}
+	for _, r := range committed.ScalingResults {
+		base[scalingKey(r.Bench, r.J, r.Procs)] = r.NsPerTuple
+	}
+
+	// curScaling[bench][j][procs] = ns/tuple of the current run, for
+	// the -minscale speedup gate.
+	curScaling := make(map[string]map[int]map[int]float64)
+	var regressions []string
+
 	sc := bufio.NewScanner(os.Stdin)
 	found := false
 	for sc.Scan() {
-		var key string
-		var ns float64
-		if m := ingestLine.FindStringSubmatch(sc.Text()); m != nil {
+		var (
+			key     string
+			ns      float64
+			scaling bool
+		)
+		if m := scalingLine.FindStringSubmatch(sc.Text()); m != nil {
+			bench := map[string]string{"Ingest": "ingest", "Fanout": "fanout"}[m[1]]
+			j, _ := strconv.Atoi(m[2])
+			procs, _ := strconv.Atoi(m[3])
+			key = scalingKey(bench, j, procs)
+			ns, _ = strconv.ParseFloat(m[4], 64)
+			scaling = true
+			if curScaling[bench] == nil {
+				curScaling[bench] = make(map[int]map[int]float64)
+			}
+			if curScaling[bench][j] == nil {
+				curScaling[bench][j] = make(map[int]float64)
+			}
+			curScaling[bench][j][procs] = ns
+		} else if m := ingestLine.FindStringSubmatch(sc.Text()); m != nil {
 			key = m[1] + "=" + m[2]
 			ns, _ = strconv.ParseFloat(m[3], 64)
 		} else if m := fanoutLine.FindStringSubmatch(sc.Text()); m != nil {
@@ -110,17 +172,83 @@ func main() {
 			continue
 		}
 		found = true
-		if ref, ok := base[key]; ok && ref > 0 {
-			fmt.Printf("%-16s %8.0f ns/tuple  committed(PR %d) %8.0f  delta %+6.1f%%\n",
-				key, ns, committed.PR, ref, 100*(ns-ref)/ref)
-		} else {
-			fmt.Printf("%-16s %8.0f ns/tuple  (no committed point)\n", key, ns)
+		ref, ok := base[key]
+		switch {
+		case ok && ref > 0:
+			delta := 100 * (ns - ref) / ref
+			note := ""
+			if scaling {
+				// Committed scaling rows are machine-shaped; the
+				// tolerance gate would compare a laptop against a CI
+				// runner, so scaling is gated by -minscale instead.
+				note = "  [scaling: not tolerance-gated]"
+			} else if *tolerance >= 0 && delta > *tolerance {
+				note = "  [REGRESSION]"
+				regressions = append(regressions,
+					fmt.Sprintf("%s +%.1f%% (tolerance %.0f%%)", key, delta, *tolerance))
+			}
+			fmt.Printf("%-28s %8.0f ns/tuple  committed(PR %d) %8.0f  delta %+6.1f%%%s\n",
+				key, ns, committed.PR, ref, delta, note)
+		default:
+			fmt.Printf("%-28s %8.0f ns/tuple  (no committed point)\n", key, ns)
 		}
 	}
 	if !found {
-		fmt.Println("benchdelta: no BenchmarkOperatorIngest lines on stdin")
+		fmt.Println("benchdelta: no benchmark lines on stdin")
 	}
-	fmt.Println("benchdelta: informational only; deltas on shared runners are noisy and never gate CI")
+
+	failed := len(regressions) > 0
+	for _, r := range regressions {
+		fmt.Printf("benchdelta: REGRESSION %s\n", r)
+	}
+	if !checkScaling(curScaling, *minScale) {
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkScaling applies the -minscale gate: the best procs=1 ->
+// procs=4 speedup among the current run's BenchmarkScalingIngest
+// groups must reach minScale. Reports true (pass) when the gate is
+// disabled, skipped for lack of cores, or met.
+func checkScaling(cur map[string]map[int]map[int]float64, minScale float64) bool {
+	if minScale <= 0 {
+		return true
+	}
+	if ncpu := runtime.NumCPU(); ncpu < 4 {
+		fmt.Printf("benchdelta: minscale gate skipped (%d CPUs < 4; scaling needs real cores)\n", ncpu)
+		return true
+	}
+	best, bestJ := 0.0, 0
+	for j, byProcs := range cur["ingest"] {
+		one, ok1 := byProcs[1]
+		four, ok4 := byProcs[4]
+		if !ok1 || !ok4 || four <= 0 {
+			continue
+		}
+		speedup := one / four
+		fmt.Printf("benchdelta: scaling ingest j=%d speedup 1->4 procs: %.2fx\n", j, speedup)
+		if speedup > best {
+			best, bestJ = speedup, j
+		}
+	}
+	if bestJ == 0 {
+		fmt.Println("benchdelta: minscale gate FAILED (no BenchmarkScalingIngest procs=1 and procs=4 rows on stdin)")
+		return false
+	}
+	if best < minScale {
+		fmt.Printf("benchdelta: minscale gate FAILED (best speedup %.2fx at j=%d < required %.2fx)\n",
+			best, bestJ, minScale)
+		return false
+	}
+	fmt.Printf("benchdelta: minscale gate passed (%.2fx at j=%d >= %.2fx)\n", best, bestJ, minScale)
+	return true
+}
+
+func scalingKey(bench string, j, procs int) string {
+	return fmt.Sprintf("scaling/%s/j=%d/procs=%d", bench, j, procs)
 }
 
 // loadLatest returns the highest-PR trajectory file, or nil.

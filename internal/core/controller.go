@@ -3,13 +3,14 @@ package core
 import (
 	"time"
 
-	"repro/internal/join"
 	"repro/internal/matrix"
+	"repro/internal/stats"
 )
 
-// controller is the extra role of reshuffler 0 (§3.2): it watches its
-// own scaled cardinality estimates, runs the migration-decision
-// algorithm, and orchestrates mapping changes. Migrations to a target
+// controller is the extra role of reshuffler 0 (§3.2): it watches the
+// exact sharded cardinality counts every reshuffler contributes to,
+// runs the migration-decision algorithm, and orchestrates mapping
+// changes. Migrations to a target
 // several steps away execute as a chain of elementary steps, each a
 // full epoch change acknowledged by every joiner before the next
 // begins; this keeps at most two epochs live at any joiner, the
@@ -25,12 +26,31 @@ import (
 type controller struct {
 	dec      *Decider
 	adaptive bool
-	// scale is the Alg. 1 scaled-increment factor: the controller sees
-	// a 1/numReshufflers sample of the input.
-	scale int64
+	// ingest is the operator's exact sharded cardinality counter;
+	// lastR/lastS remember the counts consumed so far so each
+	// onObserved feeds the decider only the fresh delta.
+	//
+	// scale selects the observation mode. On the legacy deal front end
+	// (scale = numReshufflers > 0) the controller reads only its own
+	// cell and scales it: the pseudo-random deal makes that cell an
+	// unbiased 1/N sample of the stream *in arrival order*, so the
+	// decider reacts to fluctuation exactly as the per-tuple seed did
+	// even when scheduling lets other reshufflers run far ahead. With
+	// source lanes (scale = 0) affinity voids the unbiased-sample
+	// property — the controller's ring can see one lane only, or
+	// nothing — so the decider consumes the exact merged counts
+	// instead, trading fine-grained arrival order for exactness.
+	ingest       *stats.Sharded
+	scale        int64
+	lastR, lastS int64
 
 	ackCh   chan int
 	drainCh chan int
+	// obsCh (cap 1) wakes the controller reshuffler when any other
+	// reshuffler observes ingest traffic: under lane affinity the
+	// controller's own ring may go quiet while the stream rages on, and
+	// without the tick no decision (or Reserve hint) would ever fire.
+	obsCh chan struct{}
 
 	resh []chan ctrlMsg // control links to every reshuffler
 	op   *Operator
@@ -62,44 +82,91 @@ func newController(dec *Decider, adaptive bool, numJoiners int, op *Operator) *c
 		adaptive: adaptive,
 		ackCh:    make(chan int, 4*numJoiners+16),
 		drainCh:  make(chan int, numJoiners+1),
+		obsCh:    make(chan struct{}, 1),
 		op:       op,
 		deployed: dec.Mapping(),
 		table:    table,
 	}
 }
 
-// onTuple feeds the decision algorithm with one (scaled) observation
-// and possibly initiates a migration (Alg. 1 line 6).
-func (c *controller) onTuple(t join.Tuple) {
-	if t.Rel == matrix.SideR {
-		c.onTuples(1, 0)
-	} else {
-		c.onTuples(0, 1)
-	}
-}
+// obsChunk bounds how many tuples one Evaluate call absorbs. Evaluate
+// folds the decider's whole accumulated delta into the checkpoint base,
+// so feeding a coarse snapshot delta in one Observe would overshoot
+// Alg. 2's geometric base growth and collapse many checkpoints into
+// one. Chunked feeding reproduces the cadence of per-tuple observation
+// from arbitrarily coarse snapshots.
+const obsChunk = 128
 
-// onTuples feeds the decision algorithm with a run's worth of (scaled)
-// observations in one call — the decider accumulates the same
-// cumulative counts as per-tuple feeding, and its checkpoint condition
-// is evaluated once per run. Nothing is decided while a previous
-// migration chain is still in flight.
-func (c *controller) onTuples(nR, nS int64) {
-	if !c.adaptive || nR+nS == 0 {
+// onObserved feeds the decision algorithm the exact-count delta since
+// the last merged snapshot and possibly initiates a migration (Alg. 1
+// line 6). It runs on the controller reshuffler's task, triggered by
+// its own ingest or by another reshuffler's obsCh tick; the delta is
+// fed in obsChunk-bounded slices with the checkpoint condition
+// evaluated between slices, so the decider sees the same cumulative
+// counts — and checkpoints at the same cardinalities — as per-tuple
+// feeding would give. Nothing is decided while a previous migration
+// chain is still in flight or after every input has drained, but the
+// counts themselves always accumulate. Decisions stay live past the
+// controller's own drain while other reshufflers are still ingesting —
+// with lane affinity the controller's ring can empty long before the
+// stream ends, and the exact global counts keep moving until the last
+// ring drains.
+func (c *controller) onObserved() {
+	if !c.adaptive {
 		return
 	}
-	c.dec.Observe(nR*c.scale, nS*c.scale)
-	if c.migrating() {
+	var snap stats.Snapshot
+	if c.scale > 0 {
+		snap = c.ingest.Cell(0) // the controller is reshuffler 0
+	} else {
+		snap = c.ingest.Snapshot()
+	}
+	nR, nS := snap.R-c.lastR, snap.S-c.lastS
+	if nR+nS == 0 {
 		return
 	}
-	out := c.dec.Evaluate()
-	if out.Migrate {
-		c.chain = c.deployed.StepsTo(out.Target)
+	c.lastR, c.lastS = snap.R, snap.S
+	if c.scale > 0 {
+		nR, nS = nR*c.scale, nS*c.scale
 	}
-	c.wantExpand = c.wantExpand || out.Expand
-	c.issueNext()
+	for nR+nS > 0 {
+		dR, dS := nR, nS
+		if total := nR + nS; total > obsChunk {
+			// Split the chunk proportionally to the side mix so an
+			// interleaved stream checkpoints on blended counts.
+			dR = nR * obsChunk / total
+			dS = obsChunk - dR
+			if dS > nS {
+				dS = nS
+				dR = obsChunk - dS
+			}
+		}
+		c.dec.Observe(dR, dS)
+		nR -= dR
+		nS -= dS
+		if c.migrating() || c.allDrained() {
+			// Keep accumulating, but leave decisions to the
+			// post-migration re-examination in onAck.
+			c.dec.Observe(nR, nS)
+			return
+		}
+		out := c.dec.Evaluate()
+		if out.Migrate {
+			c.chain = c.deployed.StepsTo(out.Target)
+		}
+		c.wantExpand = c.wantExpand || out.Expand
+		c.issueNext()
+	}
 }
 
 func (c *controller) migrating() bool { return c.acksPending > 0 }
+
+// allDrained reports that every reshuffler's input — the controller's
+// own and the plain ones' — is exhausted; no decision may be made past
+// this point.
+func (c *controller) allDrained() bool {
+	return c.sourceDone && c.drained >= len(c.resh)-1
+}
 
 // issueNext launches the next elementary step of the pending chain, or
 // the pending expansion once the chain is exhausted.
@@ -165,7 +232,7 @@ func (c *controller) onAck(int) {
 		// drifted enough during the migration to fire a fresh
 		// checkpoint, re-plan toward the newer target; otherwise
 		// continue the committed chain.
-		if c.adaptive && !c.sourceDone {
+		if c.adaptive && !c.allDrained() {
 			if out := c.dec.Evaluate(); out.Checked {
 				if out.Migrate {
 					c.chain = c.deployed.StepsTo(out.Target)
@@ -178,17 +245,32 @@ func (c *controller) onAck(int) {
 }
 
 // onSourceDrained notes that the controller's own input is exhausted.
+// Decisions continue on obsCh ticks while other reshufflers still
+// ingest; queued migration steps are abandoned only once every input
+// has drained (noteAllDrained).
 func (c *controller) onSourceDrained() {
 	c.sourceDone = true
-	c.chain = nil // abandon queued steps; finish the in-flight one only
-	c.wantExpand = false
+	c.noteAllDrained()
 	c.tryFinish()
 }
 
 // onDrained counts plain reshufflers whose inputs are exhausted.
 func (c *controller) onDrained(int) {
 	c.drained++
+	c.noteAllDrained()
 	c.tryFinish()
+}
+
+// noteAllDrained abandons pending adaptation work once the whole
+// stream has ended: queued chain steps and expansion requests are
+// dropped (only an in-flight elementary step still completes), so the
+// operator finishes instead of migrating state nobody will probe.
+func (c *controller) noteAllDrained() {
+	if !c.allDrained() {
+		return
+	}
+	c.chain = nil
+	c.wantExpand = false
 }
 
 // tryFinish broadcasts the finish command once every input is drained

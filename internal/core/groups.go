@@ -96,6 +96,7 @@ func NewGrouped(cfg GroupedConfig) *Grouped {
 			Pred:           cfg.Pred,
 			Adaptive:       cfg.Adaptive,
 			NumReshufflers: 1, // single router per group: total order
+			SourceLanes:    1, // Grouped assigns seqs itself; lanes would break the shared order
 			Epsilon:        cfg.Epsilon,
 			Warmup:         cfg.Warmup * int64(sz) / int64(cfg.J),
 			Storage:        cfg.Storage,

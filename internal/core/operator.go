@@ -102,7 +102,7 @@ func (tp *topology) pushMigBatch(id int, b []message) {
 
 // reserveHint is the controller's published per-joiner stored-tuple
 // forecast, one cell per side. The controller reshuffler derives it
-// from its scaled cardinality estimates (stats.Snapshot.PerJoiner)
+// from the exact sharded cardinality counts (stats.Snapshot.PerJoiner)
 // and republishes on significant growth; joiners poll it once per
 // processed envelope and presize their store (hash directory and
 // columnar arena) ahead of the ingest that would otherwise grow them
@@ -129,6 +129,19 @@ type Config struct {
 	// NumReshufflers defaults to J. The grouped operator uses 1 to
 	// obtain a total delivery order per group.
 	NumReshufflers int
+	// SourceLanes shards the ingest front end for concurrent feeders:
+	// with n > 1 lanes, each Send/SendBatch call acquires a lane holding
+	// a coarse grant of sequence numbers (refilled from the global
+	// counter once per seqGrant tuples) and delivers whole envelopes to
+	// the lane's home reshuffler ring, spilling to neighbors only under
+	// pressure — so N feeder goroutines stop contending on one atomic
+	// and one deal path. Sequence numbers stay globally unique and
+	// totally ordered (all the exactness invariant needs) but are no
+	// longer dense in arrival order, and routing is no longer the
+	// per-seq pseudo-random deal, so runs are not byte-reproducible
+	// across feeder interleavings. 0 or 1 keeps the legacy deterministic
+	// single-lane front end.
+	SourceLanes int
 	// Epsilon is Alg. 2's ε; 0 means 1 (the 1.25-competitive setting).
 	Epsilon float64
 	// Warmup is the minimum (estimated) input before the first
@@ -205,6 +218,9 @@ func (c *Config) fill() {
 	if c.NumReshufflers <= 0 {
 		c.NumReshufflers = c.J
 	}
+	if c.SourceLanes <= 0 {
+		c.SourceLanes = 1
+	}
 	if c.DataQueueCap <= 0 {
 		c.DataQueueCap = 1024
 	}
@@ -242,6 +258,24 @@ type Operator struct {
 	sources []chan []sourceItem
 	ctl     *controller
 	hint    reserveHint
+	// ingest is the exact sharded cardinality counter: one cell per
+	// reshuffler, merged on snapshot. It replaces the per-reshuffler
+	// sampled Estimator — source-lane affinity breaks the uniform-deal
+	// assumption the 1/N sample scaling rested on, so the controller
+	// consumes exact global deltas instead.
+	ingest *stats.Sharded
+
+	// lanes is the sharded ingest front end (nil when SourceLanes <= 1):
+	// each lane owns a seq-grant cursor and a home reshuffler ring.
+	// Feeders acquire lanes through lanePool, whose per-P caching makes
+	// a goroutine sticky to the lane (and hence the ring) it last used;
+	// laneRR hands lanes out round-robin when the pool comes up empty
+	// (startup, or after a GC purge). The pool may transiently hold the
+	// same lane twice — every use is under the lane's mutex, so a
+	// duplicate only costs a moment of sharing, never a lost grant.
+	lanes    []*sourceLane
+	lanePool sync.Pool
+	laneRR   atomic.Uint32
 
 	// stop is the runner's Done channel: closed on context
 	// cancellation or on the first task failure. Every blocking
@@ -266,6 +300,37 @@ type Operator struct {
 	closed  bool
 }
 
+// seqGrant is the number of sequence numbers a lane takes from the
+// global counter per refill: large enough that the shared atomic is
+// touched once per ~thousand tuples per lane, small enough that an
+// abandoned grant leaves a negligible hole (holes are harmless — the
+// exactness invariant needs only uniqueness and a total order, and the
+// latency sampler keys by seq value, not density).
+const seqGrant = 1024
+
+// sourceLane is one shard of the ingest front end: a seq-grant cursor
+// and a home reshuffler ring. The mutex serializes the (rare) case of
+// two feeders drawing the same lane; the hot path is an uncontended
+// lock plus a lane-local cursor increment.
+type sourceLane struct {
+	mu   sync.Mutex
+	next uint64 // next unassigned seq of the current grant
+	end  uint64 // one past the grant's last seq
+	home int    // home reshuffler ring
+}
+
+// nextSeq returns the lane's next sequence number, refilling the grant
+// from the global counter when exhausted. Caller holds ln.mu.
+func (ln *sourceLane) nextSeq(global *atomic.Uint64) uint64 {
+	if ln.next >= ln.end {
+		end := global.Add(seqGrant)
+		ln.next, ln.end = end-seqGrant+1, end+1
+	}
+	s := ln.next
+	ln.next++
+	return s
+}
+
 // NewOperator builds an operator; call Start before Send.
 func NewOperator(cfg Config) *Operator {
 	cfg.fill()
@@ -284,6 +349,17 @@ func NewOperator(cfg Config) *Operator {
 		// per-tuple producers see the same buffered depth as before.
 		op.sources[i] = make(chan []sourceItem, 512)
 	}
+	op.ingest = stats.NewSharded(cfg.NumReshufflers)
+	if cfg.SourceLanes > 1 {
+		op.lanes = make([]*sourceLane, cfg.SourceLanes)
+		for i := range op.lanes {
+			op.lanes[i] = &sourceLane{home: i % cfg.NumReshufflers}
+		}
+		op.lanePool.New = func() any {
+			i := op.laneRR.Add(1) - 1
+			return op.lanes[int(i)%len(op.lanes)]
+		}
+	}
 	dec := NewDecider(DeciderConfig{
 		J:            cfg.J,
 		Initial:      cfg.Initial,
@@ -292,7 +368,12 @@ func NewOperator(cfg Config) *Operator {
 		MaxPerJoiner: cfg.MaxTuplesPerJoiner,
 	})
 	op.ctl = newController(dec, cfg.Adaptive, cfg.J, op)
-	op.ctl.scale = int64(cfg.NumReshufflers)
+	op.ctl.ingest = op.ingest
+	if op.lanes == nil {
+		// Legacy deal front end: the controller's own cell is an
+		// unbiased in-order 1/N sample; feed it scaled, as the seed did.
+		op.ctl.scale = int64(cfg.NumReshufflers)
+	}
 
 	ports := make([]*joinerPorts, cfg.J)
 	for i := range ports {
@@ -442,7 +523,8 @@ func (op *Operator) StartContext(ctx context.Context) {
 		r := &reshuffler{
 			id:         i,
 			rng:        rand.New(rand.NewSource(op.cfg.Seed ^ int64(i)*0x9e3779b9)),
-			est:        stats.NewEstimator(op.cfg.NumReshufflers),
+			ingest:     op.ingest,
+			obs:        op.ctl.obsCh,
 			mapping:    op.cfg.Initial,
 			table:      append([]int(nil), op.ctl.table...),
 			source:     op.sources[i],
@@ -471,8 +553,53 @@ func (op *Operator) StartContext(ctx context.Context) {
 // returns ErrFinished (without delivering) once Finish has closed the
 // input.
 func (op *Operator) Send(t join.Tuple) error {
-	t.Seq = op.seq.Add(1)
-	return op.deal(sourceItem{t: t})
+	if op.lanes == nil {
+		t.Seq = op.seq.Add(1)
+		return op.deal(sourceItem{t: t})
+	}
+	op.lifeMu.RLock()
+	defer op.lifeMu.RUnlock()
+	if op.closed {
+		return ErrFinished
+	}
+	ln := op.lanePool.Get().(*sourceLane)
+	ln.mu.Lock()
+	t.Seq = ln.nextSeq(&op.seq)
+	home := ln.home
+	ln.mu.Unlock()
+	op.lanePool.Put(ln)
+	env := append(getItems(1), sourceItem{t: t})
+	return op.pushAffine(home, env)
+}
+
+// pushAffine delivers an envelope with reshuffler affinity: the home
+// ring first, then — only under pressure, when home is full — each
+// successive ring non-blocking, falling back to a blocking push on home
+// when every ring is backlogged. Light traffic stays core-local (one
+// lane feeds one reshuffler, whose batches stay warm in one cache);
+// a firehose feeder overflows its 512-envelope home ring and spills
+// across the other rings, re-parallelizing the fanout exactly when
+// there is enough work to justify it.
+func (op *Operator) pushAffine(home int, env []sourceItem) error {
+	select {
+	case op.sources[home] <- env:
+		return nil
+	default:
+	}
+	n := len(op.sources)
+	for k := 1; k < n; k++ {
+		d := home + k
+		if d >= n {
+			d -= n
+		}
+		select {
+		case op.sources[d] <- env:
+			op.met.LaneSpills.Add(1)
+			return nil
+		default:
+		}
+	}
+	return op.push(home, env)
 }
 
 // SendBatch feeds a run of tuples, assigning their ingestion sequence
@@ -491,6 +618,23 @@ func (op *Operator) SendBatch(ts []join.Tuple) error {
 	defer op.lifeMu.RUnlock()
 	if op.closed {
 		return ErrFinished
+	}
+	if op.lanes != nil {
+		// Sharded front end: the whole run rides one envelope to the
+		// lane's home ring — no per-destination split, no shared-counter
+		// contention beyond one grant refill per seqGrant tuples.
+		ln := op.lanePool.Get().(*sourceLane)
+		ln.mu.Lock()
+		env := getItems(n)
+		for i := range ts {
+			t := ts[i]
+			t.Seq = ln.nextSeq(&op.seq)
+			env = append(env, sourceItem{t: t})
+		}
+		home := ln.home
+		ln.mu.Unlock()
+		op.lanePool.Put(ln)
+		return op.pushAffine(home, env)
 	}
 	base := op.seq.Add(uint64(n)) - uint64(n) + 1
 	if len(op.sources) == 1 {

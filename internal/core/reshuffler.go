@@ -11,12 +11,14 @@ import (
 	"repro/internal/stats"
 )
 
-// reshuffler is one reshuffler task (§3.2): it pulls tuples from the
-// shared source (random assignment of tuples to reshufflers), draws
-// the routing value u, maintains its decentralized cardinality
-// estimates (Alg. 1), and fans each tuple out to the joiners of its
-// row or column partition. Reshuffler 0 additionally runs the
-// controller (see controller.go).
+// reshuffler is one reshuffler task (§3.2): it pulls tuples from its
+// source ring (pseudo-random deal on the legacy front end, lane
+// affinity with pressure spill on the sharded one), draws the routing
+// value u, maintains its cell of the operator's exact sharded
+// cardinality counts (the decentralized monitoring of Alg. 1, with
+// exact per-task cells replacing the sampled scaling), and fans each
+// tuple out to the joiners of its row or column partition. Reshuffler 0
+// additionally runs the controller (see controller.go).
 //
 // Routed messages are not pushed one at a time: each destination has a
 // pending batch buffer that ships as a single []message envelope (see
@@ -27,7 +29,14 @@ import (
 type reshuffler struct {
 	id  int
 	rng *rand.Rand
-	est *stats.Estimator
+	// ingest is the operator's exact sharded cardinality counter; this
+	// task writes cell id and the controller merges all cells. obs is
+	// the controller's wake-up channel (cap 1): after observing traffic
+	// a plain reshuffler ticks it non-blocking, so the controller
+	// reshuffler evaluates the decision algorithm even when lane
+	// affinity steers all traffic away from its own ring.
+	ingest *stats.Sharded
+	obs    chan struct{}
 
 	mapping matrix.Mapping
 	table   []int
@@ -205,6 +214,8 @@ func (r *reshuffler) run() error {
 				}
 			case d := <-r.drainChan():
 				r.ctl.onDrained(d)
+			case <-r.obsChan():
+				r.ctl.onObserved()
 			case <-r.lingerCh():
 				r.lingerArmed = false
 				r.flushAll(&r.opm.BatchFlushLinger)
@@ -240,6 +251,8 @@ func (r *reshuffler) run() error {
 			}
 		case d := <-r.drainChan():
 			r.ctl.onDrained(d)
+		case <-r.obsChan():
+			r.ctl.onObserved()
 		case <-r.lingerCh():
 			r.lingerArmed = false
 			r.flushAll(&r.opm.BatchFlushLinger)
@@ -263,6 +276,16 @@ func (r *reshuffler) drainChan() <-chan int {
 		return nil
 	}
 	return r.ctl.drainCh
+}
+
+// obsChan returns the controller's observation wake-up channel, or nil
+// (never ready) on plain reshufflers — only the controller receives;
+// the others send through noteObserved.
+func (r *reshuffler) obsChan() <-chan struct{} {
+	if r.ctl == nil {
+		return nil
+	}
+	return r.obs
 }
 
 // lingerCh returns the linger timer's channel, or nil (never ready)
@@ -394,6 +417,11 @@ func (r *reshuffler) drainLoop() error {
 			}
 		case d := <-r.drainChan():
 			r.ctl.onDrained(d)
+		case <-r.obsChan():
+			// Other reshufflers may still be ingesting after this one's
+			// input ended; the controller keeps absorbing their counts
+			// and deciding until every input drains.
+			r.ctl.onObserved()
 		case <-r.stop:
 			return nil
 		}
@@ -450,7 +478,7 @@ func (r *reshuffler) ingestBatch(items []sourceItem) {
 			nS++
 		}
 	}
-	r.est.ObserveN(nR, nS)
+	r.ingest.ObserveN(r.id, nR, nS)
 	if r.hint != nil {
 		r.publishHint()
 	}
@@ -459,9 +487,7 @@ func (r *reshuffler) ingestBatch(items []sourceItem) {
 			r.lat.Arrive(items[i].t.Seq)
 		}
 	}
-	if r.ctl != nil {
-		r.ctl.onTuples(nR, nS)
-	}
+	r.noteObserved()
 	r.routeBatch(items)
 	if r.padDummies {
 		// One ratio check per ingested tuple, as on the per-tuple path:
@@ -473,12 +499,28 @@ func (r *reshuffler) ingestBatch(items []sourceItem) {
 	}
 }
 
+// noteObserved propagates a fresh ingest observation to the decision
+// loop: the controller reshuffler evaluates directly; every other
+// reshuffler ticks the controller's wake-up channel without blocking
+// (a pending tick already guarantees a future evaluation that will see
+// this observation — ObserveN happened before the send).
+func (r *reshuffler) noteObserved() {
+	if r.ctl != nil {
+		r.ctl.onObserved()
+		return
+	}
+	select {
+	case r.obs <- struct{}{}:
+	default:
+	}
+}
+
 // publishHint refreshes the operator's shared Reserve-hint cell with
 // the per-joiner stored-tuple forecast under the current mapping. Only
 // significant growth (a quarter over the last published value)
 // republishes, keeping writes to the joiner-polled cache line rare.
 func (r *reshuffler) publishHint() {
-	perR, perS := r.est.Snapshot().PerJoiner(r.mapping.N, r.mapping.M)
+	perR, perS := r.ingest.Snapshot().PerJoiner(r.mapping.N, r.mapping.M)
 	if perR > r.lastHintR+r.lastHintR/4 {
 		r.lastHintR = perR
 		r.hint.perR.Store(perR)
@@ -531,11 +573,15 @@ func (r *reshuffler) route(t join.Tuple, probeOnly bool) {
 }
 
 // maybePad injects at most one dummy tuple into the smaller relation
-// when the local estimate of the cardinality ratio exceeds J. Dummies
-// are routed and stored like real tuples but never match a predicate,
-// physically maintaining 1/J ≤ |R|/|S| ≤ J (§4.2.2).
+// when this task's own cardinality-ratio view exceeds J. Dummies are
+// routed and stored like real tuples but never match a predicate,
+// physically maintaining 1/J ≤ |R|/|S| ≤ J (§4.2.2). The decision
+// reads only this reshuffler's own cell: the global snapshot would
+// make every reshuffler race on the same deficit and collectively
+// overshoot the pad many-fold, while per-cell ratios ≤ J compose — if
+// each task's share satisfies R_i ≤ J·S_i, the summed totals do too.
 func (r *reshuffler) maybePad() {
-	snap := r.est.Snapshot()
+	snap := r.ingest.Cell(r.id)
 	j := int64(r.mapping.J())
 	var side matrix.Side
 	switch {
@@ -548,13 +594,11 @@ func (r *reshuffler) maybePad() {
 	}
 	dummy := join.Tuple{Rel: side, Dummy: true, Size: 1}
 	if side == matrix.SideR {
-		r.est.ObserveR()
+		r.ingest.ObserveN(r.id, 1, 0)
 	} else {
-		r.est.ObserveS()
+		r.ingest.ObserveN(r.id, 0, 1)
 	}
-	if r.ctl != nil {
-		r.ctl.onTuple(dummy)
-	}
+	r.noteObserved()
 	r.opm.DummyTuples.Add(1)
 	r.route(dummy, false)
 }

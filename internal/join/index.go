@@ -469,6 +469,35 @@ func (h *HashIndex) Probe(probe Tuple, fn func(Tuple)) {
 	}
 }
 
+// probeStride is the batch-probe vector width: hashes and first-slot
+// touches proceed eight probes at a time, so the eight directory cache
+// lines are in flight concurrently (memory-level parallelism) instead
+// of each probe's load stalling the next probe's hash.
+const probeStride = 8
+
+// walkFrom resolves a probe whose first directory slot neither decided
+// a hit nor ended the chain: continue the linear-probe walk from slot
+// i, falling back to the draining old directory on an empty slot. The
+// vectorized gather loop inlines the first-slot comparison (the common
+// case for a well-loaded directory) and calls here only for collided
+// chains.
+func (h *HashIndex) walkFrom(i, hash uint64, key int64) *hslot {
+	for {
+		s := &h.slots[i]
+		if s.n == 0 {
+			break
+		}
+		if s.key == key {
+			return s
+		}
+		i = (i + 1) & h.mask
+	}
+	if h.old != nil {
+		return h.oldFind(hash, key)
+	}
+	return nil
+}
+
 // ProbeBatchCollect probes every tuple of ps in order, appending
 // oriented predicate-passing pairs to *out. The run is processed in
 // two phases: a gather loop that walks only the slot directory,
@@ -476,12 +505,52 @@ func (h *HashIndex) Probe(probe Tuple, fn func(Tuple)) {
 // reads the arena columns and builds pairs — so directory cache lines
 // and tuple columns each stream through once instead of alternating
 // per match.
+//
+// The gather loop is vectorized at probeStride: one pass hashes eight
+// keys back to back (pure ALU, no memory dependence), the next touches
+// the eight first slots — eight independent loads the core overlaps —
+// and only then does each probe resolve: empty slot means a miss (or
+// an old-directory fallback mid-rehash), a key match on the first slot
+// gathers immediately, and a collision walks the chain via walkFrom. A
+// scalar tail covers the last len(ps) mod probeStride probes.
 func (h *HashIndex) ProbeBatchCollect(ps []Tuple, rel matrix.Side, p Predicate, out *[]Pair) {
 	if h.used == 0 {
 		return
 	}
 	hits := h.hits[:0]
-	for i := range ps {
+	var (
+		hv     [probeStride]uint64
+		first  [probeStride]*hslot
+		firstN [probeStride]uint32
+	)
+	i := 0
+	for ; i+probeStride <= len(ps); i += probeStride {
+		for k := 0; k < probeStride; k++ {
+			hv[k] = hashKey(ps[i+k].Key)
+		}
+		for k := 0; k < probeStride; k++ {
+			s := &h.slots[hv[k]&h.mask]
+			first[k] = s
+			firstN[k] = s.n
+		}
+		for k := 0; k < probeStride; k++ {
+			key := ps[i+k].Key
+			s := first[k]
+			switch {
+			case firstN[k] == 0:
+				s = nil
+				if h.old != nil {
+					s = h.oldFind(hv[k], key)
+				}
+			case s.key != key:
+				s = h.walkFrom((hv[k]+1)&h.mask, hv[k], key)
+			}
+			if s != nil {
+				hits = h.gather(s, int32(i+k), hits)
+			}
+		}
+	}
+	for ; i < len(ps); i++ {
 		if s := h.findSlot(hashKey(ps[i].Key), ps[i].Key); s != nil {
 			hits = h.gather(s, int32(i), hits)
 		}

@@ -377,6 +377,75 @@ func TestHashIndexMidRehash(t *testing.T) {
 	})
 }
 
+// TestHashIndexProbeBatchStride pins the vectorized gather loop of
+// ProbeBatchCollect: probe runs longer than probeStride (so the
+// eight-wide pass runs, not just the scalar tail), with lengths off
+// the stride boundary, keys mixing first-slot hits, collided chains,
+// spilled duplicate buckets, and misses — checked against the
+// scan-index reference both on a settled directory and mid-rehash
+// (where an empty new-directory slot must fall back to the draining
+// old one).
+func TestHashIndexProbeBatchStride(t *testing.T) {
+	pred := EquiJoin("stride", nil)
+	check := func(t *testing.T, h *HashIndex, ref *ScanIndex, probes []Tuple) {
+		t.Helper()
+		var got, want []Pair
+		h.ProbeBatchCollect(probes, matrix.SideR, pred, &got)
+		ref.ProbeBatchCollect(probes, matrix.SideR, pred, &want)
+		less := func(hs []Pair) func(a, b int) bool {
+			return func(a, b int) bool {
+				if hs[a].R.Seq != hs[b].R.Seq {
+					return hs[a].R.Seq < hs[b].R.Seq
+				}
+				return hs[a].S.Seq < hs[b].S.Seq
+			}
+		}
+		sort.Slice(got, less(got))
+		sort.Slice(want, less(want))
+		if len(got) != len(want) {
+			t.Fatalf("stride probe matched %d pairs, reference %d", len(got), len(want))
+		}
+		for i := range got {
+			if !eqTuple(got[i].R, want[i].R) || !eqTuple(got[i].S, want[i].S) {
+				t.Fatalf("stride probe pair %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+	}
+	mkProbes := func(rng *rand.Rand, n int, domain int64) []Tuple {
+		ps := make([]Tuple, n)
+		for i := range ps {
+			// domain+32 guarantees a healthy miss fraction.
+			ps[i] = Tuple{Rel: matrix.SideR, Key: rng.Int63n(domain + 32), Size: 8, Seq: uint64(1e9) + uint64(i)}
+		}
+		return ps
+	}
+	t.Run("settled", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(901))
+		h := NewHashIndex()
+		ref := NewScanIndex()
+		const domain = 64 // deep duplicate buckets: inline storage spills
+		for i := 0; i < 2000; i++ {
+			tp := Tuple{Rel: matrix.SideS, Key: rng.Int63n(domain), Size: 8, Seq: uint64(i + 1)}
+			h.Insert(tp)
+			ref.Insert(tp)
+		}
+		for _, n := range []int{probeStride - 1, probeStride, probeStride + 1, 3*probeStride + 5, 256} {
+			check(t, h, ref, mkProbes(rng, n, domain))
+		}
+	})
+	t.Run("mid-rehash", func(t *testing.T) {
+		h, ref := buildMidRehash(t, 9)
+		rng := rand.New(rand.NewSource(902))
+		domain := int64(h.Len())
+		for _, n := range []int{probeStride, 2*probeStride + 3, 512} {
+			if !h.rehashing() {
+				t.Fatal("rehash drained before the stride probes ran")
+			}
+			check(t, h, ref, mkProbes(rng, n, domain))
+		}
+	})
+}
+
 // TestHashIndexReserveHints drives the same stream through indexes
 // reserved with nothing, the exact cardinality, and a large
 // overestimate (plus a mid-stream re-reserve), checking contents stay

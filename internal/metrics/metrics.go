@@ -47,6 +47,11 @@ type Operator struct {
 	// DummyTuples counts padding tuples injected to bound the
 	// cardinality ratio.
 	DummyTuples atomic.Int64
+	// LaneSpills counts ingest envelopes a source lane delivered off its
+	// home reshuffler ring because the home ring was full: zero under
+	// light traffic (fanout stays core-local), rising exactly when
+	// pressure re-parallelizes the reshuffling across rings.
+	LaneSpills atomic.Int64
 
 	// BatchesSent counts data-plane batch envelopes shipped by
 	// reshufflers; BatchedMessages counts the messages they carried, so
@@ -136,6 +141,7 @@ func Merged(ms ...*Operator) *Operator {
 		out.Expansions.Add(m.Expansions.Load())
 		out.RoutedMessages.Add(m.RoutedMessages.Load())
 		out.DummyTuples.Add(m.DummyTuples.Load())
+		out.LaneSpills.Add(m.LaneSpills.Load())
 		out.BatchesSent.Add(m.BatchesSent.Load())
 		out.BatchedMessages.Add(m.BatchedMessages.Load())
 		out.BatchFlushFull.Add(m.BatchFlushFull.Load())

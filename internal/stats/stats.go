@@ -11,6 +11,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Estimator maintains global cardinality estimates for the two join
@@ -114,6 +115,72 @@ func (s Snapshot) Ratio() float64 {
 		den = 1
 	}
 	return float64(s.R) / float64(den)
+}
+
+// shardCell is one writer's private counter pair, padded out to a full
+// cache line so two writers' increments never contend on the same line
+// (the cross-core "cache-line fight" sharding exists to avoid).
+type shardCell struct {
+	r, s atomic.Int64
+	_    [48]byte
+}
+
+// Sharded maintains exact global cardinality counts with per-writer
+// cells: each observer task owns one cell and increments it without
+// synchronizing with any other writer, and Snapshot merges the cells
+// into one global view. It replaces the sampled Estimator on paths
+// where tuples are no longer dealt uniformly across observers (source
+// lanes pin traffic to a home reshuffler, so no single task sees an
+// unbiased 1/N sample any more) — the counts are exact rather than
+// scaled estimates, so the decision algorithm consumes them with a
+// scale factor of 1.
+type Sharded struct {
+	cells []shardCell
+}
+
+// NewSharded returns a counter set with n writer cells.
+func NewSharded(n int) *Sharded {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: non-positive cell count %d", n))
+	}
+	return &Sharded{cells: make([]shardCell, n)}
+}
+
+// Cells returns the number of writer cells.
+func (sh *Sharded) Cells() int { return len(sh.cells) }
+
+// ObserveN records tuples observed by the writer owning cell: the bulk
+// form, one pair of lane-local atomic adds per ingest run.
+func (sh *Sharded) ObserveN(cell int, r, s int64) {
+	c := &sh.cells[cell]
+	if r != 0 {
+		c.r.Add(r)
+	}
+	if s != 0 {
+		c.s.Add(s)
+	}
+}
+
+// Cell returns one writer's own counts. A writer reading its own cell
+// sees an exact, race-free view of everything it observed — the basis
+// for per-task decisions (like dummy padding) that must not race with
+// other writers' concurrent increments.
+func (sh *Sharded) Cell(cell int) Snapshot {
+	c := &sh.cells[cell]
+	return Snapshot{R: c.r.Load(), S: c.s.Load()}
+}
+
+// Snapshot merges every cell into the exact global counts. Concurrent
+// writers may land increments mid-merge; the result is still a valid
+// count that was true at some point during the call (each side is
+// monotone non-decreasing).
+func (sh *Sharded) Snapshot() Snapshot {
+	var out Snapshot
+	for i := range sh.cells {
+		out.R += sh.cells[i].r.Load()
+		out.S += sh.cells[i].s.Load()
+	}
+	return out
 }
 
 // Histogram is a scaled frequency histogram over a bounded key domain,

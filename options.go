@@ -1,6 +1,7 @@
 package squall
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -95,6 +96,22 @@ func WithLatency(l *LatencySampler) Option { return func(sc *stageConfig) { sc.c
 // runs a single reshuffler to obtain a total delivery order.
 func WithReshufflers(n int) Option { return func(sc *stageConfig) { sc.cfg.NumReshufflers = n } }
 
+// WithSourceLanes shards the ingest front end for concurrent feeders:
+// each of the n lanes owns a private sequence-number window (granted
+// from the global counter in coarse blocks) and a home reshuffler
+// ring, so n goroutines calling Send/SendBatch do not contend on one
+// atomic counter and one deal path. n <= 0 resolves to
+// runtime.GOMAXPROCS(0). With one lane (the default) the stage keeps
+// the legacy deterministic front end: dense sequence numbers and the
+// pseudo-random deal. The grouped engine ignores it — cross-group
+// consistency needs the single shared arrival order.
+func WithSourceLanes(n int) Option {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return func(sc *stageConfig) { sc.cfg.SourceLanes = n }
+}
+
 // WithElastic enables 1-to-4 elastic expansion once any joiner stores
 // more than maxPerJoiner tuples, capped at maxJoiners total (0: no
 // cap).
@@ -136,9 +153,10 @@ func NewEngine(pred Predicate, sink Sink, opts ...Option) Engine {
 // build constructs the stage's engine. The grouped operator exposes a
 // narrower tuning surface; options it cannot honor fall back to its
 // defaults: batch sizes and linger, the initial mapping, elasticity,
-// dummy padding (WithPadDummies), and the reshuffler count (each
-// group structurally runs one reshuffler to keep a total delivery
-// order).
+// dummy padding (WithPadDummies), source lanes (WithSourceLanes —
+// cross-group consistency needs one shared arrival order), and the
+// reshuffler count (each group structurally runs one reshuffler to
+// keep a total delivery order).
 func (sc stageConfig) build(pred Predicate, sink Sink) Engine {
 	var emitBatch EmitBatch
 	if sink != nil {
