@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build build-examples test race bench bench-delta profile lint fmt
+.PHONY: all build build-examples test race bench bench-delta profile profile-fanout lint fmt
 
 all: build lint test
 
@@ -40,6 +40,14 @@ bench-delta:
 profile:
 	$(GO) run ./cmd/joinrun -query EQ5 -op dynamic -j 16 -sf 0.05 -zipf Z2 -cpuprofile cpu.pprof
 	$(GO) tool pprof -top -nodecount=20 cpu.pprof
+
+# Profile the emit plane: the same skewed query with sink invocation
+# moved onto dedicated emit workers (-emitworkers 0 resolves to
+# GOMAXPROCS), so the probe->materialize->emit fanout path dominates
+# the profile instead of the inline sink.
+profile-fanout:
+	$(GO) run ./cmd/joinrun -query EQ5 -op dynamic -j 16 -sf 0.05 -zipf Z2 -emitworkers 0 -cpuprofile fanout.pprof
+	$(GO) tool pprof -top -nodecount=20 fanout.pprof
 
 lint:
 	$(GO) vet ./...

@@ -325,7 +325,7 @@ func BenchmarkOperatorIngestFanout(b *testing.B) {
 		}
 		return tuples
 	}
-	for _, mode := range []string{"batch=32", "sendbatch=32"} {
+	for _, mode := range []string{"batch=32", "sendbatch=32", "sendbatch=32+workers"} {
 		mode := mode
 		b.Run(mode, func(b *testing.B) {
 			tuples := stream()
@@ -333,15 +333,24 @@ func BenchmarkOperatorIngestFanout(b *testing.B) {
 			b.ResetTimer()
 			for iter := 0; iter < b.N; iter++ {
 				var n atomic.Int64
+				counters := make([]shardCounter, 16)
 				cfg := squall.Config{J: 16, Pred: squall.EquiJoin("bench", nil), Seed: 1}
-				if mode == "sendbatch=32" {
+				switch mode {
+				case "sendbatch=32":
 					cfg.EmitBatch = func(ps []squall.Pair) { n.Add(int64(len(ps))) }
-				} else {
+				case "sendbatch=32+workers":
+					// The PR-7 emit plane: dedicated emit workers drain
+					// pooled pair buffers into per-shard padded counters.
+					cfg.EmitWorkers = runtime.GOMAXPROCS(0)
+					cfg.EmitShard = func(shard int, ps []squall.Pair) {
+						counters[shard].n.Add(int64(len(ps)))
+					}
+				default:
 					cfg.Emit = func(squall.Pair) { n.Add(1) }
 				}
 				op := squall.NewOperator(cfg)
 				op.Start()
-				if mode == "sendbatch=32" {
+				if mode != "batch=32" {
 					for start := 0; start < len(tuples); start += 32 {
 						end := start + 32
 						if end > len(tuples) {
@@ -362,6 +371,9 @@ func BenchmarkOperatorIngestFanout(b *testing.B) {
 					b.Fatal(err)
 				}
 				pairs = n.Load()
+				for i := range counters {
+					pairs += counters[i].n.Load()
+				}
 			}
 			b.StopTimer()
 			perIter := float64(b.Elapsed().Nanoseconds()) / float64(b.N)

@@ -10,10 +10,11 @@
 // (default 25) makes benchdelta exit non-zero. Scaling rows
 // (BenchmarkScaling*) are exempt from the tolerance gate — their
 // committed points are machine-shaped (a 1-CPU host records flat rows,
-// a 4-vCPU runner does not) — and are gated instead by -minscale,
-// which requires the best procs=1 -> procs=4 ingest speedup of the
-// current run to reach the given factor. The -minscale gate arms only
-// on hosts with at least 4 CPUs; elsewhere it prints a skip note, so
+// a 4-vCPU runner does not) — and are gated instead by -minscale
+// (ingest rows) and -minscalefanout (fanout rows, the PR-7 emit
+// plane), each requiring the best procs=1 -> procs=4 speedup of the
+// current run to reach the given factor. Both gates arm only on hosts
+// with at least 4 CPUs; elsewhere they print a skip note, so
 // single-core laptops and CI runners share one invocation.
 //
 // It understands these line shapes:
@@ -28,8 +29,8 @@
 //
 // Usage:
 //
-//	scripts/benchdelta.sh                 # full set, gating
-//	scripts/benchdelta.sh -minscale 2.5   # additionally gate 1->4 scaling
+//	scripts/benchdelta.sh                                     # full set, gating
+//	scripts/benchdelta.sh -minscale 2.5 -minscalefanout 2.5   # additionally gate 1->4 scaling
 package main
 
 import (
@@ -102,6 +103,8 @@ func main() {
 		"max regression (percent) vs the committed trajectory before exiting non-zero; negative disables the gate")
 	minScale := flag.Float64("minscale", 0,
 		"required best procs=1 -> procs=4 ingest speedup factor (0 disables; skipped below 4 CPUs)")
+	minScaleFanout := flag.Float64("minscalefanout", 0,
+		"required best procs=1 -> procs=4 fanout speedup factor (0 disables; skipped below 4 CPUs)")
 	flag.Parse()
 
 	committed := loadLatest()
@@ -201,7 +204,10 @@ func main() {
 	for _, r := range regressions {
 		fmt.Printf("benchdelta: REGRESSION %s\n", r)
 	}
-	if !checkScaling(curScaling, *minScale) {
+	if !checkScaling(curScaling, "ingest", *minScale, "minscale") {
+		failed = true
+	}
+	if !checkScaling(curScaling, "fanout", *minScaleFanout, "minscalefanout") {
 		failed = true
 	}
 	if failed {
@@ -209,41 +215,42 @@ func main() {
 	}
 }
 
-// checkScaling applies the -minscale gate: the best procs=1 ->
-// procs=4 speedup among the current run's BenchmarkScalingIngest
-// groups must reach minScale. Reports true (pass) when the gate is
-// disabled, skipped for lack of cores, or met.
-func checkScaling(cur map[string]map[int]map[int]float64, minScale float64) bool {
+// checkScaling applies one procs=1 -> procs=4 speedup gate (-minscale
+// over the ingest rows, -minscalefanout over the fanout rows): the
+// best speedup among the named benchmark's current j-groups must reach
+// minScale. Reports true (pass) when the gate is disabled, skipped for
+// lack of cores, or met.
+func checkScaling(cur map[string]map[int]map[int]float64, bench string, minScale float64, gate string) bool {
 	if minScale <= 0 {
 		return true
 	}
 	if ncpu := runtime.NumCPU(); ncpu < 4 {
-		fmt.Printf("benchdelta: minscale gate skipped (%d CPUs < 4; scaling needs real cores)\n", ncpu)
+		fmt.Printf("benchdelta: %s gate skipped (%d CPUs < 4; scaling needs real cores)\n", gate, ncpu)
 		return true
 	}
 	best, bestJ := 0.0, 0
-	for j, byProcs := range cur["ingest"] {
+	for j, byProcs := range cur[bench] {
 		one, ok1 := byProcs[1]
 		four, ok4 := byProcs[4]
 		if !ok1 || !ok4 || four <= 0 {
 			continue
 		}
 		speedup := one / four
-		fmt.Printf("benchdelta: scaling ingest j=%d speedup 1->4 procs: %.2fx\n", j, speedup)
+		fmt.Printf("benchdelta: scaling %s j=%d speedup 1->4 procs: %.2fx\n", bench, j, speedup)
 		if speedup > best {
 			best, bestJ = speedup, j
 		}
 	}
 	if bestJ == 0 {
-		fmt.Println("benchdelta: minscale gate FAILED (no BenchmarkScalingIngest procs=1 and procs=4 rows on stdin)")
+		fmt.Printf("benchdelta: %s gate FAILED (no BenchmarkScaling %s procs=1 and procs=4 rows on stdin)\n", gate, bench)
 		return false
 	}
 	if best < minScale {
-		fmt.Printf("benchdelta: minscale gate FAILED (best speedup %.2fx at j=%d < required %.2fx)\n",
-			best, bestJ, minScale)
+		fmt.Printf("benchdelta: %s gate FAILED (best speedup %.2fx at j=%d < required %.2fx)\n",
+			gate, best, bestJ, minScale)
 		return false
 	}
-	fmt.Printf("benchdelta: minscale gate passed (%.2fx at j=%d >= %.2fx)\n", best, bestJ, minScale)
+	fmt.Printf("benchdelta: %s gate passed (%.2fx at j=%d >= %.2fx)\n", gate, best, bestJ, minScale)
 	return true
 }
 

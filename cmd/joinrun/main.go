@@ -37,6 +37,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0: no limit)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run (ingest through drain) to this file")
+	emitWorkers := flag.Int("emitworkers", -1,
+		"dedicated emit workers: -1 runs sinks inline on the joiners, 0 resolves to one worker per core, n > 0 uses n workers (not supported by -op shj)")
 	flag.Parse()
 
 	q, ok := workload.ByName(*query)
@@ -44,12 +46,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "joinrun: unknown query %q\n", *query)
 		os.Exit(2)
 	}
+	if *emitWorkers < -1 {
+		fmt.Fprintf(os.Stderr, "joinrun: -emitworkers %d is invalid (-1 inline, 0 per-core, n > 0 explicit)\n", *emitWorkers)
+		os.Exit(2)
+	}
 	g := tpch.NewGen(tpch.Config{SF: *sf, Zipf: tpch.SkewZ(*zipf), Seed: *seed})
 	r, s := q.Cardinalities(g)
 
 	var out atomic.Int64
 	emit := func(squall.Pair) { out.Add(1) }
-	engine, report := buildEngine(*opName, q, *j, r, s, *seed, emit)
+	engine, report := buildEngine(*opName, q, *j, r, s, *seed, *emitWorkers, emit)
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -118,7 +124,7 @@ func main() {
 
 // buildEngine wires the requested engine through the options API and
 // returns it plus an engine-specific postscript for the report.
-func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emit func(squall.Pair)) (squall.Engine, func()) {
+func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emitWorkers int, emit func(squall.Pair)) (squall.Engine, func()) {
 	switch name {
 	case "dynamic", "staticmid", "staticopt":
 		// Fail fast, like the raw constructor used to: a non-power-of-two
@@ -136,6 +142,9 @@ func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emit fu
 		case "staticopt":
 			opts = append(opts, squall.WithInitialMapping(squall.OptimalMapping(j, float64(r), float64(s))))
 		}
+		if emitWorkers >= 0 {
+			opts = append(opts, squall.WithEmitWorkers(emitWorkers))
+		}
 		e := squall.NewEngine(q.Pred, squall.Each(emit), opts...)
 		return e, func() {
 			op := e.(*squall.Operator)
@@ -146,11 +155,22 @@ func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emit fu
 			fmt.Fprintf(os.Stderr, "joinrun: SHJ supports only equi-joins\n")
 			os.Exit(2)
 		}
+		if emitWorkers >= 0 {
+			// Fail fast instead of silently running inline: the SHJ
+			// baseline has no emit plane.
+			fmt.Fprintf(os.Stderr, "joinrun: -emitworkers is not supported by -op shj\n")
+			os.Exit(2)
+		}
 		return squall.NewSHJ(squall.SHJConfig{J: j, Pred: q.Pred, Emit: emit}), func() {}
 	case "grouped":
-		e := squall.NewEngine(q.Pred, squall.Each(emit),
+		opts := []squall.Option{
 			squall.WithJoiners(j), squall.WithGrouped(),
-			squall.WithAdaptive(), squall.WithWarmup((r+s)/100), squall.WithSeed(seed))
+			squall.WithAdaptive(), squall.WithWarmup((r + s) / 100), squall.WithSeed(seed),
+		}
+		if emitWorkers >= 0 {
+			opts = append(opts, squall.WithEmitWorkers(emitWorkers))
+		}
+		e := squall.NewEngine(q.Pred, squall.Each(emit), opts...)
 		gr := e.(*squall.Grouped)
 		return e, func() {
 			fmt.Printf("groups     %v mappings %v\n", gr.Groups(), gr.GroupMappings())

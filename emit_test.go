@@ -1,0 +1,235 @@
+package squall_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	squall "repro"
+)
+
+// emitStream builds a lopsided R-then-S-flood equi-join input (the
+// shape that forces adaptive migration toward a (1,J) mapping
+// mid-stream) with every tuple uniquely identified through Aux.
+func emitStream(nR, nS int, dom, seed int64) []squall.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]squall.Tuple, 0, nR+nS)
+	for i := 0; i < nR; i++ {
+		out = append(out, squall.Tuple{Rel: squall.SideR, Key: rng.Int63n(dom), Aux: int64(i) + 1, Size: 8})
+	}
+	for i := 0; i < nS; i++ {
+		out = append(out, squall.Tuple{Rel: squall.SideS, Key: rng.Int63n(dom), Aux: int64(i) + 1<<20, Size: 8})
+	}
+	return out
+}
+
+// emitOracle is the nested-loop ground truth: the multiset of
+// (R.Aux, S.Aux) identities of every matching pair.
+func emitOracle(tuples []squall.Tuple) map[[2]int64]int {
+	want := map[[2]int64]int{}
+	for i := range tuples {
+		if tuples[i].Rel != squall.SideR {
+			continue
+		}
+		for j := range tuples {
+			if tuples[j].Rel == squall.SideS && tuples[i].Key == tuples[j].Key {
+				want[[2]int64{tuples[i].Aux, tuples[j].Aux}]++
+			}
+		}
+	}
+	return want
+}
+
+// emitShardRec accumulates one shard's output. The appends are
+// deliberately unsynchronized: the Sharded contract serializes
+// same-shard calls, so under -race any contract violation in the emit
+// plane surfaces as a detected race, and the CAS flag catches overlap
+// even in non-race runs.
+type emitShardRec struct {
+	inFlight atomic.Bool
+	pairs    [][2]int64
+	_        [64]byte
+}
+
+// The sharded emit plane must be invisible in the result multiset:
+// across both engines (single-grid and grouped decomposition), inline
+// and worker-backed emission, and batch sizes 1 and 32, the output
+// matches the nested-loop oracle exactly — while migrations relocate
+// state mid-stream, four feeders send concurrently, and the per-shard
+// serialization contract is actively checked.
+func TestShardedEmitExactness(t *testing.T) {
+	tuples := emitStream(300, 4000, 40, 7)
+	want := emitOracle(tuples)
+
+	for _, eng := range []struct {
+		name    string
+		joiners int
+	}{
+		{"operator", 8}, // power of two: single grid
+		{"grouped", 6},  // 4+2 groups: cross-group shard offsets
+	} {
+		for _, workers := range []int{0, 4} {
+			for _, batch := range []int{1, 32} {
+				eng, workers, batch := eng, workers, batch
+				name := fmt.Sprintf("%s/workers=%d/batch=%d", eng.name, workers, batch)
+				t.Run(name, func(t *testing.T) {
+					shards := make([]*emitShardRec, 64)
+					for i := range shards {
+						shards[i] = &emitShardRec{}
+					}
+					var violations atomic.Int64
+					sink := squall.Sharded(func(shard int, ps []squall.Pair) {
+						sh := shards[shard]
+						if !sh.inFlight.CompareAndSwap(false, true) {
+							violations.Add(1)
+						}
+						for i := range ps {
+							sh.pairs = append(sh.pairs, [2]int64{ps[i].R.Aux, ps[i].S.Aux})
+						}
+						sh.inFlight.Store(false)
+					})
+
+					opts := []squall.Option{
+						squall.WithJoiners(eng.joiners),
+						squall.WithAdaptive(),
+						squall.WithWarmup(300),
+						squall.WithSeed(11),
+						squall.WithBatchSize(batch),
+						squall.WithSourceLanes(4),
+					}
+					if workers > 0 {
+						opts = append(opts, squall.WithEmitWorkers(workers))
+					}
+					e := squall.NewEngine(squall.Equi("emit"), sink, opts...)
+					e.Start()
+
+					var wg sync.WaitGroup
+					const feeders = 4
+					chunk := (len(tuples) + feeders - 1) / feeders
+					for f := 0; f < feeders; f++ {
+						lo := f * chunk
+						hi := lo + chunk
+						if hi > len(tuples) {
+							hi = len(tuples)
+						}
+						wg.Add(1)
+						go func(ts []squall.Tuple) {
+							defer wg.Done()
+							for len(ts) > 0 {
+								n := 64
+								if n > len(ts) {
+									n = len(ts)
+								}
+								if err := e.SendBatch(ts[:n]); err != nil {
+									t.Error(err)
+									return
+								}
+								ts = ts[n:]
+							}
+						}(tuples[lo:hi])
+					}
+					wg.Wait()
+					if err := e.Finish(); err != nil {
+						t.Fatal(err)
+					}
+
+					if v := violations.Load(); v != 0 {
+						t.Fatalf("%d overlapping same-shard sink calls; Sharded must serialize within a shard", v)
+					}
+					if m := e.Metrics().Migrations.Load(); m == 0 {
+						t.Fatal("no migrations; the test must cover emission during state relocation")
+					}
+					got := map[[2]int64]int{}
+					activeShards := 0
+					for _, sh := range shards {
+						if len(sh.pairs) > 0 {
+							activeShards++
+						}
+						for _, pr := range sh.pairs {
+							got[pr]++
+						}
+					}
+					if activeShards < 2 {
+						t.Fatalf("results arrived on %d shard(s); want the fanout spread across joiners", activeShards)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("got %d distinct pairs, oracle %d", len(got), len(want))
+					}
+					for k, n := range want {
+						if got[k] != n {
+							t.Fatalf("pair %v: got %d, oracle %d", k, got[k], n)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// A worker-backed emit plane feeding a chained pipeline stage must
+// deliver the same triples as the inline plane: the bridge consumes
+// per-shard (its buffers are shard-private) and the emit workers pin
+// each shard to one worker, so chaining stays exact end to end.
+func TestEmitWorkersPipelineChain(t *testing.T) {
+	const (
+		nR, nS, nT = 200, 1500, 400
+		k1Dom      = 60
+		k2Dom      = 120
+	)
+	rs, ss, ts := threeWayInputs(nR, nS, nT, k1Dom, k2Dom, 23)
+	want := oracleThreeWay(rs, ss, ts)
+	sortTriples(want)
+
+	var mu sync.Mutex
+	var got []triple
+	p := squall.NewPipeline(
+		squall.WithJoiners(8),
+		squall.WithAdaptive(),
+		squall.WithWarmup(300),
+		squall.WithSeed(5),
+		squall.WithEmitWorkers(2),
+	)
+	rsStage := p.Join(squall.Equi("r-s"))
+	rstStage := rsStage.Join(squall.Equi("rs-t"), rekeyRS)
+	rstStage.To(squall.Each(func(pr squall.Pair) {
+		tr := triple{rid: pr.R.Aux / 1_000_000, sid: pr.R.Aux % 1_000_000, tid: pr.S.Aux}
+		mu.Lock()
+		got = append(got, tr)
+		mu.Unlock()
+	}))
+	if err := p.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		if err := rsStage.Send(rs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rstStage.SendBatch(ts); err != nil {
+		t.Fatal(err)
+	}
+	for start := 0; start < len(ss); start += 128 {
+		end := start + 128
+		if end > len(ss) {
+			end = len(ss)
+		}
+		if err := rsStage.SendBatch(ss[start:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	sortTriples(got)
+	if len(got) != len(want) {
+		t.Fatalf("pipeline emitted %d triples, oracle %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("triple %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -49,6 +49,16 @@ type GroupedConfig struct {
 	// EmitBatch, if non-nil, receives results a run at a time and takes
 	// precedence over Emit (see Config.EmitBatch).
 	EmitBatch join.EmitBatch
+	// EmitShard, if non-nil, takes precedence over EmitBatch and Emit:
+	// results arrive tagged with the emitting joiner's cluster-wide
+	// shard id. Groups occupy disjoint shard ranges (group g's joiners
+	// shard at its cumulative size offset), so per-shard serialization
+	// and cross-shard concurrency compose across groups exactly as they
+	// do within one operator (see Config.EmitShard).
+	EmitShard join.ShardedEmitBatch
+	// EmitWorkers > 0 gives every group that many dedicated emit
+	// workers (see Config.EmitWorkers).
+	EmitWorkers int
 	// Latency samples tuple latencies if non-nil.
 	Latency *metrics.LatencySampler
 	// Seed drives routing randomness.
@@ -90,6 +100,7 @@ func NewGrouped(cfg GroupedConfig) *Grouped {
 		panic(fmt.Sprintf("core: Grouped J=%d", cfg.J))
 	}
 	gr := &Grouped{cfg: cfg, sizes: Decompose(cfg.J), rng: rand.New(rand.NewSource(cfg.Seed ^ 0x9009))}
+	shardBase := 0
 	for i, sz := range gr.sizes {
 		gr.groups = append(gr.groups, NewOperator(Config{
 			J:              sz,
@@ -102,9 +113,13 @@ func NewGrouped(cfg GroupedConfig) *Grouped {
 			Storage:        cfg.Storage,
 			Emit:           cfg.Emit,
 			EmitBatch:      cfg.EmitBatch,
+			EmitShard:      cfg.EmitShard,
+			EmitShardBase:  shardBase,
+			EmitWorkers:    cfg.EmitWorkers,
 			Latency:        cfg.Latency,
 			Seed:           cfg.Seed ^ int64(i)<<32,
 		}))
+		shardBase += sz
 	}
 	return gr
 }

@@ -53,13 +53,14 @@ type joiner struct {
 	// runBuf is the reusable scratch buffer handleBatch extracts
 	// same-side tuple runs into for the store's batch API.
 	runBuf []join.Tuple
-	// pairBuf accumulates the matches of one batch-probed run; it is
-	// flushed through emitBatch (accounting once per flush) after every
-	// store call and never escapes the joiner.
+	// pairBuf accumulates matches: a batch-probed run's collected pairs
+	// (flushed right after the store call) and, between runs, the
+	// per-pair emissions of the migration paths (flushed before the
+	// next run, at envelope end, when the joiner idles, and at exit).
+	// Inline mode flushes through emitBatch and reuses the buffer;
+	// with the emit plane the filled buffer ships to a worker by
+	// pointer and a fresh pooled buffer takes its place.
 	pairBuf []join.Pair
-	// one is the scratch slot the single-pair emit adapter wraps around
-	// emitBatch, so per-pair emission allocates nothing.
-	one [1]join.Pair
 
 	// hint is the operator's shared Reserve-hint cell (see operator.go);
 	// resR/resS remember what this joiner last reserved per side so the
@@ -71,8 +72,15 @@ type joiner struct {
 	ackCh     chan<- int
 	emit      join.Emit
 	emitBatch join.EmitBatch
-	met       *metrics.Joiner
-	stCfg     storage.Config
+	// plane, when non-nil, routes flushed pair buffers to the emit
+	// workers instead of through emitBatch inline; emitHome is this
+	// joiner's home worker (id mod workers) and shard its sink shard id
+	// (id plus the group's shard base).
+	plane    *emitPlane
+	emitHome int
+	shard    int
+	met      *metrics.Joiner
+	stCfg    storage.Config
 	// stop is the operator's cancellation signal; the task loop's
 	// blocking waits select on it.
 	stop   <-chan struct{}
@@ -80,13 +88,25 @@ type joiner struct {
 	exited bool
 }
 
-// emitOne is the thin single-pair adapter over the batched sink: the
-// join.Emit the migration-path probes use. Accounting and the user
-// sink live in emitBatch only.
+// emitOne buffers one pair into pairBuf: the join.Emit the
+// migration-path probes use. Every migration path applies its own
+// ownership guard before calling emit, so buffered pairs need no
+// further filtering — they flush unguarded (flushPending) before the
+// next batch run, at envelope end, on idle, and at exit. Buffering
+// here is what batches the migration paths' output too: a probe storm
+// during a state exchange flushes in emitCoalesce-pair runs instead of
+// paying the sink per pair.
 func (w *joiner) emitOne(p join.Pair) {
-	w.one[0] = p
-	w.emitBatch(w.one[:])
+	w.pairBuf = append(w.pairBuf, p)
+	if len(w.pairBuf) >= emitCoalesce {
+		w.flushPending()
+	}
 }
+
+// emitCoalesce bounds how many per-pair emissions accumulate before
+// forcing a flush, keeping migration-path output latency honest while
+// a long exchange runs.
+const emitCoalesce = 512
 
 // maxPairBufCap bounds how much flushed pair-buffer capacity a joiner
 // retains between runs: a high-fanout run may balloon the buffer, and
@@ -94,30 +114,43 @@ func (w *joiner) emitOne(p join.Pair) {
 // turn one hot key into a permanent memory tax.
 const maxPairBufCap = 1 << 15
 
-// flushPairs delivers the accumulated matches of one run through the
-// batched sink. Probe-only runs (guarded=true, rel = the probing
-// relation) first apply the §4.2.2 ownership rule — a pair joins only
-// in the group storing its earlier tuple — which is expressible over
-// the collected pair alone because the probe member of every pair is
-// the probing tuple.
-func (w *joiner) flushPairs(rel matrix.Side, guarded bool) {
+// guardTail applies the §4.2.2 ownership rule — a pair joins only in
+// the group storing its earlier tuple — to the pairs a probe-only run
+// just collected, pairBuf[n0:]. rel is the probing relation, so the
+// rule is expressible over each collected pair alone; pairs before n0
+// were finalized by their own paths and pass through untouched.
+func (w *joiner) guardTail(rel matrix.Side, n0 int) {
 	buf := w.pairBuf
-	if len(buf) > 0 {
-		if guarded {
-			kept := buf[:0]
-			for i := range buf {
-				stored, probe := buf[i].R, buf[i].S
-				if rel == matrix.SideR {
-					stored, probe = buf[i].S, buf[i].R
-				}
-				if stored.Seq < probe.Seq {
-					kept = append(kept, buf[i])
-				}
-			}
-			buf = kept
+	kept := buf[:n0]
+	for i := n0; i < len(buf); i++ {
+		stored, probe := buf[i].R, buf[i].S
+		if rel == matrix.SideR {
+			stored, probe = buf[i].S, buf[i].R
 		}
-		w.emitBatch(buf)
+		if stored.Seq < probe.Seq {
+			kept = append(kept, buf[i])
+		}
 	}
+	w.pairBuf = kept
+}
+
+// flushPending ships whatever pairBuf holds, unguarded. Inline mode
+// (no emit plane) runs accounting and the user sink on this goroutine
+// via emitBatch and reuses the buffer; with the emit plane the buffer
+// itself is handed to the joiner's home worker — zero copy — and a
+// fresh pooled buffer replaces it.
+func (w *joiner) flushPending() {
+	buf := w.pairBuf
+	if len(buf) == 0 {
+		return
+	}
+	if w.plane != nil {
+		w.met.OutputPairs.Add(int64(len(buf)))
+		w.plane.enqueue(w.emitHome, w.shard, buf)
+		w.pairBuf = getPairs(len(buf))
+		return
+	}
+	w.emitBatch(buf)
 	if cap(buf) > maxPairBufCap {
 		w.pairBuf = nil
 		return
@@ -180,6 +213,8 @@ func (w *joiner) run() error {
 		default:
 		}
 		if !progressed {
+			// About to block: nothing buffered may linger while idle.
+			w.flushPending()
 			select {
 			case b := <-w.dataIn:
 				w.handleBatch(b)
@@ -189,6 +224,7 @@ func (w *joiner) run() error {
 			}
 		}
 	}
+	w.flushPending()
 	return nil
 }
 
@@ -247,16 +283,25 @@ func (w *joiner) handleBatch(b []message) {
 				bytes += b[k].tuple.Bytes()
 			}
 			tuples += int64(j - i)
-			// Matches accumulate in the per-joiner pair buffer and
-			// flush once per run: output accounting and the user sink
-			// are amortized over the run's matches instead of paid per
-			// pair.
+			// Matches accumulate in the per-joiner pair buffer; the
+			// §4.2.2 ownership guard of a probe-only run applies to just
+			// the pairs that run collected (the buffer's tail), so
+			// already-final pairs — earlier runs, migration-path
+			// emissions — coalesce in front of them untouched.
+			n0 := len(w.pairBuf)
 			if m.probeOnly {
 				w.state.ProbeBatchCollect(run, &w.pairBuf)
-				w.flushPairs(m.tuple.Rel, true)
+				w.guardTail(m.tuple.Rel, n0)
 			} else {
 				w.state.AddBatchCollect(run, &w.pairBuf)
-				w.flushPairs(m.tuple.Rel, false)
+			}
+			// Inline mode flushes once per run (accounting and the user
+			// sink amortize over the run's matches); with the emit plane
+			// runs keep coalescing until the handoff is worth a channel
+			// operation — interleaved sides make runs short, and shipping
+			// each alone would pay the plane per couple of tuples.
+			if w.plane == nil || len(w.pairBuf) >= emitCoalesce {
+				w.flushPending()
 			}
 			w.runBuf = run
 			i = j
@@ -285,6 +330,8 @@ func (w *joiner) handleBatch(b []message) {
 		// nothing may linger once the joiner goes idle.
 		w.migFlushAll()
 	}
+	// Ship the per-pair emissions of this envelope's slow-path messages.
+	w.flushPending()
 	w.updateStored()
 	putBatch(b)
 }

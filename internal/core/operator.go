@@ -166,6 +166,25 @@ type Config struct {
 	// slice is only valid for the duration of the call — the operator
 	// reuses the backing buffer.
 	EmitBatch join.EmitBatch
+	// EmitShard, if non-nil, takes precedence over EmitBatch and Emit:
+	// results arrive tagged with the emitting joiner's shard id
+	// (joiner id + EmitShardBase). Calls within one shard are
+	// serialized; different shards run concurrently with no cross-shard
+	// order — the sink form that lets J joiners emit without one shared
+	// mutex.
+	EmitShard join.ShardedEmitBatch
+	// EmitShardBase offsets this operator's shard ids; the grouped
+	// decomposition gives each power-of-two group a disjoint shard
+	// range.
+	EmitShardBase int
+	// EmitWorkers > 0 moves sink invocation off the joiner goroutines
+	// onto that many dedicated emit workers: joiners hand filled pair
+	// buffers over by pointer (joiner id mod EmitWorkers picks the home
+	// worker, mirroring the lane->home-reshuffler affinity; unsharded
+	// sinks spill under pressure, see metrics.EmitSpills) and return to
+	// probing. 0 keeps the legacy inline emission on the joiner
+	// goroutine.
+	EmitWorkers int
 	// Latency, if non-nil, samples tuple latencies.
 	Latency *metrics.LatencySampler
 	// Seed makes the random routing reproducible.
@@ -233,6 +252,9 @@ func (c *Config) fill() {
 	if c.MigBatchSize <= 0 {
 		c.MigBatchSize = c.BatchSize
 	}
+	if c.EmitWorkers < 0 {
+		c.EmitWorkers = 0
+	}
 }
 
 // ErrFinished is returned by Send/SendBatch after Finish has closed
@@ -258,6 +280,10 @@ type Operator struct {
 	sources []chan []sourceItem
 	ctl     *controller
 	hint    reserveHint
+	// plane is the emit plane (nil when EmitWorkers == 0): dedicated
+	// workers that run latency sampling and the user sink off the
+	// joiner goroutines, fed pooled pair buffers by pointer.
+	plane *emitPlane
 	// ingest is the exact sharded cardinality counter: one cell per
 	// reshuffler, merged on snapshot. It replaces the per-reshuffler
 	// sampled Estimator — source-lane affinity breaks the uniform-deal
@@ -312,11 +338,26 @@ const seqGrant = 1024
 // and a home reshuffler ring. The mutex serializes the (rare) case of
 // two feeders drawing the same lane; the hot path is an uncontended
 // lock plus a lane-local cursor increment.
+//
+// The struct is padded past a cache line. Unpadded it is ~48 bytes, so
+// the allocator's size class can place two lanes' hot cursors on one
+// 64-byte line — and with one feeder core hammering each lane's mutex
+// and seq cursor, that false sharing is exactly the cross-core line
+// ping the lane sharding exists to avoid (it showed up as the j=4
+// procs=4 regression in the PR 6 scaling rows). The pad keeps every
+// lane's written fields on lines no other lane writes.
 type sourceLane struct {
 	mu   sync.Mutex
 	next uint64 // next unassigned seq of the current grant
 	end  uint64 // one past the grant's last seq
 	home int    // home reshuffler ring
+	// spill remembers the ring of this lane's last successful pressure
+	// spill (home when none yet). Retrying it first keeps a lane under
+	// sustained pressure feeding the ring that had room instead of
+	// re-scanning from home+1 — where every pressured lane would
+	// otherwise collide on the same neighbor.
+	spill atomic.Uint32
+	_     [64]byte
 }
 
 // nextSeq returns the lane's next sequence number, refilling the grant
@@ -343,6 +384,9 @@ func NewOperator(cfg Config) *Operator {
 	op.stop = op.runner.Done()
 	op.topo.met = op.met
 	op.topo.stop = op.stop
+	if op.cfg.EmitWorkers > 0 {
+		op.plane = newEmitPlane(&op.cfg, op.met, op.stop)
+	}
 	op.sources = make([]chan []sourceItem, cfg.NumReshufflers)
 	for i := range op.sources {
 		// Sized in envelopes; a Send wraps one tuple per envelope, so
@@ -409,6 +453,11 @@ func (op *Operator) newJoiner(id int, cell matrix.Cell, mapping matrix.Mapping, 
 		hint:     &op.hint,
 		stop:     op.stop,
 	}
+	w.shard = id + op.cfg.EmitShardBase
+	if op.plane != nil {
+		w.plane = op.plane
+		w.emitHome = id % len(op.plane.workers)
+	}
 	ports := (*op.topo.ports.Load())[id]
 	w.dataIn = ports.dataIn
 	w.migIn = ports.migIn
@@ -427,6 +476,14 @@ func (op *Operator) newJoiner(id int, cell matrix.Cell, mapping matrix.Mapping, 
 func (op *Operator) emitBatchFor(w *joiner) join.EmitBatch {
 	user := op.cfg.Emit
 	userBatch := op.cfg.EmitBatch
+	if shardFn := op.cfg.EmitShard; shardFn != nil {
+		// Sharded sink, inline emission: the joiner goroutine delivers
+		// its own shard's runs, so per-shard serialization holds by
+		// construction. EmitShard takes precedence over EmitBatch/Emit.
+		shard := w.shard
+		userBatch = func(ps []join.Pair) { shardFn(shard, ps) }
+		user = nil
+	}
 	lat := op.cfg.Latency
 	return func(ps []join.Pair) {
 		if len(ps) == 0 {
@@ -450,6 +507,19 @@ func (op *Operator) emitBatchFor(w *joiner) join.EmitBatch {
 				user(ps[i])
 			}
 		}
+	}
+}
+
+// joinerTask wraps a joiner's run for the runner, retiring the joiner
+// from the emit plane on exit so the plane can detect when no producer
+// remains and let its workers drain and stop.
+func (op *Operator) joinerTask(w *joiner) func() error {
+	if op.plane == nil {
+		return w.run
+	}
+	return func() error {
+		defer op.plane.joinerDone()
+		return w.run()
 	}
 }
 
@@ -487,7 +557,13 @@ func (op *Operator) spawnChildren(table []int, epoch uint32, newMapping matrix.M
 			}
 			w := op.newJoiner(id, cell, oldMapping, epoch-1, birth)
 			op.joiners = append(op.joiners, w)
-			op.runner.Go(fmt.Sprintf("joiner-%d", id), w.run)
+			if op.plane != nil {
+				// Register before Go: expansion happens mid-stream while
+				// every parent joiner is still live, so the plane's live
+				// count cannot have dipped to zero.
+				op.plane.joinerUp(1)
+			}
+			op.runner.Go(fmt.Sprintf("joiner-%d", id), op.joinerTask(w))
 		}
 	}
 }
@@ -516,8 +592,20 @@ func (op *Operator) StartContext(ctx context.Context) {
 		w.emitBatch = op.emitBatchFor(w)
 		w.emit = w.emitOne
 	}
+	if op.plane != nil {
+		// Emit workers run under the same runner as the joiners: a panic
+		// in the user's sink cancels the whole task set instead of
+		// deadlocking joiners against a dead worker's queue. Every
+		// initial joiner is registered before any launches, so the
+		// plane's live count cannot hit zero before the last joiner
+		// exits.
+		for i := range op.plane.workers {
+			op.runner.Go(fmt.Sprintf("emit-%d", i), func() error { return op.plane.runWorker(i) })
+		}
+		op.plane.joinerUp(len(op.joiners))
+	}
 	for _, w := range op.joiners {
-		op.runner.Go(fmt.Sprintf("joiner-%d", w.id), w.run)
+		op.runner.Go(fmt.Sprintf("joiner-%d", w.id), op.joinerTask(w))
 	}
 	for i := 0; i < op.cfg.NumReshufflers; i++ {
 		r := &reshuffler{
@@ -565,28 +653,39 @@ func (op *Operator) Send(t join.Tuple) error {
 	ln := op.lanePool.Get().(*sourceLane)
 	ln.mu.Lock()
 	t.Seq = ln.nextSeq(&op.seq)
-	home := ln.home
 	ln.mu.Unlock()
 	op.lanePool.Put(ln)
 	env := append(getItems(1), sourceItem{t: t})
-	return op.pushAffine(home, env)
+	return op.pushAffine(ln, env)
 }
 
 // pushAffine delivers an envelope with reshuffler affinity: the home
-// ring first, then — only under pressure, when home is full — each
-// successive ring non-blocking, falling back to a blocking push on home
-// when every ring is backlogged. Light traffic stays core-local (one
-// lane feeds one reshuffler, whose batches stay warm in one cache);
-// a firehose feeder overflows its 512-envelope home ring and spills
-// across the other rings, re-parallelizing the fanout exactly when
-// there is enough work to justify it.
-func (op *Operator) pushAffine(home int, env []sourceItem) error {
+// ring first, then — only under pressure, when home is full — the
+// lane's remembered spill ring, then each successive ring non-blocking,
+// falling back to a blocking push on home when every ring is
+// backlogged. Light traffic stays core-local (one lane feeds one
+// reshuffler, whose batches stay warm in one cache); a firehose feeder
+// overflows its 512-envelope home ring and spills across the other
+// rings, re-parallelizing the fanout exactly when there is enough work
+// to justify it. The sticky spill cursor keeps concurrent pressured
+// lanes spread over different rings instead of convoying onto each
+// one's immediate neighbor.
+func (op *Operator) pushAffine(ln *sourceLane, env []sourceItem) error {
+	home := ln.home
 	select {
 	case op.sources[home] <- env:
 		return nil
 	default:
 	}
 	n := len(op.sources)
+	if d := int(ln.spill.Load()); d != home && d < n {
+		select {
+		case op.sources[d] <- env:
+			op.met.LaneSpills.Add(1)
+			return nil
+		default:
+		}
+	}
 	for k := 1; k < n; k++ {
 		d := home + k
 		if d >= n {
@@ -594,6 +693,7 @@ func (op *Operator) pushAffine(home int, env []sourceItem) error {
 		}
 		select {
 		case op.sources[d] <- env:
+			ln.spill.Store(uint32(d))
 			op.met.LaneSpills.Add(1)
 			return nil
 		default:
@@ -631,10 +731,9 @@ func (op *Operator) SendBatch(ts []join.Tuple) error {
 			t.Seq = ln.nextSeq(&op.seq)
 			env = append(env, sourceItem{t: t})
 		}
-		home := ln.home
 		ln.mu.Unlock()
 		op.lanePool.Put(ln)
-		return op.pushAffine(home, env)
+		return op.pushAffine(ln, env)
 	}
 	base := op.seq.Add(uint64(n)) - uint64(n) + 1
 	if len(op.sources) == 1 {

@@ -58,7 +58,14 @@ type colChunk struct {
 // (the inverse of the per-column writes in tupleArena.append; the meta
 // word layout is defined by Tuple.metaWord).
 func (c *colChunk) atInto(pos int32, dst *Tuple) {
-	m := c.meta[pos]
+	c.atIntoMeta(pos, c.meta[pos], dst)
+}
+
+// atIntoMeta is atInto with the meta word supplied by the caller — the
+// batch probe captures it during the gather pass (an early touch of the
+// block that overlaps with the remaining directory walk), so
+// materialization skips the meta column read.
+func (c *colChunk) atIntoMeta(pos int32, m uint64, dst *Tuple) {
 	dst.Rel = matrix.Side(m >> 32 & 1)
 	dst.Key = c.key[pos]
 	dst.Aux = c.aux[pos]
@@ -136,12 +143,26 @@ func (a *tupleArena) at(off int32) Tuple {
 	return a.chunks[off>>arenaShift].at(off & (arenaChunk - 1))
 }
 
+// metaAt reads only the packed meta word at offset off. The batch
+// probe's gather loop uses it to touch each hit's arena block while the
+// directory walk is still in flight, and feeds the captured word to
+// atIntoMeta so materialization re-reads one column fewer.
+func (a *tupleArena) metaAt(off int32) uint64 {
+	return a.chunks[off>>arenaShift].meta[off&(arenaChunk-1)]
+}
+
 // atInto materializes the tuple at offset off directly into *dst,
 // overwriting every field — the copy-free form of at for hot loops
 // that gather into a caller-owned slot (e.g. a Pair being built in the
 // output buffer).
 func (a *tupleArena) atInto(off int32, dst *Tuple) {
 	a.chunks[off>>arenaShift].atInto(off&(arenaChunk-1), dst)
+}
+
+// atIntoMeta materializes the tuple at offset off using a meta word the
+// caller already read via metaAt.
+func (a *tupleArena) atIntoMeta(off int32, m uint64, dst *Tuple) {
+	a.chunks[off>>arenaShift].atIntoMeta(off&(arenaChunk-1), m, dst)
 }
 
 // scan visits every stored tuple in block order until fn returns

@@ -89,12 +89,19 @@ type hslot struct {
 }
 
 // probeHit is one gathered batch-probe candidate: which probe tuple of
-// the run hit, and the arena offset of the stored tuple it hit.
-// Directory walking (ProbeBatchCollect's first loop) produces these;
-// pair materialization consumes them in a tight second loop.
+// the run hit, the arena offset of the stored tuple it hit, and the
+// stored tuple's packed meta word. Directory walking
+// (ProbeBatchCollect's first loop) produces these; pair materialization
+// consumes them in a tight second loop. Capturing meta during gather is
+// the arena-side analogue of the stride-8 directory touch: the load
+// pulls the hit's block into cache while later probes are still walking
+// the directory, so materialization's column reads overlap with the
+// gather instead of serializing behind it — and the captured word lets
+// materialize reject dummy hits before touching the arena at all.
 type probeHit struct {
 	probe int32
 	off   int32
+	meta  uint64
 }
 
 // maxHitsCap bounds the gathered-hit scratch capacity an index retains
@@ -373,18 +380,20 @@ func (h *HashIndex) reserveSlots(n int) {
 }
 
 // gather appends a slot's arena offsets to hits, tagged with the probe
-// index that matched the slot.
+// index that matched the slot and the stored tuple's meta word (see
+// probeHit for why the gather pass reads the arena early).
 func (h *HashIndex) gather(s *hslot, probe int32, hits []probeHit) []probeHit {
 	in := int(s.n)
 	if in > inlineOffsets {
 		in = inlineOffsets
 	}
 	for k := 0; k < in; k++ {
-		hits = append(hits, probeHit{probe: probe, off: s.inline[k]})
+		off := s.inline[k]
+		hits = append(hits, probeHit{probe: probe, off: off, meta: h.arena.metaAt(off)})
 	}
 	if s.spill >= 0 {
 		for _, off := range h.spill[s.spill] {
-			hits = append(hits, probeHit{probe: probe, off: off})
+			hits = append(hits, probeHit{probe: probe, off: off, meta: h.arena.metaAt(off)})
 		}
 	}
 	return hits
@@ -410,7 +419,17 @@ func (h *HashIndex) materialize(ps []Tuple, hits []probeHit, rel matrix.Side, p 
 			j++
 		}
 		probe := &ps[pi]
+		if plainEqui && probe.Dummy {
+			// The whole group is rejected without reading the arena.
+			i = j
+			continue
+		}
 		for k := i; k < j; k++ {
+			if plainEqui && metaDummy(hits[k].meta) {
+				// Rejected from the meta word captured at gather time:
+				// a dummy hit never costs a materialization.
+				continue
+			}
 			n := len(buf)
 			if n < cap(buf) {
 				buf = buf[:n+1] // stale contents are fully overwritten
@@ -426,12 +445,8 @@ func (h *HashIndex) materialize(ps []Tuple, hits []probeHit, rel matrix.Side, p 
 				pr.S = *probe
 				stored = &pr.R
 			}
-			h.arena.atInto(hits[k].off, stored)
-			if plainEqui {
-				if probe.Dummy || stored.Dummy {
-					buf = buf[:n]
-				}
-			} else if !p.Matches(pr.R, pr.S) {
+			h.arena.atIntoMeta(hits[k].off, hits[k].meta, stored)
+			if !plainEqui && !p.Matches(pr.R, pr.S) {
 				buf = buf[:n]
 			}
 		}

@@ -31,6 +31,14 @@ type Joiner struct {
 	MigratedOut atomic.Int64
 	// SpilledTuples counts tuples that overflowed to the disk tier.
 	SpilledTuples atomic.Int64
+
+	// The counters above are exactly one cache line (8 x 8 bytes); the
+	// trailing pad pushes each block to two full lines so adjacent
+	// blocks never share one. Joiners update their own block from their
+	// own goroutine, and with the emit plane running, emit workers read
+	// neighbors' OutputPairs concurrently — an unpadded array of blocks
+	// would ping the line between cores on every counter bump.
+	_ [64]byte
 }
 
 // Operator aggregates per-joiner counters and operator-level events.
@@ -52,6 +60,11 @@ type Operator struct {
 	// light traffic (fanout stays core-local), rising exactly when
 	// pressure re-parallelizes the reshuffling across rings.
 	LaneSpills atomic.Int64
+	// EmitSpills is LaneSpills' egress mirror: pair buffers a joiner
+	// handed to an emit worker other than its home worker because the
+	// home queue was full. Only unsharded sinks spill (a sharded sink's
+	// per-shard serialization pins every buffer to its home worker).
+	EmitSpills atomic.Int64
 
 	// BatchesSent counts data-plane batch envelopes shipped by
 	// reshufflers; BatchedMessages counts the messages they carried, so
@@ -142,6 +155,7 @@ func Merged(ms ...*Operator) *Operator {
 		out.RoutedMessages.Add(m.RoutedMessages.Load())
 		out.DummyTuples.Add(m.DummyTuples.Load())
 		out.LaneSpills.Add(m.LaneSpills.Load())
+		out.EmitSpills.Add(m.EmitSpills.Load())
 		out.BatchesSent.Add(m.BatchesSent.Load())
 		out.BatchedMessages.Add(m.BatchedMessages.Load())
 		out.BatchFlushFull.Add(m.BatchFlushFull.Load())

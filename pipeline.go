@@ -218,24 +218,33 @@ func (p *Pipeline) Run(ctx context.Context) error {
 
 // runSink composes the stage's result path: one fan-out over the
 // bridges to its chained children plus its terminal sink. nil (count
-// internally) when the stage has neither.
+// internally) when the stage has neither. A stage with bridges always
+// resolves to the sharded hook — each emitting shard then owns a
+// private bridge buffer, so chained forwarding needs no shared mutex;
+// a non-sharded terminal sink joins the fan-out shard-blind (it is
+// concurrency-safe by the Sink contract).
 func (s *Stream) runSink() Sink {
-	outs := make([]EmitBatch, 0, len(s.bridges)+1)
+	if len(s.bridges) == 0 {
+		return s.sink
+	}
+	outs := make([]ShardedEmitBatch, 0, len(s.bridges)+1)
 	for _, b := range s.bridges {
-		outs = append(outs, b.emit)
+		outs = append(outs, b.emitShard)
 	}
 	if s.sink != nil {
-		outs = append(outs, s.sink.sinkBatch())
+		if sh, ok := s.sink.(interface{ sinkSharded() ShardedEmitBatch }); ok {
+			outs = append(outs, sh.sinkSharded())
+		} else {
+			f := s.sink.sinkBatch()
+			outs = append(outs, func(_ int, ps []Pair) { f(ps) })
+		}
 	}
-	switch len(outs) {
-	case 0:
-		return nil
-	case 1:
-		return batchSink(outs[0])
+	if len(outs) == 1 {
+		return shardFunc(outs[0])
 	}
-	return batchSink(func(ps []Pair) {
+	return shardFunc(func(shard int, ps []Pair) {
 		for _, f := range outs {
-			f(ps)
+			f(shard, ps)
 		}
 	})
 }
@@ -275,59 +284,109 @@ func (p *Pipeline) Wait() error {
 }
 
 // bridge forwards one stage's result pairs into a downstream engine:
-// pairs are re-keyed under the consumer's lock into a reusable tuple
-// buffer that ships through the destination's pooled SendBatch
-// envelopes whenever it reaches the destination's batch size —
-// chaining rides the batched ingest front end end to end, never a
-// per-tuple path. Emits arrive concurrently from the source stage's
-// joiner tasks; the mutex serializes them (per flush, not per pair).
+// pairs are re-keyed into per-shard tuple buffers that ship through the
+// destination's pooled SendBatch envelopes whenever they reach the
+// destination's batch size — chaining rides the batched ingest front
+// end end to end, never a per-tuple path. Each emitting shard (joiner)
+// owns a private buffer, so concurrent emits from different shards
+// never contend: the only shared state is the copy-on-grow shard list
+// (read via an atomic snapshot) and the first forwarding error.
 type bridge struct {
-	mu    sync.Mutex
 	rekey func(Pair) Tuple
 	dst   Engine
 	size  int
-	buf   []Tuple
-	err   error
+
+	// mu guards shard-list growth and the error slot; the hot path
+	// reads the list through the atomic pointer without it.
+	mu     sync.Mutex
+	shards atomic.Pointer[[]*bridgeShard]
+	err    error
+}
+
+// bridgeShard is one shard's forwarding buffer, padded so adjacent
+// shards' buffers never share a cache line.
+type bridgeShard struct {
+	mu  sync.Mutex
+	buf []Tuple
+	_   [64]byte
 }
 
 func newBridge(rekey func(Pair) Tuple, dst Engine, size int) *bridge {
 	if size < 1 {
 		size = 1
 	}
-	return &bridge{rekey: rekey, dst: dst, size: size, buf: make([]Tuple, 0, size)}
+	b := &bridge{rekey: rekey, dst: dst, size: size}
+	b.shards.Store(new([]*bridgeShard))
+	return b
 }
 
-// emit is the bridge's EmitBatch hook on the source stage.
-func (b *bridge) emit(ps []Pair) {
+// shard returns the buffer of one emitting shard, growing the list on
+// first sight of a new shard id (elastic expansion mints them
+// mid-stream). Growth copies the list and republishes — readers of the
+// old snapshot still see valid shards.
+func (b *bridge) shard(i int) *bridgeShard {
+	if ss := *b.shards.Load(); i < len(ss) {
+		return ss[i]
+	}
 	b.mu.Lock()
+	defer b.mu.Unlock()
+	ss := *b.shards.Load()
+	if i < len(ss) {
+		return ss[i]
+	}
+	grown := make([]*bridgeShard, i+1)
+	copy(grown, ss)
+	for k := len(ss); k <= i; k++ {
+		grown[k] = &bridgeShard{buf: make([]Tuple, 0, b.size)}
+	}
+	b.shards.Store(&grown)
+	return grown[i]
+}
+
+// emitShard is the bridge's sharded emit hook on the source stage:
+// same-shard calls are serialized by contract, so the per-shard mutex
+// is uncontended unless flush() races a straggler.
+func (b *bridge) emitShard(shard int, ps []Pair) {
+	sh := b.shard(shard)
+	sh.mu.Lock()
 	for i := range ps {
 		t := b.rekey(ps[i])
 		// Sequence numbers and routing randomness are per-stage: the
 		// destination assigns fresh ones at ingest.
 		t.Seq, t.U = 0, 0
-		b.buf = append(b.buf, t)
-		if len(b.buf) >= b.size {
-			b.flushLocked()
+		sh.buf = append(sh.buf, t)
+		if len(sh.buf) >= b.size {
+			b.flushShard(sh)
 		}
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
 }
 
-func (b *bridge) flushLocked() {
-	if len(b.buf) == 0 {
+// flushShard ships one shard's buffer downstream; the caller holds the
+// shard's mutex.
+func (b *bridge) flushShard(sh *bridgeShard) {
+	if len(sh.buf) == 0 {
 		return
 	}
-	if err := b.dst.SendBatch(b.buf); err != nil && b.err == nil {
-		b.err = fmt.Errorf("squall: forwarding to chained stage: %w", err)
+	if err := b.dst.SendBatch(sh.buf); err != nil {
+		b.mu.Lock()
+		if b.err == nil {
+			b.err = fmt.Errorf("squall: forwarding to chained stage: %w", err)
+		}
+		b.mu.Unlock()
 	}
-	b.buf = b.buf[:0]
+	sh.buf = sh.buf[:0]
 }
 
-// flush ships the buffered remainder and reports the first forwarding
-// error.
+// flush ships every shard's buffered remainder and reports the first
+// forwarding error.
 func (b *bridge) flush() error {
+	for _, sh := range *b.shards.Load() {
+		sh.mu.Lock()
+		b.flushShard(sh)
+		sh.mu.Unlock()
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.flushLocked()
 	return b.err
 }

@@ -118,9 +118,19 @@ func BenchmarkScalingIngest(b *testing.B) {
 	}
 }
 
+// shardCounter is one shard's pair counter, padded past a cache line
+// so concurrent per-shard increments never collide on one.
+type shardCounter struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
 // BenchmarkScalingFanout measures the output-dominated regime (small
-// key domain, every probe fans out) at J=16 across GOMAXPROCS: the
-// fanout path's ns/tuple at procs>=4 is the PR-6 acceptance figure.
+// key domain, every probe fans out) at J=16 across GOMAXPROCS, with
+// the full PR-7 emit plane engaged: procs source lanes on ingest,
+// procs emit workers on egress, and a sharded per-core counter sink.
+// The procs=1 -> procs=4 ns/tuple ratio is the emit-plane scaling
+// figure benchdelta gates with -minscalefanout.
 func BenchmarkScalingFanout(b *testing.B) {
 	const (
 		nTuples = 100000
@@ -147,18 +157,24 @@ func BenchmarkScalingFanout(b *testing.B) {
 			var pairs int64
 			b.ResetTimer()
 			for iter := 0; iter < b.N; iter++ {
-				var n atomic.Int64
+				counters := make([]shardCounter, 16)
 				op := squall.NewOperator(squall.Config{
 					J: 16, Pred: squall.EquiJoin("scale", nil), Seed: 1,
 					SourceLanes: procs,
-					EmitBatch:   func(ps []squall.Pair) { n.Add(int64(len(ps))) },
+					EmitWorkers: procs,
+					EmitShard: func(shard int, ps []squall.Pair) {
+						counters[shard].n.Add(int64(len(ps)))
+					},
 				})
 				op.Start()
 				feedShards(b, op, shards)
 				if err := op.Finish(); err != nil {
 					b.Fatal(err)
 				}
-				pairs = n.Load()
+				pairs = 0
+				for i := range counters {
+					pairs += counters[i].n.Load()
+				}
 			}
 			b.StopTimer()
 			perIter := float64(b.Elapsed().Nanoseconds()) / float64(b.N)

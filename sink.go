@@ -1,6 +1,9 @@
 package squall
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Sink is the unified result path of a pipeline stage: one abstraction
 // over the per-pair and per-run emit hooks, so a stage is always
@@ -47,6 +50,40 @@ func (s batchSink) sinkBatch() EmitBatch { return EmitBatch(s) }
 // retained.
 func Batches(f func([]Pair)) Sink { return batchSink(f) }
 
+// shardFunc adapts a per-shard function.
+type shardFunc func(shard int, ps []Pair)
+
+// sinkBatch is the fallback for an engine without a sharded emit hook:
+// one mutex serializes everything onto shard 0 — the contract (calls
+// within a shard serialized) still holds, degenerately. The core
+// engines all expose the sharded hook, so this path is not normally
+// taken.
+func (s shardFunc) sinkBatch() EmitBatch {
+	var mu sync.Mutex
+	return func(ps []Pair) {
+		mu.Lock()
+		s(0, ps)
+		mu.Unlock()
+	}
+}
+
+// sinkSharded resolves the sink to the engine's sharded emit hook; the
+// pipeline detects it via an unexported interface assertion, keeping
+// Sink sealed.
+func (s shardFunc) sinkSharded() ShardedEmitBatch { return ShardedEmitBatch(s) }
+
+// Sharded returns a sink calling f once per flushed run of results,
+// tagged with the emitting shard (the joiner id, offset per group
+// under the grouped decomposition — elastic expansion mints new shard
+// ids beyond the initial joiner count). Calls within one shard are
+// serialized; different shards run concurrently with no cross-shard
+// ordering guarantee. This is the sink form that lets J joiners emit
+// without funneling through one shared mutex: give each shard its own
+// accumulator (padded to a cache line) and merge on read. The slice is
+// only valid during the call; the result multiset is exactly Each's
+// and Batches's — only the delivery order across shards differs.
+func Sharded(f func(shard int, ps []Pair)) Sink { return shardFunc(f) }
+
 // counterSink counts results.
 type counterSink struct{ n *atomic.Int64 }
 
@@ -54,10 +91,21 @@ func (s counterSink) sinkBatch() EmitBatch {
 	return func(ps []Pair) { s.n.Add(int64(len(ps))) }
 }
 
+// counterCell isolates the counter on its own cache line: a Counter is
+// hammered concurrently by every joiner (or emit worker), and an
+// unpadded heap cell can share its line with whatever the allocator
+// placed next to it — turning an unrelated reader into a false-sharing
+// victim.
+type counterCell struct {
+	_ [64]byte
+	n atomic.Int64
+	_ [56]byte
+}
+
 // Counter returns a sink that only counts results, plus the counter —
 // the cheapest terminal when the output volume, not its content, is
 // the quantity of interest.
 func Counter() (Sink, *atomic.Int64) {
-	n := new(atomic.Int64)
-	return counterSink{n: n}, n
+	c := new(counterCell)
+	return counterSink{n: &c.n}, &c.n
 }

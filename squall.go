@@ -100,6 +100,12 @@ type Emit = join.Emit
 // the slice is only valid for the duration of the call.
 type EmitBatch = join.EmitBatch
 
+// ShardedEmitBatch receives join results a run at a time, tagged with
+// the emitting shard (Config.EmitShard; see the Sharded sink): calls
+// within one shard are serialized, different shards run concurrently,
+// cross-shard order is unspecified.
+type ShardedEmitBatch = join.ShardedEmitBatch
+
 // Predicate is a join condition (equi, band or theta).
 type Predicate = join.Predicate
 
