@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build build-examples test race bench bench-delta profile profile-fanout lint fmt
+.PHONY: all build build-examples test race bench bench-delta profile profile-fanout lint fmt recover-smoke
 
 all: build lint test
 
@@ -21,6 +21,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The crash-recovery drill (mirrored by CI's recovery-smoke job): kill
+# the operator at every armed faultpoint under the race detector,
+# restore from the latest checkpoint, replay, and verify exactness.
+recover-smoke:
+	$(GO) test -race -count=1 ./internal/faultpoint/ ./internal/storage/ -run 'Recovery|Corrupt|Leak|Faultpoint|Backend'
 
 # Full benchmark suite; CI runs the 1x smoke variant of the same set.
 bench:

@@ -518,6 +518,75 @@ func reportChain(b *testing.B, pairs int64, fedTuples int) {
 	b.ReportMetric(float64(pairs), "final-pairs")
 }
 
+// BenchmarkCheckpoint measures the durability plane of PR 8: each
+// sub-benchmark builds a fixed amount of joiner state, then times
+// repeated Operator.Checkpoint calls — the full barrier round trip
+// (marker broadcast, per-joiner arena serialization, backend commit).
+// ms/ckpt is the caller-visible checkpoint latency (ingest is never
+// paused; this is the commit wait), MB/s the snapshot serialization
+// rate, and snap-MB the committed blob size, so the three metrics
+// together give pause-time and bytes/sec versus state size. The mem
+// modes isolate serialization from disk; the file mode adds the
+// FileBackend's write-fsync-rename commit.
+func BenchmarkCheckpoint(b *testing.B) {
+	run := func(b *testing.B, n int, backend squall.Backend) {
+		var cnt atomic.Int64
+		op := squall.NewOperator(squall.Config{
+			J: 16, Pred: squall.EquiJoin("bench", nil), Seed: 1,
+			Backend:   backend,
+			EmitBatch: func(ps []squall.Pair) { cnt.Add(int64(len(ps))) },
+		})
+		op.Start()
+		tuples := sparseStream(n)
+		for start := 0; start < len(tuples); start += 32 {
+			end := start + 32
+			if end > len(tuples) {
+				end = len(tuples)
+			}
+			if err := op.SendBatch(tuples[start:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// One untimed checkpoint warms the serialization pools and trims
+		// the replay log, so the timed region measures the steady state.
+		if err := op.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		_, blob, ok, err := backend.Latest()
+		if err != nil || !ok {
+			b.Fatalf("no committed checkpoint to size (ok=%v err=%v)", ok, err)
+		}
+		snapBytes := len(blob)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := op.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := op.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		perCkpt := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(perCkpt/1e6, "ms/ckpt")
+		b.ReportMetric(float64(snapBytes)/perCkpt*1e3, "MB/s")
+		b.ReportMetric(float64(snapBytes)/1e6, "snap-MB")
+	}
+	for _, n := range []int{20000, 100000} {
+		n := n
+		b.Run("tuples="+strconv.Itoa(n)+"/mem", func(b *testing.B) {
+			run(b, n, squall.NewMemBackend())
+		})
+	}
+	b.Run("tuples=100000/file", func(b *testing.B) {
+		backend, err := squall.NewFileBackend(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, 100000, backend)
+	})
+}
+
 // BenchmarkStoreBuild measures the insert plane of the joiner store in
 // isolation: unique keys (R even, S odd), so every probe misses and no
 // output is produced — the workload is purely hash-directory inserts

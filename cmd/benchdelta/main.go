@@ -15,7 +15,13 @@
 // plane), each requiring the best procs=1 -> procs=4 speedup of the
 // current run to reach the given factor. Both gates arm only on hosts
 // with at least 4 CPUs; elsewhere they print a skip note, so
-// single-core laptops and CI runners share one invocation.
+// single-core laptops and CI runners share one invocation. Checkpoint
+// rows (BenchmarkCheckpoint, the PR-8 durability plane) print their
+// ms/ckpt delta against the committed point but are likewise exempt
+// from the tolerance gate: a checkpoint pause is dominated by the
+// host's memory bandwidth and (in the file mode) fsync latency, both
+// machine-shaped; what the trajectory gates instead is that ingest
+// stays inside tolerance with checkpointing disabled.
 //
 // It understands these line shapes:
 //
@@ -26,6 +32,7 @@
 //	BenchmarkPipelineChain/<mode>              ... ns/tuple    (two chained equi-join stages)
 //	BenchmarkScalingIngest/j=J/procs=P         ... ns/tuple    (concurrent-feeder scaling grid)
 //	BenchmarkScalingFanout/j=J/procs=P         ... ns/tuple    (output-dominated scaling row)
+//	BenchmarkCheckpoint/<mode>                 ... ms/ckpt     (checkpoint pause vs state size)
 //
 // Usage:
 //
@@ -62,19 +69,29 @@ type scalingPoint struct {
 	TuplesPerSec float64 `json:"tuples_per_sec,omitempty"`
 }
 
+// checkpointPoint is one committed durability-plane measurement: the
+// checkpoint pause and serialization rate at a given state size.
+type checkpointPoint struct {
+	Mode            string  `json:"mode"` // e.g. "tuples=100000/mem"
+	MsPerCheckpoint float64 `json:"ms_per_checkpoint"`
+	MBPerSec        float64 `json:"mb_per_sec,omitempty"`
+	SnapMB          float64 `json:"snap_mb,omitempty"`
+}
+
 // trajectory mirrors the BENCH_PR*.json schema. Older files only have
 // Results; SendBatchResults and FanoutResults appear from PR 3 on,
 // StoreBuildResults from PR 4, ChainResults from PR 5, ScalingResults
-// from PR 6.
+// from PR 6, CheckpointResults from PR 8.
 type trajectory struct {
-	PR                int            `json:"pr"`
-	Benchmark         string         `json:"benchmark"`
-	Results           []point        `json:"results"`
-	SendBatchResults  []point        `json:"sendbatch_results"`
-	FanoutResults     []point        `json:"fanout_results"`
-	StoreBuildResults []point        `json:"storebuild_results"`
-	ChainResults      []point        `json:"chain_results"`
-	ScalingResults    []scalingPoint `json:"scaling_results"`
+	PR                int               `json:"pr"`
+	Benchmark         string            `json:"benchmark"`
+	Results           []point           `json:"results"`
+	SendBatchResults  []point           `json:"sendbatch_results"`
+	FanoutResults     []point           `json:"fanout_results"`
+	StoreBuildResults []point           `json:"storebuild_results"`
+	ChainResults      []point           `json:"chain_results"`
+	ScalingResults    []scalingPoint    `json:"scaling_results"`
+	CheckpointResults []checkpointPoint `json:"checkpoint_results"`
 }
 
 // ingestLine matches e.g.
@@ -97,6 +114,10 @@ var chainLine = regexp.MustCompile(`^BenchmarkPipelineChain/(\S+?)(?:-\d+)?\s.*?
 // scalingLine matches e.g.
 // BenchmarkScalingIngest/j=16/procs=4-4   1   93187135 ns/op   465.9 ns/tuple   2146271 tuples/s
 var scalingLine = regexp.MustCompile(`^BenchmarkScaling(Ingest|Fanout)/j=(\d+)/procs=(\d+)(?:-\d+)?\s.*?([\d.]+) ns/tuple`)
+
+// checkpointLine matches e.g.
+// BenchmarkCheckpoint/tuples=100000/mem-4   18   61712349 ns/op   64.92 MB/s   61.71 ms/ckpt   4.006 snap-MB
+var checkpointLine = regexp.MustCompile(`^BenchmarkCheckpoint/(\S+?)(?:-\d+)?\s.*?([\d.]+) ms/ckpt`)
 
 func main() {
 	tolerance := flag.Float64("tolerance", 25,
@@ -131,6 +152,9 @@ func main() {
 	for _, r := range committed.ScalingResults {
 		base[scalingKey(r.Bench, r.J, r.Procs)] = r.NsPerTuple
 	}
+	for _, r := range committed.CheckpointResults {
+		base["checkpoint/"+r.Mode] = r.MsPerCheckpoint
+	}
 
 	// curScaling[bench][j][procs] = ns/tuple of the current run, for
 	// the -minscale speedup gate.
@@ -143,9 +167,16 @@ func main() {
 		var (
 			key     string
 			ns      float64
+			unit    = "ns/tuple"
 			scaling bool
+			ckpt    bool
 		)
-		if m := scalingLine.FindStringSubmatch(sc.Text()); m != nil {
+		if m := checkpointLine.FindStringSubmatch(sc.Text()); m != nil {
+			key = "checkpoint/" + m[1]
+			ns, _ = strconv.ParseFloat(m[2], 64)
+			unit = "ms/ckpt"
+			ckpt = true
+		} else if m := scalingLine.FindStringSubmatch(sc.Text()); m != nil {
 			bench := map[string]string{"Ingest": "ingest", "Fanout": "fanout"}[m[1]]
 			j, _ := strconv.Atoi(m[2])
 			procs, _ := strconv.Atoi(m[3])
@@ -185,15 +216,19 @@ func main() {
 				// tolerance gate would compare a laptop against a CI
 				// runner, so scaling is gated by -minscale instead.
 				note = "  [scaling: not tolerance-gated]"
+			} else if ckpt {
+				// Checkpoint pauses are bandwidth/fsync-shaped; the
+				// trajectory gates ingest-with-durability-off instead.
+				note = "  [checkpoint: not tolerance-gated]"
 			} else if *tolerance >= 0 && delta > *tolerance {
 				note = "  [REGRESSION]"
 				regressions = append(regressions,
 					fmt.Sprintf("%s +%.1f%% (tolerance %.0f%%)", key, delta, *tolerance))
 			}
-			fmt.Printf("%-28s %8.0f ns/tuple  committed(PR %d) %8.0f  delta %+6.1f%%%s\n",
-				key, ns, committed.PR, ref, delta, note)
+			fmt.Printf("%-28s %8.0f %-8s  committed(PR %d) %8.0f  delta %+6.1f%%%s\n",
+				key, ns, unit, committed.PR, ref, delta, note)
 		default:
-			fmt.Printf("%-28s %8.0f ns/tuple  (no committed point)\n", key, ns)
+			fmt.Printf("%-28s %8.0f %-8s  (no committed point)\n", key, ns, unit)
 		}
 	}
 	if !found {

@@ -12,6 +12,13 @@
 // ingest loop, one metrics report, regardless of which engine runs
 // behind it. -timeout aborts a runaway run through the engine's
 // context-aware lifecycle.
+//
+// Durability (single-grid operators only): -checkpoint-dir enables
+// barrier checkpointing against a FileBackend, -checkpoint-every n
+// paces automatic checkpoints by ingest volume, and -crash-at arms a
+// named fault-injection point so recovery drills can kill the run at a
+// precise place (the error is reported and the exit code is nonzero;
+// restart with the same -checkpoint-dir to restore).
 package main
 
 import (
@@ -20,10 +27,12 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	squall "repro"
+	"repro/internal/faultpoint"
 	"repro/internal/tpch"
 	"repro/internal/workload"
 )
@@ -39,6 +48,12 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run (ingest through drain) to this file")
 	emitWorkers := flag.Int("emitworkers", -1,
 		"dedicated emit workers: -1 runs sinks inline on the joiners, 0 resolves to one worker per core, n > 0 uses n workers (not supported by -op shj)")
+	checkpointDir := flag.String("checkpoint-dir", "",
+		"enable barrier checkpointing against this directory (dynamic/static ops only)")
+	checkpointEvery := flag.Int64("checkpoint-every", 0,
+		"checkpoint automatically every n ingested tuples (requires -checkpoint-dir)")
+	crashAt := flag.String("crash-at", "",
+		"arm a fault-injection point and let the run die there (see the listed names on a bad value)")
 	flag.Parse()
 
 	q, ok := workload.ByName(*query)
@@ -50,12 +65,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "joinrun: -emitworkers %d is invalid (-1 inline, 0 per-core, n > 0 explicit)\n", *emitWorkers)
 		os.Exit(2)
 	}
+	if *crashAt != "" && !faultpoint.Known(*crashAt) {
+		fmt.Fprintf(os.Stderr, "joinrun: unknown -crash-at point %q; valid points: %s\n",
+			*crashAt, strings.Join(faultpoint.Names(), ", "))
+		os.Exit(2)
+	}
+	durable := *checkpointDir != "" || *checkpointEvery > 0 || *crashAt != ""
+	if durable && (*opName == "shj" || *opName == "grouped") {
+		// Fail fast instead of silently running undurable: only the
+		// single-grid operators checkpoint.
+		fmt.Fprintf(os.Stderr, "joinrun: -checkpoint-dir/-checkpoint-every/-crash-at are not supported by -op %s\n", *opName)
+		os.Exit(2)
+	}
+	if *checkpointEvery > 0 && *checkpointDir == "" {
+		fmt.Fprintf(os.Stderr, "joinrun: -checkpoint-every requires -checkpoint-dir\n")
+		os.Exit(2)
+	}
+	if *checkpointEvery < 0 {
+		fmt.Fprintf(os.Stderr, "joinrun: -checkpoint-every %d is invalid\n", *checkpointEvery)
+		os.Exit(2)
+	}
+	var backend squall.Backend
+	if *checkpointDir != "" {
+		fb, err := squall.NewFileBackend(*checkpointDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "joinrun: %v\n", err)
+			os.Exit(1)
+		}
+		backend = fb
+	}
+	if *crashAt != "" {
+		faultpoint.Arm(*crashAt)
+	}
 	g := tpch.NewGen(tpch.Config{SF: *sf, Zipf: tpch.SkewZ(*zipf), Seed: *seed})
 	r, s := q.Cardinalities(g)
 
 	var out atomic.Int64
 	emit := func(squall.Pair) { out.Add(1) }
-	engine, report := buildEngine(*opName, q, *j, r, s, *seed, *emitWorkers, emit)
+	engine, report := buildEngine(*opName, q, *j, r, s, *seed, *emitWorkers,
+		backend, *checkpointEvery, emit)
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -119,12 +167,16 @@ func main() {
 		m.MaxILFTuples(), m.TotalInputTuples()/int64(*j))
 	fmt.Printf("storage    %d bytes total, %d migrated tuples (migrations=%d)\n",
 		m.TotalStorageBytes(), m.TotalMigrated(), m.Migrations.Load())
+	if backend != nil {
+		fmt.Printf("durability %d checkpoints committed to %s\n", m.Checkpoints.Load(), *checkpointDir)
+	}
 	report()
 }
 
 // buildEngine wires the requested engine through the options API and
 // returns it plus an engine-specific postscript for the report.
-func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emitWorkers int, emit func(squall.Pair)) (squall.Engine, func()) {
+func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emitWorkers int,
+	backend squall.Backend, checkpointEvery int64, emit func(squall.Pair)) (squall.Engine, func()) {
 	switch name {
 	case "dynamic", "staticmid", "staticopt":
 		// Fail fast, like the raw constructor used to: a non-power-of-two
@@ -144,6 +196,12 @@ func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emitWor
 		}
 		if emitWorkers >= 0 {
 			opts = append(opts, squall.WithEmitWorkers(emitWorkers))
+		}
+		if backend != nil {
+			opts = append(opts, squall.WithBackend(backend))
+			if checkpointEvery > 0 {
+				opts = append(opts, squall.WithCheckpointEvery(checkpointEvery))
+			}
 		}
 		e := squall.NewEngine(q.Pred, squall.Each(emit), opts...)
 		return e, func() {

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/join"
+	"repro/internal/matrix"
+	"repro/internal/storage"
+)
+
+// Barrier checkpointing (§4.3.3's FTOpt-style upstream backup, wired
+// onto the live operator). The protocol composes with the epoch
+// machinery instead of stopping it:
+//
+//  1. The controller queues checkpoint requests (manual via
+//     Operator.Checkpoint, automatic via Config.CheckpointEvery) and
+//     issues one only while no migration is in flight — between chain
+//     steps, never during one — so every joiner is at a stable epoch
+//     with mig == nil when its barrier completes.
+//  2. Issue = a begin event to the checkpoint coordinator, then a
+//     ctrlCkpt broadcast. Each reshuffler flushes its pending batches,
+//     emits a kCkpt marker to every joiner on the same FIFO links that
+//     carry epoch signals, and reports its consumed-item count (the
+//     replay cut) to the coordinator.
+//  3. Each joiner aligns Chandy-Lamport style: envelopes from links
+//     whose marker already arrived are held aside; once all numRe
+//     markers are in, the joiner has seen exactly the pre-barrier
+//     prefix of every link. It snapshots its store (whole arena
+//     blocks, near-memcpy), hands the blob to the coordinator, and
+//     drains the held envelopes — other joiners never stall.
+//  4. The coordinator assembles the operator snapshot (mapping, table,
+//     cuts, lane cursors, per-joiner state), commits it through the
+//     backend's atomic-rename path, and only then trims the replay
+//     log up to the cuts. A crash anywhere leaves either the previous
+//     checkpoint or the new one — never a torn mix — and the log
+//     always covers everything after the newest durable cut.
+//
+// Restore rebuilds joiner state through the same MergeFrom/adopt()
+// whole-block install path migration finalization uses, then replays
+// the log. Routing is deterministic in (seed, seq) — see uMix — so a
+// replayed tuple that was already inside the cut lands on the joiners
+// that restored it and is dropped by their sequence-number filter.
+
+// ErrNoBackend is returned by Checkpoint when the operator was built
+// without a storage backend.
+var ErrNoBackend = errors.New("core: checkpointing requires a storage backend (Config.Backend)")
+
+// uMix derives a tuple's routing value from the operator seed and the
+// tuple's ingestion sequence number (splitmix64 finalizer): the same
+// tuple routes to the same partition on replay, no matter which
+// reshuffler handles it, which is what lets restored joiners filter
+// replayed duplicates by sequence number alone.
+func uMix(seed, seq uint64) uint64 {
+	z := seq + seed*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// ReplayLog is the ftopt-style upstream backup on the ingest edge: one
+// append-only ring per reshuffler source ring, holding every accepted
+// input item until a checkpoint covering it commits durably. Appends
+// happen under the same per-ring mutex as the ring send, so log order
+// equals consumption order and a reshuffler's consumed-count at its
+// barrier is exactly a log prefix length.
+type ReplayLog struct {
+	rings []replayRing
+}
+
+type replayRing struct {
+	mu sync.Mutex
+	// base counts items already trimmed: the ring's consumed-cut of the
+	// newest durable checkpoint.
+	base  int64
+	items []sourceItem
+}
+
+func newReplayLog(numRings int) *ReplayLog {
+	return &ReplayLog{rings: make([]replayRing, numRings)}
+}
+
+// Trim drops, per ring, the items a durable checkpoint covers: the
+// first cuts[d]-base items of ring d. Called by the coordinator only
+// after the backend committed the snapshot.
+func (l *ReplayLog) Trim(cuts []int64) {
+	for d := range l.rings {
+		if d >= len(cuts) {
+			break
+		}
+		rg := &l.rings[d]
+		rg.mu.Lock()
+		if drop := cuts[d] - rg.base; drop > 0 {
+			if drop >= int64(len(rg.items)) {
+				rg.items = rg.items[:0]
+			} else {
+				rg.items = append(rg.items[:0], rg.items[drop:]...)
+			}
+			rg.base = cuts[d]
+		}
+		rg.mu.Unlock()
+	}
+}
+
+// Len returns the total number of items currently retained.
+func (l *ReplayLog) Len() int {
+	n := 0
+	for d := range l.rings {
+		rg := &l.rings[d]
+		rg.mu.Lock()
+		n += len(rg.items)
+		rg.mu.Unlock()
+	}
+	return n
+}
+
+// snapshotRing copies one ring's retained items; callers replay from
+// the copy so the log's own locks stay short.
+func (l *ReplayLog) snapshotRing(d int) []sourceItem {
+	rg := &l.rings[d]
+	rg.mu.Lock()
+	items := append([]sourceItem(nil), rg.items...)
+	rg.mu.Unlock()
+	return items
+}
+
+// maxSeq returns the largest ingestion sequence number retained.
+func (l *ReplayLog) maxSeq() uint64 {
+	var max uint64
+	for d := range l.rings {
+		rg := &l.rings[d]
+		rg.mu.Lock()
+		for i := range rg.items {
+			if s := rg.items[i].t.Seq; s > max {
+				max = s
+			}
+		}
+		rg.mu.Unlock()
+	}
+	return max
+}
+
+// Checkpoint-coordinator event kinds.
+const (
+	evBegin = iota // controller: a checkpoint was issued
+	evCut          // reshuffler: consumed-count at its barrier
+	evSnap         // joiner: state blob at its barrier
+)
+
+// ckptEvent is one message on the coordinator's assembly channel.
+type ckptEvent struct {
+	kind    int
+	ckpt    uint64
+	idx     int   // reshuffler id (evCut) or joiner id (evSnap)
+	cut     int64 // evCut
+	emitted int64 // evSnap: OutputPairs at the barrier
+	state   []byte
+	// evBegin fields:
+	epoch   uint32
+	numRe   int
+	mapping matrix.Mapping
+	table   []int
+}
+
+// ckptResult reports one checkpoint's outcome back to the controller.
+type ckptResult struct {
+	id  uint64
+	err error
+}
+
+// ckptBuild is the coordinator's in-progress assembly of one
+// checkpoint.
+type ckptBuild struct {
+	id       uint64
+	epoch    uint32
+	numRe    int
+	mapping  matrix.Mapping
+	table    []int
+	cuts     []int64
+	cutsGot  int
+	joiners  []storage.JoinerSnapshot
+	snapsGot int
+	begun    bool
+}
+
+// runCkptCoordinator assembles barrier contributions into snapshots
+// and commits them. It is a plain goroutine, not a runner task (it
+// must outlive runner.Wait so Finish can stop it last), so it recovers
+// its own panics — in particular the mid-snapshot crash faultpoint
+// inside FileBackend.Write — and converts them into operator
+// cancellation, exactly like a task death.
+func (op *Operator) runCkptCoordinator() {
+	defer op.ckptWG.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			op.runner.Cancel(fmt.Errorf("core: checkpoint coordinator: %v", p))
+		}
+	}()
+	var cur ckptBuild
+	for {
+		select {
+		case ev := <-op.ckptC:
+			op.ckptApply(&cur, ev)
+		case <-op.ckptQuit:
+			return
+		case <-op.stop:
+			return
+		}
+	}
+}
+
+// ckptApply folds one event into the assembly, committing when the
+// last contribution lands.
+func (op *Operator) ckptApply(cur *ckptBuild, ev ckptEvent) {
+	switch ev.kind {
+	case evBegin:
+		*cur = ckptBuild{
+			id:      ev.ckpt,
+			epoch:   ev.epoch,
+			numRe:   ev.numRe,
+			mapping: ev.mapping,
+			table:   ev.table,
+			cuts:    make([]int64, ev.numRe),
+			joiners: make([]storage.JoinerSnapshot, len(ev.table)),
+			begun:   true,
+		}
+		return
+	case evCut:
+		if !cur.begun || ev.ckpt != cur.id || ev.idx >= len(cur.cuts) {
+			return
+		}
+		cur.cuts[ev.idx] = ev.cut
+		cur.cutsGot++
+	case evSnap:
+		if !cur.begun || ev.ckpt != cur.id || ev.idx >= len(cur.joiners) {
+			return
+		}
+		cur.joiners[ev.idx] = storage.JoinerSnapshot{ID: ev.idx, Emitted: ev.emitted, State: ev.state}
+		cur.snapsGot++
+	}
+	if cur.begun && cur.cutsGot == cur.numRe && cur.snapsGot == len(cur.table) {
+		err := op.commitCkpt(cur)
+		cur.begun = false
+		select {
+		case op.ctl.ckptDoneCh <- ckptResult{id: cur.id, err: err}:
+		case <-op.ckptQuit:
+		case <-op.stop:
+		}
+	}
+}
+
+// commitCkpt encodes and durably writes one assembled checkpoint, then
+// trims the replay log up to its cuts. Trim strictly after the write:
+// a crash between them replays a covered suffix, which the restored
+// joiners' sequence filters drop — the reverse order would lose input.
+func (op *Operator) commitCkpt(cur *ckptBuild) error {
+	snap := storage.OperatorSnapshot{
+		ID:        cur.id,
+		Epoch:     cur.epoch,
+		Mapping:   cur.mapping,
+		Table:     cur.table,
+		NumRe:     cur.numRe,
+		Seq:       op.seq.Load(),
+		RouteSeed: op.cfg.Seed,
+		Lanes:     op.laneCursors(),
+		Cuts:      cur.cuts,
+		Joiners:   cur.joiners,
+	}
+	if err := op.cfg.Backend.Write(cur.id, snap.Encode()); err != nil {
+		return fmt.Errorf("core: commit checkpoint %d: %w", cur.id, err)
+	}
+	op.replay.Trim(cur.cuts)
+	op.met.Checkpoints.Add(1)
+	return nil
+}
+
+// laneCursors snapshots the sharded front end's sequence-grant
+// windows (informational: restore re-grants from the global counter).
+func (op *Operator) laneCursors() []storage.LaneCursor {
+	if op.lanes == nil {
+		return nil
+	}
+	cs := make([]storage.LaneCursor, len(op.lanes))
+	for i, ln := range op.lanes {
+		ln.mu.Lock()
+		cs[i] = storage.LaneCursor{Next: ln.next, End: ln.end}
+		ln.mu.Unlock()
+	}
+	return cs
+}
+
+// Checkpoint requests a barrier checkpoint and blocks until it commits
+// durably (or fails). Concurrent requests coalesce: requests queued
+// while one checkpoint is in flight are answered by the next one,
+// whose barrier covers everything sent before they were made. Returns
+// ErrNoBackend when the operator has no backend, ErrFinished once the
+// input is closed, and the stop cause if the operator dies first.
+func (op *Operator) Checkpoint() error {
+	if op.replay == nil {
+		return ErrNoBackend
+	}
+	reply := make(chan error, 1)
+	select {
+	case op.ctl.ckptReqCh <- reply:
+	case <-op.stop:
+		return op.runner.Err()
+	case <-op.finishedCh:
+		return ErrFinished
+	}
+	select {
+	case err := <-reply:
+		return err
+	case <-op.stop:
+		return op.runner.Err()
+	case <-op.finishedCh:
+		return ErrFinished
+	}
+}
+
+// ReplayLog exposes the operator's upstream backup. After a crash the
+// caller hands it to the restored operator's ReplayFrom; it is nil
+// when the operator has no backend.
+func (op *Operator) ReplayLog() *ReplayLog {
+	return op.replay
+}
+
+// ReplayFrom re-injects a crashed operator's retained log into this
+// (restored, started) operator: first the global sequence cursor is
+// bumped past every logged sequence number so fresh Sends can never
+// collide with a replayed one, then the items re-enter through the
+// normal ingest edge with their original sequence numbers and
+// probe-only flags. Call it after Start and before any new Send.
+// Replayed items that were already inside the restored checkpoint's
+// cut route to the joiners that restored them (deterministic routing)
+// and are dropped by their sequence filters, so replaying a
+// partially-covered log is always safe.
+func (op *Operator) ReplayFrom(log *ReplayLog) error {
+	if log == nil {
+		return nil
+	}
+	for {
+		cur := op.seq.Load()
+		max := log.maxSeq()
+		if cur >= max || op.seq.CompareAndSwap(cur, max) {
+			break
+		}
+	}
+	const replayChunk = 256
+	for d := range log.rings {
+		items := log.snapshotRing(d)
+		for len(items) > 0 {
+			n := len(items)
+			if n > replayChunk {
+				n = replayChunk
+			}
+			env := append(getItems(n), items[:n]...)
+			if err := op.sendItems(env); err != nil {
+				return err
+			}
+			items = items[n:]
+		}
+	}
+	return nil
+}
+
+// RestoreOperator rebuilds an operator from a decoded checkpoint. The
+// snapshot overrides cfg's joiner count, initial mapping, and
+// reshuffler count; every joiner's store is installed through the
+// whole-block adoption path and seeded with the sequence filter that
+// drops replayed duplicates. Epoch numbering restarts at zero (epochs
+// are relative), and the adaptive controller re-accumulates statistics
+// from the restored stream. Call Start, then ReplayFrom, then resume
+// feeding.
+func RestoreOperator(cfg Config, snap *storage.OperatorSnapshot) (*Operator, error) {
+	if cfg.Backend == nil {
+		return nil, ErrNoBackend
+	}
+	cfg.J = len(snap.Table)
+	cfg.Initial = snap.Mapping
+	cfg.NumReshufflers = snap.NumRe
+	// The snapshot's routing seed wins over cfg's: replayed duplicates
+	// are only droppable because they re-route to the joiners that
+	// restored them, which requires the original (seed, seq) mix.
+	cfg.Seed = snap.RouteSeed
+	op := NewOperator(cfg)
+	op.ctl.table = append([]int(nil), snap.Table...)
+	op.ctl.ckptNext = snap.ID + 1
+	for idx, id := range snap.Table {
+		if id < 0 || id >= len(op.joiners) {
+			return nil, fmt.Errorf("core: restore: checkpoint table cell %d names joiner %d of %d: %w",
+				idx, id, len(op.joiners), storage.ErrCorrupt)
+		}
+		w := op.joiners[id]
+		w.cell = snap.Mapping.CellOf(idx)
+		w.table = append([]int(nil), snap.Table...)
+	}
+	for i := range snap.Joiners {
+		js := &snap.Joiners[i]
+		if js.ID < 0 || js.ID >= len(op.joiners) {
+			return nil, fmt.Errorf("core: restore: checkpoint joiner record %d out of range: %w",
+				js.ID, storage.ErrCorrupt)
+		}
+		w := op.joiners[js.ID]
+		if err := w.state.RestoreSnapshot(js.State); err != nil {
+			return nil, fmt.Errorf("core: restore joiner %d: %w", js.ID, err)
+		}
+		if seqs := w.state.SnapshotSeqs(nil); len(seqs) > 0 {
+			w.dedup = make(map[uint64]struct{}, len(seqs))
+			for _, s := range seqs {
+				w.dedup[s] = struct{}{}
+				if s > w.dedupMax {
+					w.dedupMax = s
+				}
+			}
+		}
+		w.met.OutputPairs.Store(js.Emitted)
+		w.updateStored()
+	}
+	op.seq.Store(snap.Seq)
+	return op, nil
+}
+
+// isReplayDup reports whether a data tuple is a replayed duplicate the
+// restored state already covers. On a fresh operator dedup is nil and
+// the check is one pointer compare; on a restored one the map bounds
+// stay fixed at the snapshot's contents, and the max-seq gate keeps
+// post-restore traffic out of the map lookup.
+func (w *joiner) isReplayDup(t *join.Tuple) bool {
+	if w.dedup == nil || t.Seq == 0 || t.Seq > w.dedupMax {
+		return false
+	}
+	_, dup := w.dedup[t.Seq]
+	return dup
+}

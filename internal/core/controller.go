@@ -63,6 +63,23 @@ type controller struct {
 	// feeding the migration-drain metric on its last ack.
 	stepStart time.Time
 
+	// Checkpoint orchestration. ckptC is the coordinator's assembly
+	// channel (nil without a backend — the single gate for the whole
+	// feature). Requests queue in ckptPending and are issued only
+	// between migrations; ckptWaiters holds the requests the in-flight
+	// checkpoint answers. ckptNext is the next id (monotonic across
+	// restore), ckptLastTotal the ingest total at the last automatic
+	// issue.
+	ckptC         chan<- ckptEvent
+	ckptReqCh     chan chan error
+	ckptDoneCh    chan ckptResult
+	ckptInFlight  bool
+	ckptQueued    bool
+	ckptWaiters   []chan error
+	ckptPending   []chan error
+	ckptNext      uint64
+	ckptLastTotal int64
+
 	sourceDone bool
 	drained    int
 	finished   bool
@@ -78,14 +95,17 @@ func newController(dec *Decider, adaptive bool, numJoiners int, op *Operator) *c
 		table[i] = i
 	}
 	return &controller{
-		dec:      dec,
-		adaptive: adaptive,
-		ackCh:    make(chan int, 4*numJoiners+16),
-		drainCh:  make(chan int, numJoiners+1),
-		obsCh:    make(chan struct{}, 1),
-		op:       op,
-		deployed: dec.Mapping(),
-		table:    table,
+		dec:        dec,
+		adaptive:   adaptive,
+		ackCh:      make(chan int, 4*numJoiners+16),
+		drainCh:    make(chan int, numJoiners+1),
+		obsCh:      make(chan struct{}, 1),
+		ckptReqCh:  make(chan chan error, 16),
+		ckptDoneCh: make(chan ckptResult, 1),
+		ckptNext:   1,
+		op:         op,
+		deployed:   dec.Mapping(),
+		table:      table,
 	}
 }
 
@@ -112,6 +132,7 @@ const obsChunk = 128
 // stream ends, and the exact global counts keep moving until the last
 // ring drains.
 func (c *controller) onObserved() {
+	c.maybeAutoCkpt()
 	if !c.adaptive {
 		return
 	}
@@ -161,6 +182,85 @@ func (c *controller) onObserved() {
 
 func (c *controller) migrating() bool { return c.acksPending > 0 }
 
+// maybeAutoCkpt queues a checkpoint once CheckpointEvery tuples have
+// been ingested since the last automatic issue. It rides the same
+// observation ticks the decision loop uses, so cadence works for
+// non-adaptive operators too.
+func (c *controller) maybeAutoCkpt() {
+	every := c.op.cfg.CheckpointEvery
+	if c.ckptC == nil || every <= 0 {
+		return
+	}
+	snap := c.ingest.Snapshot()
+	if total := snap.R + snap.S; total-c.ckptLastTotal >= every {
+		c.ckptLastTotal = total
+		c.ckptQueued = true
+		c.maybeIssueCkpt()
+	}
+}
+
+// onCkptRequest services one Operator.Checkpoint call: the reply is
+// queued for the next issued checkpoint, whose barrier covers
+// everything sent before the request.
+func (c *controller) onCkptRequest(reply chan error) {
+	if c.ckptC == nil {
+		reply <- ErrNoBackend
+		return
+	}
+	if c.finished {
+		reply <- ErrFinished
+		return
+	}
+	c.ckptPending = append(c.ckptPending, reply)
+	c.ckptQueued = true
+	c.maybeIssueCkpt()
+}
+
+// maybeIssueCkpt issues the queued checkpoint if nothing blocks it: a
+// migration step defers it to the step's last ack (onAck), an
+// in-flight checkpoint to its completion (onCkptDone). Issue order —
+// begin event to the coordinator first, ctrlCkpt broadcast second —
+// guarantees the coordinator knows the barrier's shape before any cut
+// or snapshot arrives.
+func (c *controller) maybeIssueCkpt() {
+	if !c.ckptQueued || c.ckptInFlight || c.migrating() || c.finished {
+		return
+	}
+	c.ckptQueued = false
+	c.ckptInFlight = true
+	c.ckptWaiters = append(c.ckptWaiters, c.ckptPending...)
+	c.ckptPending = c.ckptPending[:0]
+	id := c.ckptNext
+	c.ckptNext++
+	ev := ckptEvent{
+		kind:    evBegin,
+		ckpt:    id,
+		epoch:   c.epoch,
+		numRe:   len(c.resh),
+		mapping: c.deployed,
+		table:   append([]int(nil), c.table...),
+	}
+	select {
+	case c.ckptC <- ev:
+	case <-c.op.stop:
+		return
+	}
+	c.broadcast(ctrlMsg{kind: ctrlCkpt, ckpt: id})
+}
+
+// onCkptDone completes the in-flight checkpoint: waiters get its
+// outcome, then deferred work — a request queued mid-flight, the next
+// chain step, the finish — proceeds.
+func (c *controller) onCkptDone(res ckptResult) {
+	c.ckptInFlight = false
+	for _, reply := range c.ckptWaiters {
+		reply <- res.err
+	}
+	c.ckptWaiters = c.ckptWaiters[:0]
+	c.maybeIssueCkpt()
+	c.issueNext()
+}
+
 // allDrained reports that every reshuffler's input — the controller's
 // own and the plain ones' — is exhausted; no decision may be made past
 // this point.
@@ -171,7 +271,7 @@ func (c *controller) allDrained() bool {
 // issueNext launches the next elementary step of the pending chain, or
 // the pending expansion once the chain is exhausted.
 func (c *controller) issueNext() {
-	if c.migrating() || c.finished {
+	if c.migrating() || c.finished || c.ckptInFlight {
 		return
 	}
 	if len(c.chain) > 0 {
@@ -240,6 +340,10 @@ func (c *controller) onAck(int) {
 				c.wantExpand = c.wantExpand || out.Expand
 			}
 		}
+		// A checkpoint queued during the step slots in before the next
+		// one: the barrier then composes with the chain instead of
+		// waiting out an arbitrarily long sequence of steps.
+		c.maybeIssueCkpt()
 		c.issueNext()
 	}
 }
@@ -276,7 +380,8 @@ func (c *controller) noteAllDrained() {
 // tryFinish broadcasts the finish command once every input is drained
 // and no migration is in flight. Reshufflers then EOS their joiners.
 func (c *controller) tryFinish() {
-	if c.finished || !c.sourceDone || c.drained < len(c.resh)-1 || c.migrating() {
+	if c.finished || !c.sourceDone || c.drained < len(c.resh)-1 || c.migrating() ||
+		c.ckptInFlight || c.ckptQueued {
 		return
 	}
 	c.finished = true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dataflow"
+	"repro/internal/faultpoint"
 	"repro/internal/join"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
@@ -38,6 +39,17 @@ type joiner struct {
 
 	state *storage.Store
 	mig   *migState
+
+	// ckpt is the in-progress checkpoint barrier alignment (nil
+	// otherwise); ckptC the coordinator's assembly channel (nil without
+	// a backend). dedup/dedupMax is the restored sequence filter: the
+	// seqs this joiner's restored state already holds, so replayed
+	// duplicates are dropped instead of re-stored and re-probed. nil on
+	// fresh operators — the steady-state cost is one pointer compare.
+	ckpt     *ckptBarrier
+	ckptC    chan<- ckptEvent
+	dedup    map[uint64]struct{}
+	dedupMax uint64
 
 	dataIn    chan []message
 	migIn     *dataflow.Queue[[]message]
@@ -197,7 +209,22 @@ type migState struct {
 // run is the joiner task loop. Migrated tuples are processed at twice
 // the rate of new tuples when both are pending (§4.3.2), preserving the
 // 1.25 competitive ratio under non-blocking operation (Thm 4.6).
+//
+// The deferred close releases the store's spill segments on every exit
+// path — cancellation, panic (including armed crash faultpoints), and
+// normal completion alike — so a torn-down operator never leaks spill
+// temp files. Close is idempotent, so the post-Wait sweep in
+// Operator.Finish double-closing the steady-state store is harmless;
+// the migration stores (µ, ∆′) are reachable only here when a crash
+// lands mid-exchange.
 func (w *joiner) run() error {
+	defer func() {
+		_ = w.state.Close()
+		if w.mig != nil {
+			_ = w.mig.mu.Close()
+			_ = w.mig.dp.Close()
+		}
+	}()
 	for !w.finished() {
 		progressed := false
 		for i := 0; i < 2; i++ {
@@ -263,6 +290,15 @@ func (w *joiner) nextMig() (message, bool) {
 // skipped entirely — a kMigBegin can wait out the (bounded) remainder
 // of the envelope.
 func (w *joiner) handleBatch(b []message) {
+	if w.ckpt != nil && len(b) > 0 && w.ckpt.seen[b[0].from] {
+		// Barrier alignment: this link's marker already arrived, so the
+		// envelope is post-barrier traffic — hold it aside (every message
+		// in a data envelope comes from one reshuffler) until the
+		// remaining markers land, then replay it. Other links keep
+		// flowing, so no joiner stalls the operator at the barrier.
+		w.ckpt.held = append(w.ckpt.held, b)
+		return
+	}
 	w.maybeReserve()
 	var tuples, bytes int64
 	for i := 0; i < len(b); {
@@ -279,10 +315,13 @@ func (w *joiner) handleBatch(b []message) {
 			}
 			run := w.runBuf[:0]
 			for k := i; k < j; k++ {
+				if w.isReplayDup(&b[k].tuple) {
+					continue
+				}
 				run = append(run, b[k].tuple)
 				bytes += b[k].tuple.Bytes()
 			}
-			tuples += int64(j - i)
+			tuples += int64(len(run))
 			// Matches accumulate in the per-joiner pair buffer; the
 			// §4.2.2 ownership guard of a probe-only run applies to just
 			// the pairs that run collected (the buffer's tail), so
@@ -394,6 +433,8 @@ func (w *joiner) handle(m message) {
 		w.onSignal(m)
 	case kTuple:
 		w.onTuple(m)
+	case kCkpt:
+		w.onCkptMarker(m)
 	case kMigBegin:
 		w.ensureMig(m.epoch, m.mapping, m.expand)
 	case kMigTuple:
@@ -404,6 +445,69 @@ func (w *joiner) handle(m message) {
 		}
 		w.mig.dones++
 		w.maybeFinalize()
+	}
+}
+
+// ckptBarrier is an in-progress checkpoint alignment: which links'
+// markers have arrived, and the post-barrier envelopes held aside from
+// them.
+type ckptBarrier struct {
+	id    uint64
+	seen  []bool
+	count int
+	held  [][]message
+}
+
+// onCkptMarker processes one reshuffler's checkpoint barrier marker
+// (checkpoint id in tuple.Seq). The controller only issues a
+// checkpoint between migrations, so mig is always nil here — the
+// snapshot never has to capture a three-store migration in progress.
+func (w *joiner) onCkptMarker(m message) {
+	id := m.tuple.Seq
+	if w.mig != nil {
+		panic(fmt.Sprintf("core: joiner %d: checkpoint marker during migration epoch %d", w.id, w.mig.epoch))
+	}
+	if w.ckpt == nil {
+		faultpoint.Crash(faultpoint.BeforeBarrier)
+		w.ckpt = &ckptBarrier{id: id, seen: make([]bool, w.numRe)}
+	}
+	if w.ckpt.id != id {
+		panic(fmt.Sprintf("core: joiner %d: overlapping checkpoints %d and %d", w.id, w.ckpt.id, id))
+	}
+	if !w.ckpt.seen[m.from] {
+		w.ckpt.seen[m.from] = true
+		w.ckpt.count++
+	}
+	if w.ckpt.count == w.numRe {
+		w.completeBarrier()
+	}
+}
+
+// completeBarrier runs once all numRe markers have arrived: the joiner
+// has processed exactly the pre-barrier prefix of every link — the
+// consistent cut. It flushes pending pairs (so the emitted count is
+// the cut position in this joiner's output stream), serializes its
+// store as whole arena blocks, hands the blob to the coordinator, and
+// replays the held post-barrier envelopes.
+func (w *joiner) completeBarrier() {
+	w.flushPending()
+	ev := ckptEvent{
+		kind:    evSnap,
+		ckpt:    w.ckpt.id,
+		idx:     w.id,
+		emitted: w.met.OutputPairs.Load(),
+		state:   w.state.AppendSnapshot(nil),
+	}
+	held := w.ckpt.held
+	w.ckpt = nil
+	select {
+	case w.ckptC <- ev:
+	case <-w.stop:
+		return
+	}
+	faultpoint.Crash(faultpoint.AfterBarrier)
+	for _, b := range held {
+		w.handleBatch(b)
 	}
 }
 
@@ -538,6 +642,12 @@ func (w *joiner) migFlushAll() {
 // gauge refresh.
 func (w *joiner) onTuple(m message) {
 	t := m.tuple
+	if w.isReplayDup(&t) {
+		// Replayed duplicate after a restore: its state is already
+		// stored here and its pre-barrier probes are already reflected
+		// in the restored emitted count — drop it entirely.
+		return
+	}
 	switch {
 	case w.mig == nil:
 		if m.epoch != w.epoch {
@@ -648,6 +758,7 @@ func (w *joiner) maybeFinalize() {
 	if mig == nil || mig.signals < w.numRe || mig.dones < mig.expectedDones {
 		return
 	}
+	faultpoint.Crash(faultpoint.MidMigration)
 	for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
 		side := side
 		w.state.Retain(side, func(t join.Tuple) bool { return mig.keeps(side, t.U) })

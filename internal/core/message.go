@@ -36,6 +36,14 @@ const (
 	kMigTuple
 	// kMigDone marks the end of a sender's migration stream.
 	kMigDone
+	// kCkpt is a checkpoint barrier marker: each reshuffler emits one
+	// per joiner after flushing its pending batches, so a joiner that
+	// has collected all numRe markers has seen exactly the pre-barrier
+	// prefix of every link (Chandy-Lamport alignment on FIFO links).
+	// The checkpoint id rides in tuple.Seq — the marker carries no
+	// payload, and reusing the field keeps the message layout unchanged
+	// (message_test.go pins it).
+	kCkpt
 )
 
 // message is the unit exchanged on all operator links. Both the data
@@ -66,6 +74,12 @@ const (
 	// ctrlFinish instructs reshufflers to emit EOS and exit; sent only
 	// when the source is drained and no migration is in flight.
 	ctrlFinish
+	// ctrlCkpt instructs reshufflers to flush pending batches, emit a
+	// kCkpt barrier marker to every joiner, and report their consumed
+	// cut position to the checkpoint coordinator. Issued only between
+	// migrations (never while acks are pending), so every joiner is at
+	// a stable epoch when its barrier completes.
+	ctrlCkpt
 )
 
 // ctrlMsg is a controller command.
@@ -74,4 +88,8 @@ type ctrlMsg struct {
 	epoch   uint32
 	mapping matrix.Mapping
 	expand  bool
+	// ckpt is the checkpoint id of a ctrlCkpt command. The control
+	// links are low-volume, so the extra word is free here (unlike in
+	// message, where the id rides in tuple.Seq).
+	ckpt uint64
 }

@@ -157,6 +157,18 @@ type Config struct {
 	PadDummies bool
 	// Storage configures the per-joiner store (memory cap, spill dir).
 	Storage storage.Config
+	// Backend, when non-nil, enables barrier checkpointing: Checkpoint
+	// (and the CheckpointEvery pacer) snapshots the whole operator —
+	// joiner stores, controller mapping/epoch, ingest cursors — through
+	// it, and RestoreOperator rebuilds from its latest committed
+	// snapshot. nil disables checkpointing (Checkpoint returns
+	// ErrNoBackend) and removes all of its ingest-path cost.
+	Backend storage.Backend
+	// CheckpointEvery, with a Backend, triggers an automatic checkpoint
+	// after every n ingested tuples (measured at the controller's exact
+	// sharded counter, so the trigger composes with source lanes).
+	// 0 leaves checkpointing purely manual.
+	CheckpointEvery int64
 	// Emit receives join results; it must not block. nil counts
 	// results internally.
 	Emit join.Emit
@@ -303,6 +315,20 @@ type Operator struct {
 	lanePool sync.Pool
 	laneRR   atomic.Uint32
 
+	// replay is the ingest-edge replay log (nil without a Backend):
+	// every envelope entering a source ring is also appended to the
+	// ring's log, under a per-ring mutex spanning the ring send so log
+	// order equals delivery order. Checkpoints record each ring's
+	// consumed cut and trim the log to it once the snapshot is durable.
+	replay *ReplayLog
+	// ckptC fans checkpoint events (reshuffler cuts, joiner snapshots)
+	// into the coordinator goroutine; ckptQuit/ckptWG bound its
+	// lifetime — it must outlive runner.Wait, because it is the party
+	// that recovers a mid-snapshot crash into a runner cancellation.
+	ckptC    chan ckptEvent
+	ckptQuit chan struct{}
+	ckptWG   sync.WaitGroup
+
 	// stop is the runner's Done channel: closed on context
 	// cancellation or on the first task failure. Every blocking
 	// channel operation in the operator selects on it.
@@ -413,6 +439,12 @@ func NewOperator(cfg Config) *Operator {
 	})
 	op.ctl = newController(dec, cfg.Adaptive, cfg.J, op)
 	op.ctl.ingest = op.ingest
+	if cfg.Backend != nil {
+		op.replay = newReplayLog(cfg.NumReshufflers)
+		op.ckptC = make(chan ckptEvent, 64)
+		op.ckptQuit = make(chan struct{})
+		op.ctl.ckptC = op.ckptC
+	}
 	if op.lanes == nil {
 		// Legacy deal front end: the controller's own cell is an
 		// unbiased in-order 1/N sample; feed it scaled, as the seed did.
@@ -451,6 +483,7 @@ func (op *Operator) newJoiner(id int, cell matrix.Cell, mapping matrix.Mapping, 
 		migBatch: op.cfg.MigBatchSize,
 		mig:      birth,
 		hint:     &op.hint,
+		ckptC:    op.ckptC,
 		stop:     op.stop,
 	}
 	w.shard = id + op.cfg.EmitShardBase
@@ -610,7 +643,9 @@ func (op *Operator) StartContext(ctx context.Context) {
 	for i := 0; i < op.cfg.NumReshufflers; i++ {
 		r := &reshuffler{
 			id:         i,
+			seed:       uint64(op.cfg.Seed),
 			rng:        rand.New(rand.NewSource(op.cfg.Seed ^ int64(i)*0x9e3779b9)),
+			ckptC:      op.ckptC,
 			ingest:     op.ingest,
 			obs:        op.ctl.obsCh,
 			mapping:    op.cfg.Initial,
@@ -632,6 +667,14 @@ func (op *Operator) StartContext(ctx context.Context) {
 		}
 		op.ctl.resh = append(op.ctl.resh, r.ctrlCh)
 		op.runner.Go(fmt.Sprintf("reshuffler-%d", i), r.run)
+	}
+	if op.cfg.Backend != nil {
+		// The coordinator is a plain goroutine, not a runner task: it
+		// must outlive runner.Wait (its quit closes after Wait returns)
+		// and it recovers its own backend-write panics into a runner
+		// cancellation rather than dying as a task.
+		op.ckptWG.Add(1)
+		go op.runCkptCoordinator()
 	}
 	op.runner.WatchContext(ctx, op.finishedCh)
 }
@@ -672,18 +715,14 @@ func (op *Operator) Send(t join.Tuple) error {
 // one's immediate neighbor.
 func (op *Operator) pushAffine(ln *sourceLane, env []sourceItem) error {
 	home := ln.home
-	select {
-	case op.sources[home] <- env:
+	if op.trySend(home, env) {
 		return nil
-	default:
 	}
 	n := len(op.sources)
 	if d := int(ln.spill.Load()); d != home && d < n {
-		select {
-		case op.sources[d] <- env:
+		if op.trySend(d, env) {
 			op.met.LaneSpills.Add(1)
 			return nil
-		default:
 		}
 	}
 	for k := 1; k < n; k++ {
@@ -691,12 +730,10 @@ func (op *Operator) pushAffine(ln *sourceLane, env []sourceItem) error {
 		if d >= n {
 			d -= n
 		}
-		select {
-		case op.sources[d] <- env:
+		if op.trySend(d, env) {
 			ln.spill.Store(uint32(d))
 			op.met.LaneSpills.Add(1)
 			return nil
-		default:
 		}
 	}
 	return op.push(home, env)
@@ -771,13 +808,58 @@ func (op *Operator) SendBatch(ts []join.Tuple) error {
 // recycling the envelope) when the operator stops. The returned error
 // is the stop cause: the context's error after cancellation, or the
 // first task failure.
+//
+// With a replay log, the ring's log mutex spans both the ring send and
+// the log append: sends to one ring serialize on it, so the log's item
+// order is exactly the reshuffler's consumption order and the
+// consumed counter is a valid log cut. Items are logged if and only if
+// the send succeeded — a caller whose Send errored knows its tuples
+// are not covered by any future checkpoint and must re-send them after
+// a restore.
 func (op *Operator) push(d int, env []sourceItem) error {
+	if op.replay == nil {
+		select {
+		case op.sources[d] <- env:
+			return nil
+		case <-op.stop:
+			putItems(env)
+			return op.runner.Err()
+		}
+	}
+	rg := &op.replay.rings[d]
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
 	select {
 	case op.sources[d] <- env:
+		rg.items = append(rg.items, env...)
 		return nil
 	case <-op.stop:
 		putItems(env)
 		return op.runner.Err()
+	}
+}
+
+// trySend is push's non-blocking variant, with the same log-under-lock
+// discipline. It reports whether the envelope was delivered (and, with
+// a replay log, appended).
+func (op *Operator) trySend(d int, env []sourceItem) bool {
+	if op.replay == nil {
+		select {
+		case op.sources[d] <- env:
+			return true
+		default:
+			return false
+		}
+	}
+	rg := &op.replay.rings[d]
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	select {
+	case op.sources[d] <- env:
+		rg.items = append(rg.items, env...)
+		return true
+	default:
+		return false
 	}
 }
 
@@ -868,6 +950,13 @@ func (op *Operator) Finish() error {
 	op.lifeMu.Unlock()
 	err := op.runner.Wait()
 	close(op.finishedCh)
+	if op.cfg.Backend != nil {
+		// All tasks have exited, so no further ckpt events can arrive;
+		// release the coordinator and wait it out (closed guards this
+		// against running twice).
+		close(op.ckptQuit)
+		op.ckptWG.Wait()
+	}
 	op.mu.Lock()
 	for _, w := range op.joiners {
 		_ = w.state.Close()

@@ -42,6 +42,18 @@ type reshuffler struct {
 	table   []int
 	epoch   uint32
 
+	// seed feeds the deterministic routing mix (uMix): every reshuffler
+	// shares the operator seed, so a tuple's partition depends only on
+	// its sequence number — replay after restore routes it identically
+	// no matter which reshuffler handles it the second time.
+	seed uint64
+	// consumed counts the items this task has ingested from its source
+	// ring, in ring order: its barrier cut into the replay log. ckptC
+	// is the checkpoint coordinator's assembly channel (nil without a
+	// backend).
+	consumed int64
+	ckptC    chan<- ckptEvent
+
 	source  <-chan []sourceItem
 	ctrlCh  chan ctrlMsg
 	topo    *topology
@@ -216,6 +228,10 @@ func (r *reshuffler) run() error {
 				r.ctl.onDrained(d)
 			case <-r.obsChan():
 				r.ctl.onObserved()
+			case reply := <-r.ckptReqChan():
+				r.ctl.onCkptRequest(reply)
+			case res := <-r.ckptDoneChan():
+				r.ctl.onCkptDone(res)
 			case <-r.lingerCh():
 				r.lingerArmed = false
 				r.flushAll(&r.opm.BatchFlushLinger)
@@ -253,6 +269,10 @@ func (r *reshuffler) run() error {
 			r.ctl.onDrained(d)
 		case <-r.obsChan():
 			r.ctl.onObserved()
+		case reply := <-r.ckptReqChan():
+			r.ctl.onCkptRequest(reply)
+		case res := <-r.ckptDoneChan():
+			r.ctl.onCkptDone(res)
 		case <-r.lingerCh():
 			r.lingerArmed = false
 			r.flushAll(&r.opm.BatchFlushLinger)
@@ -286,6 +306,24 @@ func (r *reshuffler) obsChan() <-chan struct{} {
 		return nil
 	}
 	return r.obs
+}
+
+// ckptReqChan returns the controller's checkpoint-request channel, or
+// nil (never ready) on plain reshufflers and backend-less operators.
+func (r *reshuffler) ckptReqChan() <-chan chan error {
+	if r.ctl == nil || r.ctl.ckptC == nil {
+		return nil
+	}
+	return r.ctl.ckptReqCh
+}
+
+// ckptDoneChan returns the coordinator's completion channel, guarded
+// like ckptReqChan.
+func (r *reshuffler) ckptDoneChan() <-chan ckptResult {
+	if r.ctl == nil || r.ctl.ckptC == nil {
+		return nil
+	}
+	return r.ctl.ckptDoneCh
 }
 
 // lingerCh returns the linger timer's channel, or nil (never ready)
@@ -422,6 +460,10 @@ func (r *reshuffler) drainLoop() error {
 			// input ended; the controller keeps absorbing their counts
 			// and deciding until every input drains.
 			r.ctl.onObserved()
+		case reply := <-r.ckptReqChan():
+			r.ctl.onCkptRequest(reply)
+		case res := <-r.ckptDoneChan():
+			r.ctl.onCkptDone(res)
 		case <-r.stop:
 			return nil
 		}
@@ -439,6 +481,21 @@ func (r *reshuffler) applyCtrl(c ctrlMsg) bool {
 			r.pushSingle(id, message{kind: kEOS, from: r.id})
 		}
 		return true
+	case ctrlCkpt:
+		// Barrier marker on every data link (pending batches are already
+		// flushed, so each joiner sees exactly this task's pre-barrier
+		// tuples before the marker), then the replay cut — how many
+		// items this task consumed before the barrier — to the
+		// coordinator. The marker's checkpoint id rides in tuple.Seq.
+		for _, id := range r.table {
+			r.pushSingle(id, message{kind: kCkpt, from: r.id, tuple: join.Tuple{Seq: c.ckpt}})
+		}
+		if r.ckptC != nil {
+			select {
+			case r.ckptC <- ckptEvent{kind: evCut, ckpt: c.ckpt, idx: r.id, cut: r.consumed}:
+			case <-r.stop:
+			}
+		}
 	case ctrlEpoch:
 		if c.expand {
 			r.table = expandTable(r.table, r.mapping)
@@ -478,6 +535,7 @@ func (r *reshuffler) ingestBatch(items []sourceItem) {
 			nS++
 		}
 	}
+	r.consumed += int64(len(items))
 	r.ingest.ObserveN(r.id, nR, nS)
 	if r.hint != nil {
 		r.publishHint()
@@ -545,7 +603,17 @@ func (r *reshuffler) routeBatch(items []sourceItem) {
 	for i := range items {
 		t := items[i].t
 		if t.U == 0 {
-			t.U = r.rng.Uint64()
+			if t.Seq != 0 {
+				// Deterministic in (seed, seq): a replayed tuple routes to
+				// the same partition after a restore, so the joiners that
+				// restored it can drop it by sequence number.
+				t.U = uMix(r.seed, t.Seq)
+			} else {
+				// Reshuffler-generated dummies (Seq 0) keep the rng draw;
+				// they never match a predicate, so replay divergence is
+				// harmless.
+				t.U = r.rng.Uint64()
+			}
 		}
 		proto.tuple = t
 		proto.probeOnly = items[i].probeOnly

@@ -1,0 +1,164 @@
+// Package faultpoint provides named fault-injection points for the
+// crash-recovery harness. A point is a call site in the operator's
+// checkpoint/migration machinery (or a corruption hook in the file
+// backend) that does nothing until a test arms it by name.
+//
+// The disarmed fast path is a single atomic load of a package-level
+// counter — no map lookup, no lock — so production code can leave the
+// calls in place at zero measurable cost. Arming any point flips the
+// counter; only then does a call consult the registry.
+//
+// Crash points panic with a *CrashError. Inside an operator task the
+// dataflow runner converts the panic to an error and cancels the
+// topology, so an armed crash surfaces from Finish exactly like a real
+// task death. Corruption points do not panic; the file backend queries
+// Active and mangles its own output.
+package faultpoint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The registered point names. Crash points kill the task that reaches
+// them; corruption points alter the file backend's written bytes.
+const (
+	// BeforeBarrier crashes a joiner on receiving its first checkpoint
+	// barrier marker, before any state is captured.
+	BeforeBarrier = "before-barrier"
+	// AfterBarrier crashes a joiner after its snapshot was handed to
+	// the checkpoint coordinator.
+	AfterBarrier = "after-barrier"
+	// MidSnapshot crashes the checkpoint coordinator between assembling
+	// the snapshot and committing it to the backend.
+	MidSnapshot = "mid-snapshot"
+	// MidMigration crashes a joiner at migration finalization, with
+	// relocated state mid-merge.
+	MidMigration = "mid-migration"
+	// TruncatedSegment makes the file backend commit a checkpoint whose
+	// data file is truncated mid-record.
+	TruncatedSegment = "truncated-segment"
+	// FlippedCRC makes the file backend flip one payload byte after
+	// computing the checksums, simulating at-rest corruption.
+	FlippedCRC = "flipped-crc"
+)
+
+// crashPoints are the points that panic when hit.
+var crashPoints = []string{BeforeBarrier, AfterBarrier, MidSnapshot, MidMigration}
+
+// corruptionPoints are consulted by the file backend via Active.
+var corruptionPoints = []string{TruncatedSegment, FlippedCRC}
+
+// CrashError is the panic value of an armed crash point. The dataflow
+// runner converts it into a task error, so tests can match the point
+// name in the error string surfaced by Finish.
+type CrashError struct{ Point string }
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("faultpoint: injected crash at %q", e.Point)
+}
+
+var (
+	// armedCount gates everything: 0 means every call is a no-op after
+	// one atomic load.
+	armedCount atomic.Int64
+
+	mu    sync.Mutex
+	armed map[string]bool
+)
+
+// Names returns every registered point name, sorted — the vocabulary
+// for CLI validation (`joinrun -crash-at`).
+func Names() []string {
+	names := make([]string, 0, len(crashPoints)+len(corruptionPoints))
+	names = append(names, crashPoints...)
+	names = append(names, corruptionPoints...)
+	sort.Strings(names)
+	return names
+}
+
+// Known reports whether name is a registered point.
+func Known(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Arm activates the named point. Arming an unknown name panics: a
+// typo in a test must not silently test nothing.
+func Arm(name string) {
+	if !Known(name) {
+		panic(fmt.Sprintf("faultpoint: Arm of unregistered point %q", name))
+	}
+	mu.Lock()
+	if armed == nil {
+		armed = make(map[string]bool)
+	}
+	if !armed[name] {
+		armed[name] = true
+		armedCount.Add(1)
+	}
+	mu.Unlock()
+}
+
+// Disarm deactivates the named point. Unknown or already-disarmed
+// names are no-ops, so teardown paths can Disarm unconditionally.
+func Disarm(name string) {
+	mu.Lock()
+	if armed[name] {
+		delete(armed, name)
+		armedCount.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every point.
+func Reset() {
+	mu.Lock()
+	n := int64(len(armed))
+	armed = nil
+	armedCount.Add(-n)
+	mu.Unlock()
+}
+
+// Active reports whether the named point is armed. The disarmed case
+// is one atomic load.
+func Active(name string) bool {
+	if armedCount.Load() == 0 {
+		return false
+	}
+	mu.Lock()
+	on := armed[name]
+	mu.Unlock()
+	return on
+}
+
+// Consume reports whether the named point is armed and disarms it —
+// fire-once semantics, so a restored operator does not immediately
+// re-trigger the same fault. The disarmed case is one atomic load.
+func Consume(name string) bool {
+	if armedCount.Load() == 0 {
+		return false
+	}
+	mu.Lock()
+	on := armed[name]
+	if on {
+		delete(armed, name)
+		armedCount.Add(-1)
+	}
+	mu.Unlock()
+	return on
+}
+
+// Crash panics with a *CrashError if the named point is armed,
+// consuming it first.
+func Crash(name string) {
+	if Consume(name) {
+		panic(&CrashError{Point: name})
+	}
+}

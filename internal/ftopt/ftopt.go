@@ -75,18 +75,39 @@ func (p *Producer[T]) Send(to NodeID, item T) Message[T] {
 }
 
 // Ack releases every retained message for the consumer with sequence
-// number <= upTo. Acks are cumulative and idempotent.
-func (p *Producer[T]) Ack(from NodeID, upTo uint64) {
+// number <= upTo. Acks are cumulative and idempotent: a duplicate ack,
+// an out-of-order ack arriving below an already-applied cursor, or an
+// ack from a consumer with nothing retained all release nothing and
+// reallocate nothing.
+func (p *Producer[T]) Ack(consumer NodeID, upTo uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	buf := p.pending[from]
+	buf := p.pending[consumer]
 	i := sort.Search(len(buf), func(i int) bool { return buf[i].Seq > upTo })
-	p.pending[from] = append([]Message[T](nil), buf[i:]...)
+	switch {
+	case i == 0:
+		// Stale, duplicate, or unknown-consumer ack: nothing below the
+		// cursor. In particular this must not materialize an empty
+		// buffer entry for a consumer the producer never sent to.
+	case i == len(buf):
+		// Fully drained: drop the entry rather than pinning the old
+		// buffer's backing array. Sequencing state is separate, so a
+		// later Send continues the link's numbering.
+		delete(p.pending, consumer)
+	default:
+		p.pending[consumer] = append([]Message[T](nil), buf[i:]...)
+	}
 }
 
 // Replay returns every retained message for the consumer with
 // sequence number > after, in order — the recovery path ("the
 // producer has to replay only the missing portion of the stream").
+//
+// The returned slice is a fresh copy: the caller may retain, reorder,
+// or truncate it without aliasing the retention buffer, and a
+// concurrent Ack cannot shrink it mid-iteration. The messages are
+// shallow copies — an Item holding reference types (slices, maps)
+// still shares that referenced data with the retained message.
 func (p *Producer[T]) Replay(to NodeID, after uint64) []Message[T] {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -34,6 +34,108 @@ func TestProducerSendAckReplay(t *testing.T) {
 	}
 }
 
+// TestProducerAckHardening drives Ack through the out-of-order,
+// duplicate, and degenerate cases a lossy ack channel can produce:
+// every case must leave exactly the unacked suffix retained and must
+// never resurrect already-released messages.
+func TestProducerAckHardening(t *testing.T) {
+	cases := []struct {
+		name string
+		acks []uint64 // applied in order after sending 1..10
+		want int      // retained messages afterwards
+	}{
+		{"in-order", []uint64{3, 7}, 3},
+		{"duplicate", []uint64{7, 7, 7}, 3},
+		{"out-of-order regression", []uint64{7, 3}, 3},
+		{"zero ack", []uint64{0}, 10},
+		{"full then stale", []uint64{10, 4}, 0},
+		{"beyond sent", []uint64{15}, 0},
+		{"stale after partial", []uint64{5, 2, 5}, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewProducer[int64]("prod")
+			for i := int64(1); i <= 10; i++ {
+				p.Send("cons", i)
+			}
+			for _, upTo := range tc.acks {
+				p.Ack("cons", upTo)
+			}
+			if got := p.PendingCount("cons"); got != tc.want {
+				t.Fatalf("retained %d messages, want %d", got, tc.want)
+			}
+			// Whatever remains must replay as a contiguous suffix ending
+			// at seq 10.
+			rep := p.Replay("cons", 0)
+			if len(rep) != tc.want {
+				t.Fatalf("replay returned %d, retention says %d", len(rep), tc.want)
+			}
+			for k, m := range rep {
+				if wantSeq := uint64(10 - tc.want + k + 1); m.Seq != wantSeq {
+					t.Fatalf("replay[%d].Seq = %d, want %d", k, m.Seq, wantSeq)
+				}
+			}
+		})
+	}
+}
+
+// TestProducerAckUnknownConsumer: acking a link the producer never
+// sent on must not materialize buffer state for it.
+func TestProducerAckUnknownConsumer(t *testing.T) {
+	p := NewProducer[int64]("prod")
+	p.Ack("ghost", 99)
+	if n := p.PendingCount("ghost"); n != 0 {
+		t.Fatalf("ghost link retained %d", n)
+	}
+	if len(p.pending) != 0 {
+		t.Fatalf("ack materialized %d buffer entries", len(p.pending))
+	}
+}
+
+// TestProducerSendAfterFullAck: a fully-acked link keeps its sequence
+// numbering when traffic resumes.
+func TestProducerSendAfterFullAck(t *testing.T) {
+	p := NewProducer[int64]("prod")
+	for i := int64(1); i <= 4; i++ {
+		p.Send("cons", i)
+	}
+	p.Ack("cons", 4)
+	m := p.Send("cons", 5)
+	if m.Seq != 5 {
+		t.Fatalf("post-ack send got seq %d, want 5", m.Seq)
+	}
+	if p.PendingCount("cons") != 1 {
+		t.Fatalf("pending %d", p.PendingCount("cons"))
+	}
+}
+
+// TestProducerReplayReturnsCopy pins the no-aliasing contract: mutating
+// the returned slice must not disturb the retention buffer.
+func TestProducerReplayReturnsCopy(t *testing.T) {
+	p := NewProducer[int64]("prod")
+	for i := int64(1); i <= 5; i++ {
+		p.Send("cons", i)
+	}
+	rep := p.Replay("cons", 0)
+	for i := range rep {
+		rep[i].Seq = 999
+		rep[i].Item = -1
+	}
+	again := p.Replay("cons", 0)
+	for i, m := range again {
+		if m.Seq != uint64(i+1) || m.Item != int64(i+1) {
+			t.Fatalf("retention buffer was mutated through a replay slice: %+v", m)
+		}
+	}
+	// Appending to a replay slice must not bleed into a later Ack's
+	// compaction either.
+	_ = append(rep, Message[int64]{Seq: 1000})
+	p.Ack("cons", 2)
+	if got := p.PendingCount("cons"); got != 3 {
+		t.Fatalf("pending %d after ack, want 3", got)
+	}
+}
+
 func TestProducerPerConsumerSequences(t *testing.T) {
 	p := NewProducer[int64]("prod")
 	a := p.Send("a", 1)

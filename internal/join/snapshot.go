@@ -1,0 +1,338 @@
+package join
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Checkpoint serialization of the in-memory join state. The columnar
+// arena is the unit of transfer: a colChunk is five parallel columns
+// of machine words plus an optional out-of-line payload column, so a
+// block serializes as a near-memcpy column dump and deserializes into
+// a block that can be adopted wholesale. Restore goes through the same
+// MergeFrom/adopt() path migration finalization uses: the directory is
+// rebuilt from the adopted blocks' key columns, never shipped — the
+// snapshot carries tuple data only, so a format change in the
+// directory (growth state, spill lists) can never invalidate a
+// checkpoint.
+//
+// Framing, CRCs, and manifest-level atomicity live one layer up in
+// internal/storage; this file defines only the raw encoding of one
+// Local's two indexes.
+
+// Snapshot index kinds. The kind byte records the concrete index type
+// so a restore into a differently-predicated Local fails loudly
+// instead of misinterpreting the column dump.
+const (
+	snapIdxHash    = 0 // HashIndex: arena blocks, directory rebuilt on load
+	snapIdxScan    = 1 // ScanIndex: arena blocks, no directory
+	snapIdxOrdered = 2 // OrderedIndex: per-tuple fallback, tree rebuilt on load
+)
+
+const localSnapVersion = 1
+
+func appendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// snapReader is a bounds-checked cursor over an encoded snapshot. All
+// reads after the first failure return zero values; the error sticks,
+// so decode loops stay linear and check once at the end.
+type snapReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *snapReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("join: snapshot truncated reading %s at offset %d", what, r.off)
+	}
+}
+
+func (r *snapReader) u8(what string) uint8 {
+	if r.err != nil || r.off+1 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *snapReader) u32(what string) uint32 {
+	if r.err != nil || r.off+4 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *snapReader) u64(what string) uint64 {
+	if r.err != nil || r.off+8 > len(r.data) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *snapReader) bytes(n int, what string) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.data) {
+		r.fail(what)
+		return nil
+	}
+	v := r.data[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// appendArena encodes every filled block of a: per block the fill
+// level, a payload-presence flag, the five columns as little-endian
+// words, and the payload bytes when present.
+func appendArena(buf []byte, a *tupleArena) []byte {
+	nChunks := 0
+	for _, c := range a.chunks {
+		if c.n > 0 {
+			nChunks++
+		}
+	}
+	buf = appendU32(buf, uint32(nChunks))
+	for _, c := range a.chunks {
+		if c.n == 0 {
+			continue
+		}
+		buf = appendU32(buf, uint32(c.n))
+		hasPayload := uint8(0)
+		if c.payload != nil {
+			hasPayload = 1
+		}
+		buf = appendU8(buf, hasPayload)
+		for pos := 0; pos < c.n; pos++ {
+			buf = appendU64(buf, uint64(c.key[pos]))
+			buf = appendU64(buf, uint64(c.aux[pos]))
+			buf = appendU64(buf, c.u[pos])
+			buf = appendU64(buf, c.seq[pos])
+			buf = appendU64(buf, c.meta[pos])
+		}
+		if hasPayload == 1 {
+			for pos := 0; pos < c.n; pos++ {
+				buf = appendU32(buf, uint32(len(c.payload[pos])))
+				buf = append(buf, c.payload[pos]...)
+			}
+		}
+	}
+	return buf
+}
+
+// readArena decodes blocks written by appendArena into a fresh arena.
+func readArena(r *snapReader) tupleArena {
+	var a tupleArena
+	nChunks := int(r.u32("chunk count"))
+	if r.err != nil || nChunks < 0 {
+		return a
+	}
+	for ci := 0; ci < nChunks; ci++ {
+		n := int(r.u32("chunk fill"))
+		hasPayload := r.u8("payload flag")
+		if r.err != nil {
+			return a
+		}
+		if n <= 0 || n > arenaChunk {
+			r.err = fmt.Errorf("join: snapshot chunk %d has invalid fill %d", ci, n)
+			return a
+		}
+		c := &colChunk{n: n}
+		for pos := 0; pos < n; pos++ {
+			c.key[pos] = int64(r.u64("key column"))
+			c.aux[pos] = int64(r.u64("aux column"))
+			c.u[pos] = r.u64("u column")
+			c.seq[pos] = r.u64("seq column")
+			c.meta[pos] = r.u64("meta column")
+		}
+		if hasPayload == 1 {
+			c.payload = make([][]byte, arenaChunk)
+			for pos := 0; pos < n; pos++ {
+				ln := int(r.u32("payload length"))
+				p := r.bytes(ln, "payload bytes")
+				if r.err != nil {
+					return a
+				}
+				if ln > 0 {
+					c.payload[pos] = append([]byte(nil), p...)
+				}
+			}
+		}
+		a.chunks = append(a.chunks, c)
+		a.n += n
+	}
+	if len(a.chunks) > 0 {
+		a.tail = len(a.chunks) - 1
+	}
+	return a
+}
+
+// appendIndex encodes one side's index.
+func appendIndex(buf []byte, idx Index) []byte {
+	switch v := idx.(type) {
+	case *HashIndex:
+		buf = appendU8(buf, snapIdxHash)
+		buf = appendU64(buf, uint64(v.bytes))
+		buf = appendArena(buf, &v.arena)
+	case *ScanIndex:
+		buf = appendU8(buf, snapIdxScan)
+		buf = appendU64(buf, uint64(v.bytes))
+		buf = appendArena(buf, &v.arena)
+	default:
+		// Ordered (band) indexes interleave tree rebuild with tuple
+		// re-insertion, so they ship as a plain tuple sequence.
+		buf = appendU8(buf, snapIdxOrdered)
+		buf = appendU32(buf, uint32(idx.Len()))
+		idx.Scan(func(t Tuple) bool {
+			buf = appendTuple(buf, t)
+			return true
+		})
+	}
+	return buf
+}
+
+// appendTuple encodes one tuple for the per-tuple fallback path.
+func appendTuple(buf []byte, t Tuple) []byte {
+	buf = appendU64(buf, uint64(t.Key))
+	buf = appendU64(buf, uint64(t.Aux))
+	buf = appendU64(buf, t.U)
+	buf = appendU64(buf, t.Seq)
+	buf = appendU64(buf, t.metaWord())
+	buf = appendU32(buf, uint32(len(t.Payload)))
+	buf = append(buf, t.Payload...)
+	return buf
+}
+
+// readTuple decodes one fallback tuple.
+func readTuple(r *snapReader) Tuple {
+	var t Tuple
+	t.Key = int64(r.u64("tuple key"))
+	t.Aux = int64(r.u64("tuple aux"))
+	t.U = r.u64("tuple u")
+	t.Seq = r.u64("tuple seq")
+	m := r.u64("tuple meta")
+	ln := int(r.u32("tuple payload length"))
+	p := r.bytes(ln, "tuple payload")
+	if r.err != nil {
+		return t
+	}
+	t.Rel = matrix.Side(m >> 32 & 1)
+	t.Size = int32(uint32(m))
+	t.Dummy = metaDummy(m)
+	if ln > 0 {
+		t.Payload = append([]byte(nil), p...)
+	}
+	return t
+}
+
+// loadIndex installs one side's snapshot into idx, which must be
+// empty. Arena-backed kinds go through MergeFrom: the decoded blocks
+// are adopted wholesale and the directory is rebuilt from their key
+// columns, exactly like a migration-finalization merge.
+func loadIndex(r *snapReader, idx Index) error {
+	kind := r.u8("index kind")
+	if r.err != nil {
+		return r.err
+	}
+	switch kind {
+	case snapIdxHash:
+		h, ok := idx.(*HashIndex)
+		if !ok {
+			return fmt.Errorf("join: snapshot holds a hash index but the predicate builds %T", idx)
+		}
+		bytes := int64(r.u64("index bytes"))
+		donor := &HashIndex{arena: readArena(r), bytes: bytes}
+		if r.err != nil {
+			return r.err
+		}
+		h.MergeFrom(donor)
+	case snapIdxScan:
+		s, ok := idx.(*ScanIndex)
+		if !ok {
+			return fmt.Errorf("join: snapshot holds a scan index but the predicate builds %T", idx)
+		}
+		bytes := int64(r.u64("index bytes"))
+		donor := &ScanIndex{arena: readArena(r), bytes: bytes}
+		if r.err != nil {
+			return r.err
+		}
+		s.MergeFrom(donor)
+	case snapIdxOrdered:
+		n := int(r.u32("tuple count"))
+		for i := 0; i < n; i++ {
+			t := readTuple(r)
+			if r.err != nil {
+				return r.err
+			}
+			idx.Insert(t)
+		}
+	default:
+		return fmt.Errorf("join: snapshot has unknown index kind %d", kind)
+	}
+	return r.err
+}
+
+// AppendSnapshot appends the serialized state of both sides to buf and
+// returns the extended slice. The encoding is deterministic for a
+// given store state and self-delimiting; it carries no CRC or length
+// prefix of its own (the storage layer frames it).
+func (l *Local) AppendSnapshot(buf []byte) []byte {
+	buf = appendU8(buf, localSnapVersion)
+	buf = appendIndex(buf, l.r)
+	buf = appendIndex(buf, l.s)
+	return buf
+}
+
+// LoadSnapshot installs a snapshot produced by AppendSnapshot into l,
+// which must be freshly constructed (empty). Returns the number of
+// bytes consumed, so callers embedding the snapshot in a larger record
+// can continue past it.
+func (l *Local) LoadSnapshot(data []byte) (int, error) {
+	if l.r.Len() != 0 || l.s.Len() != 0 {
+		return 0, fmt.Errorf("join: LoadSnapshot target is not empty")
+	}
+	r := &snapReader{data: data}
+	if v := r.u8("snapshot version"); r.err == nil && v != localSnapVersion {
+		return 0, fmt.Errorf("join: unsupported local snapshot version %d", v)
+	}
+	if err := loadIndex(r, l.r); err != nil {
+		return 0, err
+	}
+	if err := loadIndex(r, l.s); err != nil {
+		return 0, err
+	}
+	return r.off, r.err
+}
+
+// SnapshotSeqs appends the sequence number of every stored non-dummy
+// tuple on both sides to seqs — the duplicate-filter set a restored
+// joiner uses to drop replayed tuples it already holds.
+func (l *Local) SnapshotSeqs(seqs []uint64) []uint64 {
+	collect := func(idx Index) {
+		idx.Scan(func(t Tuple) bool {
+			if !t.Dummy && t.Seq != 0 {
+				seqs = append(seqs, t.Seq)
+			}
+			return true
+		})
+	}
+	collect(l.r)
+	collect(l.s)
+	return seqs
+}

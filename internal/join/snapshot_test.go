@@ -1,0 +1,191 @@
+package join
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// snapTupleKey flattens a tuple (payload included) for multiset
+// comparison across a snapshot round trip.
+type snapTupleKey struct {
+	rel      matrix.Side
+	key, aux int64
+	u, seq   uint64
+	size     int32
+	dummy    bool
+	payload  string
+}
+
+func snapKeyOf(t Tuple) snapTupleKey {
+	return snapTupleKey{
+		rel: t.Rel, key: t.Key, aux: t.Aux, u: t.U, seq: t.Seq,
+		size: t.Size, dummy: t.Dummy, payload: string(t.Payload),
+	}
+}
+
+func storedMultiset(l *Local) map[snapTupleKey]int {
+	out := make(map[snapTupleKey]int)
+	for _, side := range []matrix.Side{matrix.SideR, matrix.SideS} {
+		l.Scan(side, func(t Tuple) bool {
+			out[snapKeyOf(t)]++
+			return true
+		})
+	}
+	return out
+}
+
+// fillLocal inserts a mixed population: keyed tuples on both sides,
+// some with payloads, some dummies, spread over enough tuples to span
+// multiple arena chunks.
+func fillLocal(l *Local, rng *rand.Rand, n int) {
+	for i := 0; i < n; i++ {
+		t := Tuple{
+			Rel:  matrix.Side(i % 2),
+			Key:  rng.Int63n(97),
+			Aux:  rng.Int63(),
+			U:    rng.Uint64(),
+			Seq:  uint64(i + 1),
+			Size: int32(8 + rng.Intn(64)),
+		}
+		if i%7 == 0 {
+			t.Payload = []byte(strings.Repeat("p", 1+rng.Intn(24)))
+		}
+		if i%31 == 0 {
+			t.Dummy = true
+			t.Seq = 0
+		}
+		l.Insert(t)
+	}
+}
+
+func TestLocalSnapshotRoundTrip(t *testing.T) {
+	preds := []struct {
+		name string
+		pred Predicate
+	}{
+		{"hash-equi", EquiJoin("eq", nil)},
+		{"ordered-band", BandJoin("band", 3, nil)},
+		{"scan-theta", ThetaJoin("theta", func(r, s Tuple) bool { return r.Key < s.Key })},
+	}
+	for _, tc := range preds {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			src := NewLocal(tc.pred)
+			fillLocal(src, rng, 5000) // spans several arena chunks
+			want := storedMultiset(src)
+			wantBytes := src.Bytes()
+
+			buf := src.AppendSnapshot(nil)
+			dst := NewLocal(tc.pred)
+			n, err := dst.LoadSnapshot(buf)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if n != len(buf) {
+				t.Fatalf("load consumed %d of %d bytes", n, len(buf))
+			}
+			got := storedMultiset(dst)
+			if len(got) != len(want) {
+				t.Fatalf("distinct tuples: got %d, want %d", len(got), len(want))
+			}
+			for k, c := range want {
+				if got[k] != c {
+					t.Fatalf("tuple %+v: got %d, want %d", k, got[k], c)
+				}
+			}
+			if dst.Bytes() != wantBytes {
+				t.Fatalf("restored Bytes() = %d, want %d", dst.Bytes(), wantBytes)
+			}
+
+			// A restored local must still join correctly: probe one tuple
+			// against both versions and compare match counts.
+			probe := Tuple{Rel: matrix.SideR, Key: 13, Size: 8, Seq: 999999}
+			var a, b int
+			src.Probe(probe, func(Pair) { a++ })
+			dst.Probe(probe, func(Pair) { b++ })
+			if a != b {
+				t.Fatalf("restored probe found %d matches, original %d", b, a)
+			}
+		})
+	}
+}
+
+func TestLocalSnapshotEmptyRoundTrip(t *testing.T) {
+	src := NewLocal(EquiJoin("eq", nil))
+	buf := src.AppendSnapshot(nil)
+	dst := NewLocal(EquiJoin("eq", nil))
+	if _, err := dst.LoadSnapshot(buf); err != nil {
+		t.Fatalf("load empty: %v", err)
+	}
+	if dst.TotalLen() != 0 {
+		t.Fatalf("restored empty local holds %d tuples", dst.TotalLen())
+	}
+}
+
+func TestLocalSnapshotSelfDelimiting(t *testing.T) {
+	src := NewLocal(EquiJoin("eq", nil))
+	fillLocal(src, rand.New(rand.NewSource(7)), 300)
+	buf := src.AppendSnapshot(nil)
+	trailer := []byte("TRAILING-RECORD")
+	buf = append(buf, trailer...)
+	dst := NewLocal(EquiJoin("eq", nil))
+	n, err := dst.LoadSnapshot(buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if n != len(buf)-len(trailer) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(buf)-len(trailer))
+	}
+}
+
+func TestLocalSnapshotKindMismatch(t *testing.T) {
+	src := NewLocal(EquiJoin("eq", nil)) // hash indexes
+	fillLocal(src, rand.New(rand.NewSource(9)), 100)
+	buf := src.AppendSnapshot(nil)
+	dst := NewLocal(BandJoin("band", 2, nil)) // ordered indexes
+	if _, err := dst.LoadSnapshot(buf); err == nil {
+		t.Fatal("loading a hash snapshot into an ordered-index local succeeded")
+	}
+}
+
+func TestLocalSnapshotRejectsNonEmptyTarget(t *testing.T) {
+	src := NewLocal(EquiJoin("eq", nil))
+	buf := src.AppendSnapshot(nil)
+	dst := NewLocal(EquiJoin("eq", nil))
+	dst.Insert(Tuple{Rel: matrix.SideR, Key: 1, Seq: 1, Size: 8})
+	if _, err := dst.LoadSnapshot(buf); err == nil {
+		t.Fatal("LoadSnapshot into a non-empty local succeeded")
+	}
+}
+
+func TestLocalSnapshotTruncation(t *testing.T) {
+	src := NewLocal(EquiJoin("eq", nil))
+	fillLocal(src, rand.New(rand.NewSource(11)), 500)
+	buf := src.AppendSnapshot(nil)
+	// Every proper prefix must fail cleanly (never panic). Stride keeps
+	// the test fast; the interesting boundaries are all hit modulo 13.
+	for cut := 0; cut < len(buf); cut += 13 {
+		dst := NewLocal(EquiJoin("eq", nil))
+		if _, err := dst.LoadSnapshot(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d loaded successfully", cut, len(buf))
+		}
+	}
+}
+
+func TestSnapshotSeqsSkipsDummies(t *testing.T) {
+	l := NewLocal(EquiJoin("eq", nil))
+	l.Insert(Tuple{Rel: matrix.SideR, Key: 1, Seq: 10, Size: 8})
+	l.Insert(Tuple{Rel: matrix.SideS, Key: 1, Seq: 11, Size: 8})
+	l.Insert(Tuple{Rel: matrix.SideR, Key: 2, Dummy: true, Size: 8})
+	seqs := l.SnapshotSeqs(nil)
+	if len(seqs) != 2 {
+		t.Fatalf("SnapshotSeqs returned %d entries, want 2", len(seqs))
+	}
+	got := map[uint64]bool{seqs[0]: true, seqs[1]: true}
+	if !got[10] || !got[11] {
+		t.Fatalf("SnapshotSeqs = %v, want {10, 11}", seqs)
+	}
+}

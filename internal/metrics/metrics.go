@@ -85,6 +85,9 @@ type Operator struct {
 	// framing); MigBatchedMessages counts the messages they carried.
 	MigBatchesSent     atomic.Int64
 	MigBatchedMessages atomic.Int64
+	// Checkpoints counts committed barrier checkpoints (snapshot made
+	// durable and the replay log trimmed to the cut).
+	Checkpoints atomic.Int64
 	// MigrationNanos accumulates wall time from each elementary epoch
 	// step's broadcast to its last joiner ack — migration steps and
 	// elastic expansions alike: the drain time of the relocated state
@@ -162,6 +165,7 @@ func Merged(ms ...*Operator) *Operator {
 		out.BatchFlushLinger.Add(m.BatchFlushLinger.Load())
 		out.BatchFlushIdle.Add(m.BatchFlushIdle.Load())
 		out.BatchFlushSignal.Add(m.BatchFlushSignal.Load())
+		out.Checkpoints.Add(m.Checkpoints.Load())
 		out.MigBatchesSent.Add(m.MigBatchesSent.Load())
 		out.MigBatchedMessages.Add(m.MigBatchedMessages.Load())
 		out.MigrationNanos.Add(m.MigrationNanos.Load())

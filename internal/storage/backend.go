@@ -1,0 +1,237 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/faultpoint"
+)
+
+// Backend persists operator checkpoints. Write must commit atomically:
+// after a torn Write (crash mid-call), Latest must return either the
+// previous checkpoint intact or nothing — never a partial blob.
+// Checkpoint ids are assigned by the operator and strictly increase
+// within one operator lifetime.
+type Backend interface {
+	// Write durably commits one checkpoint blob under id, replacing any
+	// previous checkpoint.
+	Write(id uint64, data []byte) error
+	// Latest returns the newest committed checkpoint. ok is false when
+	// no checkpoint has ever been committed; err reports a committed
+	// checkpoint that fails validation (corruption).
+	Latest() (id uint64, data []byte, ok bool, err error)
+}
+
+// ErrCorrupt tags every validation failure of a committed checkpoint —
+// truncation, checksum mismatch, id mismatch — so callers can
+// errors.Is one sentinel regardless of which layer detected it.
+var ErrCorrupt = errors.New("checkpoint corrupt")
+
+// MemBackend keeps the latest checkpoint in memory: the testing and
+// single-process default. The blob is copied on both sides, so the
+// caller may reuse its buffer.
+type MemBackend struct {
+	mu   sync.Mutex
+	id   uint64
+	data []byte
+	has  bool
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend { return &MemBackend{} }
+
+// Write commits the blob.
+func (b *MemBackend) Write(id uint64, data []byte) error {
+	b.mu.Lock()
+	b.id = id
+	b.data = append(b.data[:0], data...)
+	b.has = true
+	b.mu.Unlock()
+	return nil
+}
+
+// Latest returns the last committed blob.
+func (b *MemBackend) Latest() (uint64, []byte, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.has {
+		return 0, nil, false, nil
+	}
+	return b.id, append([]byte(nil), b.data...), true, nil
+}
+
+// FileBackend persists checkpoints in a directory:
+//
+//	ckpt-<id>.snap   the checkpoint blob
+//	MANIFEST         magic, id, blob filename, blob size, blob CRC32,
+//	                 then the CRC32 of the manifest body itself
+//
+// Commit order makes torn writes unmistakable for valid checkpoints:
+// the blob is written to a temp file and renamed into place first, the
+// manifest likewise second. A crash before the manifest rename leaves
+// the previous manifest (or none) pointing at the previous blob; a
+// crash mid-rename is resolved by the filesystem's rename atomicity.
+// Latest validates the manifest checksum, then the blob's size and
+// checksum, before returning a byte of it.
+type FileBackend struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileBackend returns a backend rooted at dir, creating it if
+// needed.
+func NewFileBackend(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create backend dir: %w", err)
+	}
+	return &FileBackend{dir: dir}, nil
+}
+
+const manifestMagic = "SQLMANI1"
+
+// manifestName is the commit point: the file whose atomic rename
+// publishes a checkpoint.
+const manifestName = "MANIFEST"
+
+func (b *FileBackend) snapName(id uint64) string {
+	return fmt.Sprintf("ckpt-%016x.snap", id)
+}
+
+// writeAtomic writes data to a temp file in dir and renames it to
+// name: the standard write-rename commit.
+func writeAtomic(dir, name string, data []byte) error {
+	f, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	if werr == nil {
+		werr = serr
+	}
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Write commits the blob under id. The armed corruption faultpoints
+// hook in here: TruncatedSegment drops the blob's tail after the
+// checksums were computed, FlippedCRC flips one payload byte —
+// both then commit the manifest normally, so Latest must catch them.
+// MidSnapshot crashes between the blob rename and the manifest rename,
+// the torn-commit window.
+func (b *FileBackend) Write(id uint64, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	sum := crc32.ChecksumIEEE(data)
+	size := uint64(len(data))
+
+	blob := data
+	if faultpoint.Consume(faultpoint.TruncatedSegment) {
+		blob = blob[:len(blob)/2]
+	} else if faultpoint.Consume(faultpoint.FlippedCRC) && len(blob) > 0 {
+		blob = append([]byte(nil), blob...)
+		blob[len(blob)/2] ^= 0xff
+	}
+
+	name := b.snapName(id)
+	if err := writeAtomic(b.dir, name, blob); err != nil {
+		return fmt.Errorf("storage: write checkpoint blob: %w", err)
+	}
+
+	faultpoint.Crash(faultpoint.MidSnapshot)
+
+	var m []byte
+	m = append(m, manifestMagic...)
+	m = binary.LittleEndian.AppendUint64(m, id)
+	m = binary.LittleEndian.AppendUint32(m, uint32(len(name)))
+	m = append(m, name...)
+	m = binary.LittleEndian.AppendUint64(m, size)
+	m = binary.LittleEndian.AppendUint32(m, sum)
+	m = binary.LittleEndian.AppendUint32(m, crc32.ChecksumIEEE(m))
+	if err := writeAtomic(b.dir, manifestName, m); err != nil {
+		return fmt.Errorf("storage: write checkpoint manifest: %w", err)
+	}
+
+	// The previous blob is garbage once the new manifest is committed.
+	if prev, err := filepath.Glob(filepath.Join(b.dir, "ckpt-*.snap")); err == nil {
+		for _, p := range prev {
+			if filepath.Base(p) != name {
+				_ = os.Remove(p)
+			}
+		}
+	}
+	return nil
+}
+
+// Latest reads and validates the committed checkpoint.
+func (b *FileBackend) Latest() (uint64, []byte, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	m, err := os.ReadFile(filepath.Join(b.dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil, false, nil
+	}
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("storage: read manifest: %w", err)
+	}
+	// magic + id + nameLen + name(>=1) + size + blobCRC + manifestCRC
+	minLen := len(manifestMagic) + 8 + 4 + 1 + 8 + 4 + 4
+	if len(m) < minLen {
+		return 0, nil, false, fmt.Errorf("storage: manifest truncated (%d bytes): %w", len(m), ErrCorrupt)
+	}
+	if string(m[:len(manifestMagic)]) != manifestMagic {
+		return 0, nil, false, fmt.Errorf("storage: manifest has bad magic: %w", ErrCorrupt)
+	}
+	body, tail := m[:len(m)-4], m[len(m)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return 0, nil, false, fmt.Errorf("storage: manifest checksum mismatch: %w", ErrCorrupt)
+	}
+	off := len(manifestMagic)
+	id := binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	nameLen := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if nameLen <= 0 || off+nameLen+12 != len(body) {
+		return 0, nil, false, fmt.Errorf("storage: manifest has inconsistent layout: %w", ErrCorrupt)
+	}
+	name := string(body[off : off+nameLen])
+	off += nameLen
+	size := binary.LittleEndian.Uint64(body[off:])
+	off += 8
+	sum := binary.LittleEndian.Uint32(body[off:])
+
+	if filepath.Base(name) != name {
+		return 0, nil, false, fmt.Errorf("storage: manifest names a non-local blob %q: %w", name, ErrCorrupt)
+	}
+	data, err := os.ReadFile(filepath.Join(b.dir, name))
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("storage: read checkpoint blob: %w (%w)", err, ErrCorrupt)
+	}
+	if uint64(len(data)) != size {
+		return 0, nil, false, fmt.Errorf("storage: checkpoint blob %s is %d bytes, manifest says %d: %w",
+			name, len(data), size, ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(data) != sum {
+		return 0, nil, false, fmt.Errorf("storage: checkpoint blob %s checksum mismatch: %w", name, ErrCorrupt)
+	}
+	return id, data, true, nil
+}

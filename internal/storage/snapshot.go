@@ -1,0 +1,394 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/join"
+	"repro/internal/matrix"
+)
+
+// Operator checkpoint blob format. The blob is a sequence of
+// length-prefixed, individually-checksummed records:
+//
+//	┌─────────┬─────────┬────────┬───────────────┐
+//	│ u32 len │ u32 crc │ u8 typ │ payload       │   len = 1 + |payload|
+//	└─────────┴─────────┴────────┴───────────────┘   crc = CRC32(typ ‖ payload)
+//
+//	header   magic "SQLCKPT1", format version, checkpoint id
+//	meta     epoch, (n,m) grid, cell→joiner table, reshuffler count,
+//	         global sequence cursor
+//	lanes    per-lane ingest sequence grant cursors
+//	cuts     per-reshuffler consumed-item counts at the barrier
+//	         (the replay-buffer trim cursors)
+//	joiner   one per joiner: id, emitted-pair count at the barrier,
+//	         store state (arena blocks + spilled records)
+//	trailer  total record count
+//
+// A record that fails its CRC, a missing trailer, or an id that does
+// not match the manifest all fail decode with an error wrapping
+// ErrCorrupt — a torn or mangled blob can never silently load as a
+// shorter-but-valid checkpoint.
+
+const (
+	snapMagic   = "SQLCKPT1"
+	snapVersion = 1
+)
+
+const (
+	recHeader  = 1
+	recMeta    = 2
+	recLanes   = 3
+	recCuts    = 4
+	recJoiner  = 5
+	recTrailer = 6
+)
+
+// LaneCursor is one source lane's private sequence-grant window at the
+// barrier.
+type LaneCursor struct {
+	Next uint64 // next sequence number the lane would assign
+	End  uint64 // end of the granted window
+}
+
+// JoinerSnapshot is one joiner's barrier state.
+type JoinerSnapshot struct {
+	ID int
+	// Emitted counts the pairs the joiner had emitted when it reached
+	// the barrier: the cut position in its output stream.
+	Emitted int64
+	// State is the store snapshot (Store.AppendSnapshot).
+	State []byte
+}
+
+// OperatorSnapshot is a decoded checkpoint: everything needed to
+// rebuild the operator at the barrier's consistent cut.
+type OperatorSnapshot struct {
+	ID      uint64
+	Epoch   uint32
+	Mapping matrix.Mapping
+	Table   []int // cell index → joiner id
+	NumRe   int
+	Seq     uint64 // global ingest sequence cursor
+	// RouteSeed is the operator's routing seed. Restore forces it on the
+	// rebuilt operator: replay-duplicate filtering relies on a replayed
+	// tuple routing to the joiners that stored its first copy, which only
+	// holds under the same deterministic (seed, seq) routing mix.
+	RouteSeed int64
+	Lanes     []LaneCursor
+	Cuts      []int64 // per-reshuffler replay trim cursors
+	Joiners   []JoinerSnapshot
+}
+
+// appendRecord frames one record.
+func appendRecord(buf []byte, typ byte, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(1+len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	buf = binary.LittleEndian.AppendUint32(buf, crc.Sum32())
+	buf = append(buf, typ)
+	return append(buf, payload...)
+}
+
+// Encode serializes the snapshot.
+func (s *OperatorSnapshot) Encode() []byte {
+	var buf []byte
+
+	var p []byte
+	p = append(p, snapMagic...)
+	p = binary.LittleEndian.AppendUint32(p, snapVersion)
+	p = binary.LittleEndian.AppendUint64(p, s.ID)
+	buf = appendRecord(buf, recHeader, p)
+
+	p = p[:0]
+	p = binary.LittleEndian.AppendUint32(p, s.Epoch)
+	p = binary.LittleEndian.AppendUint32(p, uint32(s.Mapping.N))
+	p = binary.LittleEndian.AppendUint32(p, uint32(s.Mapping.M))
+	p = binary.LittleEndian.AppendUint32(p, uint32(s.NumRe))
+	p = binary.LittleEndian.AppendUint64(p, s.Seq)
+	p = binary.LittleEndian.AppendUint64(p, uint64(s.RouteSeed))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(s.Table)))
+	for _, id := range s.Table {
+		p = binary.LittleEndian.AppendUint32(p, uint32(id))
+	}
+	buf = appendRecord(buf, recMeta, p)
+
+	p = p[:0]
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(s.Lanes)))
+	for _, l := range s.Lanes {
+		p = binary.LittleEndian.AppendUint64(p, l.Next)
+		p = binary.LittleEndian.AppendUint64(p, l.End)
+	}
+	buf = appendRecord(buf, recLanes, p)
+
+	p = p[:0]
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(s.Cuts)))
+	for _, c := range s.Cuts {
+		p = binary.LittleEndian.AppendUint64(p, uint64(c))
+	}
+	buf = appendRecord(buf, recCuts, p)
+
+	for _, j := range s.Joiners {
+		p = p[:0]
+		p = binary.LittleEndian.AppendUint32(p, uint32(j.ID))
+		p = binary.LittleEndian.AppendUint64(p, uint64(j.Emitted))
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(j.State)))
+		p = append(p, j.State...)
+		buf = appendRecord(buf, recJoiner, p)
+	}
+
+	p = p[:0]
+	// header + meta + lanes + cuts + joiners + trailer itself
+	p = binary.LittleEndian.AppendUint32(p, uint32(5+len(s.Joiners)))
+	buf = appendRecord(buf, recTrailer, p)
+	return buf
+}
+
+// corruptf wraps a decode failure with the ErrCorrupt sentinel.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("storage: "+format+": %w", append(args, ErrCorrupt)...)
+}
+
+// nextRecord parses and checksum-validates one framed record.
+func nextRecord(data []byte, off int) (typ byte, payload []byte, next int, err error) {
+	if off+8 > len(data) {
+		return 0, nil, 0, corruptf("checkpoint record frame truncated at offset %d", off)
+	}
+	ln := int(binary.LittleEndian.Uint32(data[off:]))
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	body := data[off+8:]
+	if ln < 1 || ln > len(body) {
+		return 0, nil, 0, corruptf("checkpoint record at offset %d claims %d bytes, %d remain", off, ln, len(body))
+	}
+	body = body[:ln]
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, nil, 0, corruptf("checkpoint record at offset %d fails its CRC", off)
+	}
+	return body[0], body[1:], off + 8 + ln, nil
+}
+
+// fieldReader is a bounds-checked cursor over one record payload.
+type fieldReader struct {
+	data []byte
+	off  int
+	bad  bool
+}
+
+func (r *fieldReader) u32() uint32 {
+	if r.off+4 > len(r.data) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *fieldReader) u64() uint64 {
+	if r.off+8 > len(r.data) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *fieldReader) bytes(n int) []byte {
+	if n < 0 || r.off+n > len(r.data) {
+		r.bad = true
+		return nil
+	}
+	v := r.data[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// DecodeOperatorSnapshot parses and validates a checkpoint blob. The
+// id under which the backend committed the blob must match the id
+// embedded in the header — a mismatch means a stale or cross-wired
+// blob and fails like any other corruption.
+func DecodeOperatorSnapshot(id uint64, data []byte) (*OperatorSnapshot, error) {
+	s := &OperatorSnapshot{}
+	count := 0
+	sawHeader, sawMeta, sawTrailer := false, false, false
+	off := 0
+	for off < len(data) {
+		typ, payload, next, err := nextRecord(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off = next
+		count++
+		r := &fieldReader{data: payload}
+		switch typ {
+		case recHeader:
+			magic := r.bytes(len(snapMagic))
+			ver := r.u32()
+			gotID := r.u64()
+			if r.bad || string(magic) != snapMagic {
+				return nil, corruptf("checkpoint header malformed")
+			}
+			if ver != snapVersion {
+				return nil, fmt.Errorf("storage: unsupported checkpoint version %d", ver)
+			}
+			if gotID != id {
+				return nil, corruptf("checkpoint blob carries id %d, manifest committed id %d (stale blob)", gotID, id)
+			}
+			s.ID = gotID
+			sawHeader = true
+		case recMeta:
+			s.Epoch = r.u32()
+			s.Mapping.N = int(r.u32())
+			s.Mapping.M = int(r.u32())
+			s.NumRe = int(r.u32())
+			s.Seq = r.u64()
+			s.RouteSeed = int64(r.u64())
+			n := int(r.u32())
+			if n < 0 || n > 1<<20 {
+				return nil, corruptf("checkpoint table length %d implausible", n)
+			}
+			s.Table = make([]int, n)
+			for i := range s.Table {
+				s.Table[i] = int(r.u32())
+			}
+			sawMeta = true
+		case recLanes:
+			n := int(r.u32())
+			if n < 0 || n > 1<<20 {
+				return nil, corruptf("checkpoint lane count %d implausible", n)
+			}
+			s.Lanes = make([]LaneCursor, n)
+			for i := range s.Lanes {
+				s.Lanes[i] = LaneCursor{Next: r.u64(), End: r.u64()}
+			}
+		case recCuts:
+			n := int(r.u32())
+			if n < 0 || n > 1<<20 {
+				return nil, corruptf("checkpoint cut count %d implausible", n)
+			}
+			s.Cuts = make([]int64, n)
+			for i := range s.Cuts {
+				s.Cuts[i] = int64(r.u64())
+			}
+		case recJoiner:
+			j := JoinerSnapshot{ID: int(r.u32())}
+			j.Emitted = int64(r.u64())
+			stateLen := int(r.u32())
+			j.State = append([]byte(nil), r.bytes(stateLen)...)
+			if r.bad {
+				return nil, corruptf("checkpoint joiner record truncated")
+			}
+			s.Joiners = append(s.Joiners, j)
+		case recTrailer:
+			want := int(r.u32())
+			if r.bad || want != count {
+				return nil, corruptf("checkpoint trailer counts %d records, blob has %d", want, count)
+			}
+			sawTrailer = true
+		default:
+			return nil, corruptf("checkpoint has unknown record type %d", typ)
+		}
+		if r.bad {
+			return nil, corruptf("checkpoint record type %d truncated", typ)
+		}
+		if sawTrailer {
+			break
+		}
+	}
+	if off != len(data) {
+		return nil, corruptf("checkpoint has %d trailing bytes after the trailer", len(data)-off)
+	}
+	if !sawHeader || !sawMeta || !sawTrailer {
+		return nil, corruptf("checkpoint is missing required records (header=%v meta=%v trailer=%v)",
+			sawHeader, sawMeta, sawTrailer)
+	}
+	if !s.Mapping.Valid() || s.Mapping.J() != len(s.Table) {
+		return nil, corruptf("checkpoint mapping %v inconsistent with table of %d cells", s.Mapping, len(s.Table))
+	}
+	if len(s.Joiners) != len(s.Table) {
+		return nil, corruptf("checkpoint has %d joiner records for %d cells", len(s.Joiners), len(s.Table))
+	}
+	return s, nil
+}
+
+// AppendSnapshot appends the store's serialized state to buf: the
+// memory tier as whole arena blocks (join.Local.AppendSnapshot), then
+// each side's spilled records in append order, re-using the spill
+// segment's record encoding.
+func (s *Store) AppendSnapshot(buf []byte) []byte {
+	buf = s.mem.AppendSnapshot(buf)
+	var scratch []byte
+	for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
+		n := 0
+		if seg := s.segs[side]; seg != nil {
+			n = seg.len()
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+		if seg := s.segs[side]; seg != nil {
+			seg.scan(func(t join.Tuple) bool {
+				scratch = encodeRecordInto(scratch, t)
+				buf = append(buf, scratch...)
+				return true
+			}, &s.Metrics)
+		}
+	}
+	return buf
+}
+
+// RestoreSnapshot installs a snapshot produced by AppendSnapshot into
+// a freshly constructed store. The memory tier is rebuilt through the
+// arena-adoption merge path; spilled records re-enter through Insert,
+// so the memory budget re-applies and overflow spills again. The
+// restored memory tier may exceed CapBytes when the snapshot was taken
+// unbudgeted — the budget gates inserts, not installs.
+func (s *Store) RestoreSnapshot(data []byte) error {
+	n, err := s.mem.LoadSnapshot(data)
+	if err != nil {
+		return fmt.Errorf("storage: restore memory tier: %w", err)
+	}
+	off := n
+	for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
+		if off+4 > len(data) {
+			return corruptf("store snapshot truncated before side %d spill count", side)
+		}
+		cnt := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		for i := 0; i < cnt; i++ {
+			if off+recordHeader > len(data) {
+				return corruptf("store snapshot spill record %d/%d truncated", i, cnt)
+			}
+			plen := int(binary.LittleEndian.Uint32(data[off+38:]))
+			if plen < 0 || off+recordHeader+plen > len(data) {
+				return corruptf("store snapshot spill record %d/%d payload truncated", i, cnt)
+			}
+			t, consumed := decodeRecord(data[off:])
+			off += consumed
+			s.Insert(t)
+		}
+	}
+	if off != len(data) {
+		return corruptf("store snapshot has %d trailing bytes", len(data)-off)
+	}
+	return nil
+}
+
+// SnapshotSeqs appends the sequence numbers of every stored non-dummy
+// tuple, both tiers, to seqs: the restored joiner's duplicate-filter
+// set.
+func (s *Store) SnapshotSeqs(seqs []uint64) []uint64 {
+	seqs = s.mem.SnapshotSeqs(seqs)
+	for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
+		if seg := s.segs[side]; seg != nil {
+			seg.scan(func(t join.Tuple) bool {
+				if !t.Dummy && t.Seq != 0 {
+					seqs = append(seqs, t.Seq)
+				}
+				return true
+			}, &s.Metrics)
+		}
+	}
+	return seqs
+}

@@ -88,6 +88,21 @@ func WithMigBatchSize(n int) Option { return func(sc *stageConfig) { sc.cfg.MigB
 // tier.
 func WithStorage(cfg StorageConfig) Option { return func(sc *stageConfig) { sc.cfg.Storage = cfg } }
 
+// WithBackend enables barrier checkpointing against the given durable
+// store: Operator.Checkpoint (and the WithCheckpointEvery pacer)
+// snapshots joiner state, controller mapping, and ingest cursors
+// through it, and Restore rebuilds from its latest committed snapshot.
+// Only the single-grid operator supports it; a grouped stage
+// (non-power-of-two joiners, or WithGrouped) rejects it at build time.
+func WithBackend(b Backend) Option { return func(sc *stageConfig) { sc.cfg.Backend = b } }
+
+// WithCheckpointEvery makes a backend-equipped stage checkpoint
+// automatically after every n ingested tuples. Requires WithBackend;
+// 0 (the default) leaves checkpointing purely manual.
+func WithCheckpointEvery(n int64) Option {
+	return func(sc *stageConfig) { sc.cfg.CheckpointEvery = n }
+}
+
 // WithLatency attaches a latency sampler to the stage.
 func WithLatency(l *LatencySampler) Option { return func(sc *stageConfig) { sc.cfg.Latency = l } }
 
@@ -188,6 +203,11 @@ func (sc stageConfig) build(pred Predicate, sink Sink) Engine {
 		}
 	}
 	if sc.grouped || !isPow2(sc.cfg.J) {
+		if sc.cfg.Backend != nil {
+			// Unlike the perf options above, silently dropping WithBackend
+			// would change durability semantics, not just tuning — refuse.
+			panic("squall: WithBackend requires the single-grid operator (power-of-two joiners, no WithGrouped)")
+		}
 		return core.NewGrouped(core.GroupedConfig{
 			J:           sc.cfg.J,
 			Pred:        pred,

@@ -1,0 +1,128 @@
+package squall
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Backend is a durable checkpoint store: Write commits one snapshot
+// atomically, Latest returns the newest committed one. Attach one with
+// WithBackend to enable checkpointing; hand it to Restore to rebuild
+// an operator after a crash.
+type Backend = storage.Backend
+
+// MemBackend is an in-process Backend for tests and single-process
+// restarts.
+type MemBackend = storage.MemBackend
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend { return storage.NewMemBackend() }
+
+// FileBackend is a directory-backed Backend: each snapshot is a
+// CRC-protected blob committed by atomic rename, with a manifest
+// naming the latest; torn writes are detected, never replayed.
+type FileBackend = storage.FileBackend
+
+// NewFileBackend opens (creating if needed) a checkpoint directory.
+func NewFileBackend(dir string) (*FileBackend, error) { return storage.NewFileBackend(dir) }
+
+// ErrCorrupt wraps every checkpoint validation failure (truncated
+// blob, CRC mismatch, malformed manifest): errors.Is(err, ErrCorrupt)
+// distinguishes unusable-checkpoint from I/O trouble.
+var ErrCorrupt = storage.ErrCorrupt
+
+// ErrNoBackend is returned by Operator.Checkpoint when the operator
+// was built without WithBackend.
+var ErrNoBackend = core.ErrNoBackend
+
+// ErrNoCheckpoint is returned by Restore when the backend holds no
+// committed checkpoint to restore from.
+var ErrNoCheckpoint = errors.New("squall: backend holds no checkpoint")
+
+// ReplayLog is the ingest-edge log of a checkpointing operator: every
+// tuple accepted by Send/SendBatch stays in it until a checkpoint
+// covering it commits. After a crash, feed the dead operator's log to
+// the restored operator's ReplayFrom — replayed tuples already covered
+// by the restored snapshot are filtered by sequence number, so replay
+// never duplicates results.
+type ReplayLog = core.ReplayLog
+
+// RestoreInfo describes the checkpoint an operator was restored from.
+type RestoreInfo struct {
+	// CheckpointID is the restored snapshot's id; the operator's next
+	// checkpoint uses CheckpointID+1.
+	CheckpointID uint64
+	// Epoch and Mapping are the controller state at the barrier.
+	Epoch   uint32
+	Mapping Mapping
+	// Joiners is the joiner count at the barrier (elastic expansion may
+	// have grown it past the configured J).
+	Joiners int
+	// Emitted[i] is joiner i's output-pair count at the barrier: the
+	// exact prefix of shard i's output stream the snapshot covers. A
+	// sink that logs per shard can truncate to it and let replay
+	// regenerate the rest exactly once.
+	Emitted []int64
+}
+
+// Restore rebuilds an operator from the backend's latest committed
+// checkpoint. The predicate, sink, and options must be re-supplied (a
+// snapshot carries state, not code); the joiner count, mapping, and
+// reshuffler count are forced from the snapshot, overriding
+// WithJoiners and friends. The returned operator is not yet started:
+// call Start (or StartContext), then ReplayFrom with the crashed
+// operator's log (or re-send the uncheckpointed input), then continue
+// feeding as usual.
+//
+// Restore fails with ErrNoCheckpoint when the backend is empty and
+// with an ErrCorrupt-wrapped error when the latest checkpoint does not
+// validate — it never panics on corrupt input.
+func Restore(backend Backend, pred Predicate, sink Sink, opts ...Option) (*Operator, *RestoreInfo, error) {
+	id, data, ok, err := backend.Latest()
+	if err != nil {
+		return nil, nil, fmt.Errorf("squall: restore: %w", err)
+	}
+	if !ok {
+		return nil, nil, ErrNoCheckpoint
+	}
+	snap, err := storage.DecodeOperatorSnapshot(id, data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("squall: restore: %w", err)
+	}
+	sc := newStageConfig(nil, opts)
+	if sc.grouped {
+		return nil, nil, errors.New("squall: restore: the grouped operator does not support checkpointing")
+	}
+	var emitBatch EmitBatch
+	var emitShard ShardedEmitBatch
+	if sink != nil {
+		if sh, okSh := sink.(interface{ sinkSharded() ShardedEmitBatch }); okSh {
+			emitShard = sh.sinkSharded()
+		} else {
+			emitBatch = sink.sinkBatch()
+		}
+	}
+	cfg := sc.cfg
+	cfg.Pred = pred
+	cfg.EmitBatch = emitBatch
+	cfg.EmitShard = emitShard
+	cfg.Backend = backend
+	op, err := core.RestoreOperator(cfg, snap)
+	if err != nil {
+		return nil, nil, fmt.Errorf("squall: restore: %w", err)
+	}
+	info := &RestoreInfo{
+		CheckpointID: snap.ID,
+		Epoch:        snap.Epoch,
+		Mapping:      snap.Mapping,
+		Joiners:      len(snap.Table),
+		Emitted:      make([]int64, len(snap.Table)),
+	}
+	for _, js := range snap.Joiners {
+		info.Emitted[js.ID] = js.Emitted
+	}
+	return op, info, nil
+}
