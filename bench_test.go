@@ -533,8 +533,12 @@ func BenchmarkCheckpoint(b *testing.B) {
 		var cnt atomic.Int64
 		op := squall.NewOperator(squall.Config{
 			J: 16, Pred: squall.EquiJoin("bench", nil), Seed: 1,
-			Backend:   backend,
-			EmitBatch: func(ps []squall.Pair) { cnt.Add(int64(len(ps))) },
+			Backend: backend,
+			// Force every snapshot full: this benchmark measures the
+			// whole-state serialization plane (BenchmarkCheckpointIncremental
+			// covers the delta path).
+			CheckpointCompactEvery: 1,
+			EmitBatch:              func(ps []squall.Pair) { cnt.Add(int64(len(ps))) },
 		})
 		op.Start()
 		tuples := sparseStream(n)
@@ -552,11 +556,18 @@ func BenchmarkCheckpoint(b *testing.B) {
 		if err := op.Checkpoint(); err != nil {
 			b.Fatal(err)
 		}
-		_, blob, ok, err := backend.Latest()
-		if err != nil || !ok {
-			b.Fatalf("no committed checkpoint to size (ok=%v err=%v)", ok, err)
+		gens, err := backend.Generations()
+		if err != nil || len(gens) == 0 {
+			b.Fatalf("no committed checkpoint to size (gens=%v err=%v)", gens, err)
 		}
-		snapBytes := len(blob)
+		blobs, err := backend.Load(gens[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		snapBytes := 0
+		for _, bl := range blobs {
+			snapBytes += len(bl.Data)
+		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if err := op.Checkpoint(); err != nil {
@@ -585,6 +596,115 @@ func BenchmarkCheckpoint(b *testing.B) {
 		}
 		run(b, 100000, backend)
 	})
+}
+
+// countingBackend wraps a Backend and sums committed checkpoint
+// payload bytes, so a benchmark can report the exact bytes shipped per
+// checkpoint without re-loading generations.
+type countingBackend struct {
+	squall.Backend
+	writes atomic.Int64
+	bytes  atomic.Int64
+}
+
+func (c *countingBackend) Write(gen uint64, data []byte, deps []uint64) error {
+	err := c.Backend.Write(gen, data, deps)
+	if err == nil {
+		c.writes.Add(1)
+		c.bytes.Add(int64(len(data)))
+	}
+	return err
+}
+
+// BenchmarkCheckpointIncremental measures the PR-9 incremental
+// checkpoint plane: after a 100k-tuple base and one full checkpoint,
+// each iteration ingests a fraction of the base (1%, 10%, or 100%)
+// and checkpoints it. The delta modes never compact, so every timed
+// commit ships only the blocks appended since the last one; the full
+// modes force CheckpointCompactEvery=1, so every commit re-ships the
+// whole (growing) state — the baseline the delta payload and pause are
+// judged against at the same ingest cadence. Ingest happens with the
+// timer stopped: ms/ckpt is the pure checkpoint pause, payload-MB the
+// average committed payload.
+func BenchmarkCheckpointIncremental(b *testing.B) {
+	const base = 100000
+	run := func(b *testing.B, frac float64, compactEvery int) {
+		cb := &countingBackend{Backend: squall.NewMemBackend()}
+		var cnt atomic.Int64
+		op := squall.NewOperator(squall.Config{
+			J: 16, Pred: squall.EquiJoin("bench", nil), Seed: 1,
+			Backend:                cb,
+			CheckpointCompactEvery: compactEvery,
+			EmitBatch:              func(ps []squall.Pair) { cnt.Add(int64(len(ps))) },
+		})
+		op.Start()
+		// Unique keys with alternating sides: no key ever appears on
+		// both sides, so the state grows without emitting pairs.
+		next := int64(0)
+		buf := make([]squall.Tuple, 0, 32)
+		feed := func(n int) {
+			for i := 0; i < n; i++ {
+				side := squall.SideR
+				if next%2 == 1 {
+					side = squall.SideS
+				}
+				buf = append(buf, squall.Tuple{Rel: side, Key: next, Size: 8})
+				next++
+				if len(buf) == cap(buf) {
+					if err := op.SendBatch(buf); err != nil {
+						b.Fatal(err)
+					}
+					buf = buf[:0]
+				}
+			}
+			if len(buf) > 0 {
+				if err := op.SendBatch(buf); err != nil {
+					b.Fatal(err)
+				}
+				buf = buf[:0]
+			}
+		}
+		feed(base)
+		if err := op.Checkpoint(); err != nil { // untimed full base
+			b.Fatal(err)
+		}
+		cb.writes.Store(0)
+		cb.bytes.Store(0)
+		deltaN := int(frac * base)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			feed(deltaN)
+			b.StartTimer()
+			if err := op.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if err := op.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		perCkpt := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+		b.ReportMetric(perCkpt/1e6, "ms/ckpt")
+		if w := cb.writes.Load(); w > 0 {
+			b.ReportMetric(float64(cb.bytes.Load())/float64(w)/1e6, "payload-MB")
+		}
+	}
+	never := 1 << 30 // no compaction: every timed checkpoint is a delta
+	for _, tc := range []struct {
+		frac float64
+		name string
+	}{
+		{0.01, "frac=1pct"},
+		{0.10, "frac=10pct"},
+		{1.00, "frac=100pct"},
+	} {
+		tc := tc
+		b.Run(tc.name+"/delta", func(b *testing.B) { run(b, tc.frac, never) })
+		if tc.frac < 1 {
+			b.Run(tc.name+"/full", func(b *testing.B) { run(b, tc.frac, 1) })
+		}
+	}
 }
 
 // BenchmarkStoreBuild measures the insert plane of the joiner store in

@@ -33,6 +33,7 @@
 //	BenchmarkScalingIngest/j=J/procs=P         ... ns/tuple    (concurrent-feeder scaling grid)
 //	BenchmarkScalingFanout/j=J/procs=P         ... ns/tuple    (output-dominated scaling row)
 //	BenchmarkCheckpoint/<mode>                 ... ms/ckpt     (checkpoint pause vs state size)
+//	BenchmarkCheckpointIncremental/<mode>      ... ms/ckpt     (delta-chain pause vs forced-full)
 //
 // Usage:
 //
@@ -78,6 +79,15 @@ type checkpointPoint struct {
 	SnapMB          float64 `json:"snap_mb,omitempty"`
 }
 
+// incrementalPoint is one committed incremental-checkpoint measurement
+// (PR 9): the checkpoint pause and average committed payload at a
+// given delta fraction, delta-chain vs forced-full mode.
+type incrementalPoint struct {
+	Mode            string  `json:"mode"` // e.g. "frac=10pct/delta"
+	MsPerCheckpoint float64 `json:"ms_per_checkpoint"`
+	PayloadMB       float64 `json:"payload_mb,omitempty"`
+}
+
 // trajectory mirrors the BENCH_PR*.json schema. Older files only have
 // Results; SendBatchResults and FanoutResults appear from PR 3 on,
 // StoreBuildResults from PR 4, ChainResults from PR 5, ScalingResults
@@ -92,6 +102,8 @@ type trajectory struct {
 	ChainResults      []point           `json:"chain_results"`
 	ScalingResults    []scalingPoint    `json:"scaling_results"`
 	CheckpointResults []checkpointPoint `json:"checkpoint_results"`
+	// IncrementalResults appears from PR 9 on.
+	IncrementalResults []incrementalPoint `json:"incremental_results"`
 }
 
 // ingestLine matches e.g.
@@ -118,6 +130,10 @@ var scalingLine = regexp.MustCompile(`^BenchmarkScaling(Ingest|Fanout)/j=(\d+)/p
 // checkpointLine matches e.g.
 // BenchmarkCheckpoint/tuples=100000/mem-4   18   61712349 ns/op   64.92 MB/s   61.71 ms/ckpt   4.006 snap-MB
 var checkpointLine = regexp.MustCompile(`^BenchmarkCheckpoint/(\S+?)(?:-\d+)?\s.*?([\d.]+) ms/ckpt`)
+
+// incrementalLine matches e.g.
+// BenchmarkCheckpointIncremental/frac=10pct/delta-4   15   22933188 ns/op   22.93 ms/ckpt   1.887 payload-MB
+var incrementalLine = regexp.MustCompile(`^BenchmarkCheckpointIncremental/(\S+?)(?:-\d+)?\s.*?([\d.]+) ms/ckpt`)
 
 func main() {
 	tolerance := flag.Float64("tolerance", 25,
@@ -155,6 +171,9 @@ func main() {
 	for _, r := range committed.CheckpointResults {
 		base["checkpoint/"+r.Mode] = r.MsPerCheckpoint
 	}
+	for _, r := range committed.IncrementalResults {
+		base["incremental/"+r.Mode] = r.MsPerCheckpoint
+	}
 
 	// curScaling[bench][j][procs] = ns/tuple of the current run, for
 	// the -minscale speedup gate.
@@ -171,7 +190,12 @@ func main() {
 			scaling bool
 			ckpt    bool
 		)
-		if m := checkpointLine.FindStringSubmatch(sc.Text()); m != nil {
+		if m := incrementalLine.FindStringSubmatch(sc.Text()); m != nil {
+			key = "incremental/" + m[1]
+			ns, _ = strconv.ParseFloat(m[2], 64)
+			unit = "ms/ckpt"
+			ckpt = true
+		} else if m := checkpointLine.FindStringSubmatch(sc.Text()); m != nil {
 			key = "checkpoint/" + m[1]
 			ns, _ = strconv.ParseFloat(m[2], 64)
 			unit = "ms/ckpt"

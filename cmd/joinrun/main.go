@@ -19,6 +19,10 @@
 // named fault-injection point so recovery drills can kill the run at a
 // precise place (the error is reported and the exit code is nonzero;
 // restart with the same -checkpoint-dir to restore).
+// -checkpoint-retries wraps the backend in a retrying layer,
+// -checkpoint-keep sets the fallback-restore retention depth, and
+// -flaky-backend injects probabilistic backend failures so the retry
+// and degrade paths can be drilled from the command line.
 package main
 
 import (
@@ -54,6 +58,12 @@ func main() {
 		"checkpoint automatically every n ingested tuples (requires -checkpoint-dir)")
 	crashAt := flag.String("crash-at", "",
 		"arm a fault-injection point and let the run die there (see the listed names on a bad value)")
+	checkpointRetries := flag.Int("checkpoint-retries", 0,
+		"wrap the checkpoint backend in a retry layer re-attempting each failed operation this many times (0 disables; requires -checkpoint-dir)")
+	checkpointKeep := flag.Int("checkpoint-keep", 0,
+		"retain this many checkpoint generations for last-good fallback restore (0 uses the library default; requires -checkpoint-dir)")
+	flakyBackend := flag.Float64("flaky-backend", 0,
+		"inject backend failures with this probability per operation, for recovery drills (0 disables, max 1; requires -checkpoint-dir; deterministic under -seed)")
 	flag.Parse()
 
 	q, ok := workload.ByName(*query)
@@ -85,6 +95,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "joinrun: -checkpoint-every %d is invalid\n", *checkpointEvery)
 		os.Exit(2)
 	}
+	if *checkpointRetries < 0 {
+		fmt.Fprintf(os.Stderr, "joinrun: -checkpoint-retries %d is invalid\n", *checkpointRetries)
+		os.Exit(2)
+	}
+	if *checkpointKeep < 0 {
+		fmt.Fprintf(os.Stderr, "joinrun: -checkpoint-keep %d is invalid\n", *checkpointKeep)
+		os.Exit(2)
+	}
+	if *flakyBackend < 0 || *flakyBackend > 1 {
+		fmt.Fprintf(os.Stderr, "joinrun: -flaky-backend %g is invalid (want a probability in [0,1])\n", *flakyBackend)
+		os.Exit(2)
+	}
+	if (*checkpointRetries > 0 || *checkpointKeep > 0 || *flakyBackend > 0) && *checkpointDir == "" {
+		fmt.Fprintf(os.Stderr, "joinrun: -checkpoint-retries/-checkpoint-keep/-flaky-backend require -checkpoint-dir\n")
+		os.Exit(2)
+	}
 	var backend squall.Backend
 	if *checkpointDir != "" {
 		fb, err := squall.NewFileBackend(*checkpointDir)
@@ -93,6 +119,16 @@ func main() {
 			os.Exit(1)
 		}
 		backend = fb
+		// Decorator order matters: the retry layer goes outermost so it
+		// rides out the injected flaky failures underneath it.
+		if *flakyBackend > 0 {
+			backend = squall.NewFlakyBackend(backend, *flakyBackend, *seed)
+		}
+		if *checkpointRetries > 0 {
+			backend = squall.NewRetryBackend(backend, squall.RetryOptions{
+				MaxRetries: *checkpointRetries, Seed: *seed,
+			})
+		}
 	}
 	if *crashAt != "" {
 		faultpoint.Arm(*crashAt)
@@ -103,7 +139,7 @@ func main() {
 	var out atomic.Int64
 	emit := func(squall.Pair) { out.Add(1) }
 	engine, report := buildEngine(*opName, q, *j, r, s, *seed, *emitWorkers,
-		backend, *checkpointEvery, emit)
+		backend, *checkpointEvery, *checkpointKeep, emit)
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -168,7 +204,8 @@ func main() {
 	fmt.Printf("storage    %d bytes total, %d migrated tuples (migrations=%d)\n",
 		m.TotalStorageBytes(), m.TotalMigrated(), m.Migrations.Load())
 	if backend != nil {
-		fmt.Printf("durability %d checkpoints committed to %s\n", m.Checkpoints.Load(), *checkpointDir)
+		fmt.Printf("durability %d checkpoints committed to %s (%d failed boundaries)\n",
+			m.Checkpoints.Load(), *checkpointDir, m.CheckpointFailures.Load())
 	}
 	report()
 }
@@ -176,7 +213,7 @@ func main() {
 // buildEngine wires the requested engine through the options API and
 // returns it plus an engine-specific postscript for the report.
 func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emitWorkers int,
-	backend squall.Backend, checkpointEvery int64, emit func(squall.Pair)) (squall.Engine, func()) {
+	backend squall.Backend, checkpointEvery int64, checkpointKeep int, emit func(squall.Pair)) (squall.Engine, func()) {
 	switch name {
 	case "dynamic", "staticmid", "staticopt":
 		// Fail fast, like the raw constructor used to: a non-power-of-two
@@ -201,6 +238,9 @@ func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emitWor
 			opts = append(opts, squall.WithBackend(backend))
 			if checkpointEvery > 0 {
 				opts = append(opts, squall.WithCheckpointEvery(checkpointEvery))
+			}
+			if checkpointKeep > 0 {
+				opts = append(opts, squall.WithCheckpointKeep(checkpointKeep))
 			}
 		}
 		e := squall.NewEngine(q.Pred, squall.Each(emit), opts...)

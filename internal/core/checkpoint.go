@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/join"
 	"repro/internal/matrix"
@@ -158,17 +160,28 @@ type ckptEvent struct {
 	cut     int64 // evCut
 	emitted int64 // evSnap: OutputPairs at the barrier
 	state   []byte
+	// evSnap: the watermark a later delta may be taken against once
+	// this payload commits, and the joiner's cell to publish it into.
+	// The cell pointer rides the event so the coordinator never reads
+	// op.joiners (which spawnChildren mutates concurrently).
+	wm     storage.StoreWatermark
+	wmCell *atomic.Pointer[storage.StoreWatermark]
 	// evBegin fields:
 	epoch   uint32
 	numRe   int
 	mapping matrix.Mapping
 	table   []int
+	full    bool // evBegin: force a full (chain-resetting) snapshot
 }
 
 // ckptResult reports one checkpoint's outcome back to the controller.
+// chainLen is the committed delta chain's length after this checkpoint
+// (unchanged on failure); the controller forces a full snapshot once
+// it reaches CheckpointCompactEvery.
 type ckptResult struct {
-	id  uint64
-	err error
+	id       uint64
+	err      error
+	chainLen int
 }
 
 // ckptBuild is the coordinator's in-progress assembly of one
@@ -182,8 +195,21 @@ type ckptBuild struct {
 	cuts     []int64
 	cutsGot  int
 	joiners  []storage.JoinerSnapshot
+	wms      []storage.StoreWatermark
+	wmCells  []*atomic.Pointer[storage.StoreWatermark]
 	snapsGot int
 	begun    bool
+	full     bool
+}
+
+// ckptCut remembers one committed checkpoint's replay cuts. The
+// coordinator keeps the newest CheckpointKeep of them (mirroring the
+// backend's keep-K generation retention) and trims the replay log only
+// to the OLDEST retained one, so a fallback restore to any retained
+// generation still finds the log covering everything past its cut.
+type ckptCut struct {
+	id   uint64
+	cuts []int64
 }
 
 // runCkptCoordinator assembles barrier contributions into snapshots
@@ -225,7 +251,10 @@ func (op *Operator) ckptApply(cur *ckptBuild, ev ckptEvent) {
 			table:   ev.table,
 			cuts:    make([]int64, ev.numRe),
 			joiners: make([]storage.JoinerSnapshot, len(ev.table)),
+			wms:     make([]storage.StoreWatermark, len(ev.table)),
+			wmCells: make([]*atomic.Pointer[storage.StoreWatermark], len(ev.table)),
 			begun:   true,
+			full:    ev.full,
 		}
 		return
 	case evCut:
@@ -239,13 +268,29 @@ func (op *Operator) ckptApply(cur *ckptBuild, ev ckptEvent) {
 			return
 		}
 		cur.joiners[ev.idx] = storage.JoinerSnapshot{ID: ev.idx, Emitted: ev.emitted, State: ev.state}
+		cur.wms[ev.idx] = ev.wm
+		cur.wmCells[ev.idx] = ev.wmCell
 		cur.snapsGot++
 	}
 	if cur.begun && cur.cutsGot == cur.numRe && cur.snapsGot == len(cur.table) {
 		err := op.commitCkpt(cur)
+		if err != nil {
+			// Graceful degradation: the snapshot is lost but nothing
+			// durable moved — watermarks stay unpublished (the next delta
+			// re-covers the same suffix) and the replay log stays
+			// untrimmed, so the previous checkpoint remains fully
+			// recoverable. Degrade keeps joining and retries at the next
+			// boundary; FailStop surfaces the error through Wait.
+			op.met.CheckpointFailures.Add(1)
+			if op.cfg.CheckpointPolicy == CkptFailStop {
+				op.runner.Cancel(err)
+			} else {
+				log.Printf("core: checkpoint %d failed (degrading, replay log kept): %v", cur.id, err)
+			}
+		}
 		cur.begun = false
 		select {
-		case op.ctl.ckptDoneCh <- ckptResult{id: cur.id, err: err}:
+		case op.ctl.ckptDoneCh <- ckptResult{id: cur.id, err: err, chainLen: len(op.ckptChain)}:
 		case <-op.ckptQuit:
 		case <-op.stop:
 		}
@@ -253,12 +298,23 @@ func (op *Operator) ckptApply(cur *ckptBuild, ev ckptEvent) {
 }
 
 // commitCkpt encodes and durably writes one assembled checkpoint, then
-// trims the replay log up to its cuts. Trim strictly after the write:
-// a crash between them replays a covered suffix, which the restored
-// joiners' sequence filters drop — the reverse order would lose input.
+// trims the replay log up to the oldest *retained* generation's cuts.
+// Trim strictly after the write: a crash between them replays a
+// covered suffix, which the restored joiners' sequence filters drop —
+// the reverse order would lose input. On a delta checkpoint the
+// snapshot records its base (the previous committed id) and the write
+// declares the whole chain as dependencies, so the backend's manifest
+// pins every blob a restore of this generation needs.
 func (op *Operator) commitCkpt(cur *ckptBuild) error {
+	var baseID uint64
+	var deps []uint64
+	if !cur.full && len(op.ckptChain) > 0 {
+		baseID = op.ckptChain[len(op.ckptChain)-1]
+		deps = append([]uint64(nil), op.ckptChain...)
+	}
 	snap := storage.OperatorSnapshot{
 		ID:        cur.id,
+		BaseID:    baseID,
 		Epoch:     cur.epoch,
 		Mapping:   cur.mapping,
 		Table:     cur.table,
@@ -269,10 +325,26 @@ func (op *Operator) commitCkpt(cur *ckptBuild) error {
 		Cuts:      cur.cuts,
 		Joiners:   cur.joiners,
 	}
-	if err := op.cfg.Backend.Write(cur.id, snap.Encode()); err != nil {
+	if err := op.cfg.Backend.Write(cur.id, snap.Encode(), deps); err != nil {
 		return fmt.Errorf("core: commit checkpoint %d: %w", cur.id, err)
 	}
-	op.replay.Trim(cur.cuts)
+	// Committed: publish each joiner's watermark so the next barrier
+	// can delta against this (now durable) payload.
+	for i, cell := range cur.wmCells {
+		if cell != nil {
+			wm := cur.wms[i]
+			cell.Store(&wm)
+		}
+	}
+	if deps == nil {
+		op.ckptChain = op.ckptChain[:0]
+	}
+	op.ckptChain = append(op.ckptChain, cur.id)
+	op.cutHist = append(op.cutHist, ckptCut{id: cur.id, cuts: append([]int64(nil), cur.cuts...)})
+	if keep := op.cfg.CheckpointKeep; len(op.cutHist) > keep {
+		op.cutHist = append(op.cutHist[:0], op.cutHist[len(op.cutHist)-keep:]...)
+	}
+	op.replay.Trim(op.cutHist[0].cuts)
 	op.met.Checkpoints.Add(1)
 	return nil
 }
@@ -404,7 +476,11 @@ func RestoreOperator(cfg Config, snap *storage.OperatorSnapshot) (*Operator, err
 				js.ID, storage.ErrCorrupt)
 		}
 		w := op.joiners[js.ID]
-		if err := w.state.RestoreSnapshot(js.State); err != nil {
+		chain := js.StateChain
+		if chain == nil {
+			chain = [][]byte{js.State}
+		}
+		if err := w.state.RestoreSnapshotChain(chain); err != nil {
 			return nil, fmt.Errorf("core: restore joiner %d: %w", js.ID, err)
 		}
 		if seqs := w.state.SnapshotSeqs(nil); len(seqs) > 0 {

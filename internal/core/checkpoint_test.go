@@ -102,19 +102,24 @@ func stampSeqs(tuples []join.Tuple, from uint64) uint64 {
 	return from
 }
 
-// latestSnapshot decodes the backend's newest committed checkpoint.
+// latestSnapshot decodes the backend's newest committed checkpoint,
+// resolving its whole base+delta chain.
 func latestSnapshot(t *testing.T, b storage.Backend) *storage.OperatorSnapshot {
 	t.Helper()
-	id, data, ok, err := b.Latest()
+	gens, err := b.Generations()
 	if err != nil {
-		t.Fatalf("backend latest: %v", err)
+		t.Fatalf("backend generations: %v", err)
 	}
-	if !ok {
+	if len(gens) == 0 {
 		t.Fatal("backend holds no checkpoint")
 	}
-	snap, err := storage.DecodeOperatorSnapshot(id, data)
+	blobs, err := b.Load(gens[0])
 	if err != nil {
-		t.Fatalf("decode checkpoint %d: %v", id, err)
+		t.Fatalf("load checkpoint %d: %v", gens[0], err)
+	}
+	snap, err := storage.DecodeOperatorSnapshotChain(blobs)
+	if err != nil {
+		t.Fatalf("decode checkpoint %d: %v", gens[0], err)
 	}
 	return snap
 }
@@ -317,8 +322,8 @@ func TestAutoCheckpointEvery(t *testing.T) {
 	if n < 2 {
 		t.Fatalf("CheckpointEvery=1000 over %d tuples committed only %d checkpoints", len(tuples), n)
 	}
-	if _, _, ok, err := backend.Latest(); err != nil || !ok {
-		t.Fatalf("backend latest: ok=%v err=%v", ok, err)
+	if gens, err := backend.Generations(); err != nil || len(gens) == 0 {
+		t.Fatalf("backend generations: %v err=%v", gens, err)
 	}
 	// The replay log must have been trimmed to the last cut: retained
 	// items are bounded by what arrived after the last checkpoint.

@@ -79,6 +79,11 @@ type controller struct {
 	ckptPending   []chan error
 	ckptNext      uint64
 	ckptLastTotal int64
+	// ckptChainLen mirrors the coordinator's committed delta-chain
+	// length (from the last ckptResult): 0 — nothing committed yet, so
+	// the next snapshot must be full; at CheckpointCompactEvery the
+	// next one is forced full to fold the chain back to one base.
+	ckptChainLen int
 
 	sourceDone bool
 	drained    int
@@ -232,6 +237,7 @@ func (c *controller) maybeIssueCkpt() {
 	c.ckptPending = c.ckptPending[:0]
 	id := c.ckptNext
 	c.ckptNext++
+	full := c.ckptChainLen == 0 || c.ckptChainLen >= c.op.cfg.CheckpointCompactEvery
 	ev := ckptEvent{
 		kind:    evBegin,
 		ckpt:    id,
@@ -239,13 +245,14 @@ func (c *controller) maybeIssueCkpt() {
 		numRe:   len(c.resh),
 		mapping: c.deployed,
 		table:   append([]int(nil), c.table...),
+		full:    full,
 	}
 	select {
 	case c.ckptC <- ev:
 	case <-c.op.stop:
 		return
 	}
-	c.broadcast(ctrlMsg{kind: ctrlCkpt, ckpt: id})
+	c.broadcast(ctrlMsg{kind: ctrlCkpt, ckpt: id, full: full})
 }
 
 // onCkptDone completes the in-flight checkpoint: waiters get its
@@ -253,6 +260,7 @@ func (c *controller) maybeIssueCkpt() {
 // chain step, the finish — proceeds.
 func (c *controller) onCkptDone(res ckptResult) {
 	c.ckptInFlight = false
+	c.ckptChainLen = res.chainLen
 	for _, reply := range c.ckptWaiters {
 		reply <- res.err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dataflow"
 	"repro/internal/faultpoint"
@@ -50,6 +51,13 @@ type joiner struct {
 	ckptC    chan<- ckptEvent
 	dedup    map[uint64]struct{}
 	dedupMax uint64
+	// ckptWM is the store watermark of this joiner's newest *committed*
+	// checkpoint payload: the coordinator publishes it only after the
+	// backend write succeeds, so the next barrier's delta is always
+	// taken against durable state (a failed commit leaves the cell
+	// untouched and the following delta re-covers the same suffix). nil
+	// until the first commit — the first snapshot is always full.
+	ckptWM atomic.Pointer[storage.StoreWatermark]
 
 	dataIn    chan []message
 	migIn     *dataflow.Queue[[]message]
@@ -456,6 +464,9 @@ type ckptBarrier struct {
 	seen  []bool
 	count int
 	held  [][]message
+	// full forces a self-contained snapshot (chain compaction or the
+	// first checkpoint); it rides the markers' epoch field.
+	full bool
 }
 
 // onCkptMarker processes one reshuffler's checkpoint barrier marker
@@ -469,7 +480,7 @@ func (w *joiner) onCkptMarker(m message) {
 	}
 	if w.ckpt == nil {
 		faultpoint.Crash(faultpoint.BeforeBarrier)
-		w.ckpt = &ckptBarrier{id: id, seen: make([]bool, w.numRe)}
+		w.ckpt = &ckptBarrier{id: id, seen: make([]bool, w.numRe), full: m.epoch != 0}
 	}
 	if w.ckpt.id != id {
 		panic(fmt.Sprintf("core: joiner %d: overlapping checkpoints %d and %d", w.id, w.ckpt.id, id))
@@ -487,16 +498,24 @@ func (w *joiner) onCkptMarker(m message) {
 // has processed exactly the pre-barrier prefix of every link — the
 // consistent cut. It flushes pending pairs (so the emitted count is
 // the cut position in this joiner's output stream), serializes its
-// store as whole arena blocks, hands the blob to the coordinator, and
-// replays the held post-barrier envelopes.
+// store — incrementally past the last committed watermark when one
+// exists and the barrier doesn't force a full — hands the payload to
+// the coordinator, and replays the held post-barrier envelopes.
 func (w *joiner) completeBarrier() {
 	w.flushPending()
+	var wm *storage.StoreWatermark
+	if !w.ckpt.full {
+		wm = w.ckptWM.Load()
+	}
+	state, next, _ := w.state.AppendSnapshotSince(nil, wm)
 	ev := ckptEvent{
 		kind:    evSnap,
 		ckpt:    w.ckpt.id,
 		idx:     w.id,
 		emitted: w.met.OutputPairs.Load(),
-		state:   w.state.AppendSnapshot(nil),
+		state:   state,
+		wm:      next,
+		wmCell:  &w.ckptWM,
 	}
 	held := w.ckpt.held
 	w.ckpt = nil

@@ -40,9 +40,10 @@ const (
 	// per joiner after flushing its pending batches, so a joiner that
 	// has collected all numRe markers has seen exactly the pre-barrier
 	// prefix of every link (Chandy-Lamport alignment on FIFO links).
-	// The checkpoint id rides in tuple.Seq — the marker carries no
-	// payload, and reusing the field keeps the message layout unchanged
-	// (message_test.go pins it).
+	// The checkpoint id rides in tuple.Seq and the force-full flag in
+	// epoch (nonzero = snapshot full, ignore delta watermarks) — the
+	// marker carries no payload, and reusing the fields keeps the
+	// message layout unchanged (message_test.go pins it).
 	kCkpt
 )
 
@@ -92,4 +93,9 @@ type ctrlMsg struct {
 	// links are low-volume, so the extra word is free here (unlike in
 	// message, where the id rides in tuple.Seq).
 	ckpt uint64
+	// full forces a full (non-incremental) snapshot for a ctrlCkpt
+	// command: joiners ignore their delta watermarks and serialize
+	// whole stores. Set on the first checkpoint after start/restore and
+	// on chain compaction (CheckpointCompactEvery).
+	full bool
 }

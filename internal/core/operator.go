@@ -169,6 +169,23 @@ type Config struct {
 	// sharded counter, so the trigger composes with source lanes).
 	// 0 leaves checkpointing purely manual.
 	CheckpointEvery int64
+	// CheckpointKeep is how many committed checkpoint generations the
+	// backend retains for last-good fallback restore. The replay log is
+	// trimmed only to the oldest retained generation's cut, so every
+	// retained generation stays replayable after a fallback. 0 means
+	// storage.DefaultKeep; values below 1 clamp to 1.
+	CheckpointKeep int
+	// CheckpointCompactEvery bounds the incremental-snapshot chain:
+	// once the committed delta chain reaches this length the next
+	// checkpoint is forced full, folding the chain back to a single
+	// base. 0 means DefaultCheckpointCompactEvery; 1 disables
+	// incremental checkpoints entirely (every snapshot full).
+	CheckpointCompactEvery int
+	// CheckpointPolicy selects the reaction to a checkpoint commit that
+	// fails even after the backend's own retries: CkptDegrade (the
+	// default) keeps joining and retries at the next boundary,
+	// CkptFailStop cancels the operator.
+	CheckpointPolicy CheckpointPolicy
 	// Emit receives join results; it must not block. nil counts
 	// results internally.
 	Emit join.Emit
@@ -228,6 +245,26 @@ type Config struct {
 	MigBatchSize int
 }
 
+// CheckpointPolicy selects how the operator reacts when a checkpoint
+// commit fails after the backend's retries are exhausted.
+type CheckpointPolicy uint8
+
+const (
+	// CkptDegrade (the default) trades checkpoint freshness for
+	// availability: a failed commit logs, bumps CheckpointFailures,
+	// leaves the replay log untrimmed (the previous checkpoint stays
+	// fully recoverable — no durability is silently lost), and the
+	// operator keeps joining; the next boundary retries.
+	CkptDegrade CheckpointPolicy = iota
+	// CkptFailStop cancels the operator on the first failed commit;
+	// the wrapped backend error surfaces from Finish/Wait.
+	CkptFailStop
+)
+
+// DefaultCheckpointCompactEvery is the delta-chain length bound used
+// when Config.CheckpointCompactEvery is zero.
+const DefaultCheckpointCompactEvery = 8
+
 // DefaultBatchSize is the batch envelope capacity used when
 // Config.BatchSize is zero.
 const DefaultBatchSize = 32
@@ -266,6 +303,18 @@ func (c *Config) fill() {
 	}
 	if c.EmitWorkers < 0 {
 		c.EmitWorkers = 0
+	}
+	if c.CheckpointKeep == 0 {
+		c.CheckpointKeep = storage.DefaultKeep
+	}
+	if c.CheckpointKeep < 1 {
+		c.CheckpointKeep = 1
+	}
+	if c.CheckpointCompactEvery == 0 {
+		c.CheckpointCompactEvery = DefaultCheckpointCompactEvery
+	}
+	if c.CheckpointCompactEvery < 1 {
+		c.CheckpointCompactEvery = 1
 	}
 }
 
@@ -328,6 +377,13 @@ type Operator struct {
 	ckptC    chan ckptEvent
 	ckptQuit chan struct{}
 	ckptWG   sync.WaitGroup
+	// ckptChain and cutHist are coordinator-goroutine-private
+	// incremental-checkpoint state: the committed delta chain (base
+	// first) the next snapshot's dependencies come from, and the
+	// retained generations' replay cuts (oldest first, capped at
+	// CheckpointKeep) bounding how far the replay log may be trimmed.
+	ckptChain []uint64
+	cutHist   []ckptCut
 
 	// stop is the runner's Done channel: closed on context
 	// cancellation or on the first task failure. Every blocking
@@ -444,6 +500,9 @@ func NewOperator(cfg Config) *Operator {
 		op.ckptC = make(chan ckptEvent, 64)
 		op.ckptQuit = make(chan struct{})
 		op.ctl.ckptC = op.ckptC
+		if ks, ok := cfg.Backend.(storage.KeepSetter); ok {
+			ks.SetKeep(cfg.CheckpointKeep)
+		}
 	}
 	if op.lanes == nil {
 		// Legacy deal front end: the controller's own cell is an

@@ -486,9 +486,14 @@ func (r *reshuffler) applyCtrl(c ctrlMsg) bool {
 		// flushed, so each joiner sees exactly this task's pre-barrier
 		// tuples before the marker), then the replay cut — how many
 		// items this task consumed before the barrier — to the
-		// coordinator. The marker's checkpoint id rides in tuple.Seq.
+		// coordinator. The marker's checkpoint id rides in tuple.Seq and
+		// the force-full flag in epoch.
+		ep := uint32(0)
+		if c.full {
+			ep = 1
+		}
 		for _, id := range r.table {
-			r.pushSingle(id, message{kind: kCkpt, from: r.id, tuple: join.Tuple{Seq: c.ckpt}})
+			r.pushSingle(id, message{kind: kCkpt, from: r.id, epoch: ep, tuple: join.Tuple{Seq: c.ckpt}})
 		}
 		if r.ckptC != nil {
 			select {

@@ -37,6 +37,14 @@ const (
 	// MidMigration crashes a joiner at migration finalization, with
 	// relocated state mid-merge.
 	MidMigration = "mid-migration"
+	// MidDeltaCommit crashes the file backend between writing a delta
+	// checkpoint's blob and committing its manifest — the window where
+	// a base+delta chain has an orphan tail blob.
+	MidDeltaCommit = "mid-delta-commit"
+	// GCBeforeFallback crashes the file backend immediately after
+	// checkpoint GC pruned old generations, so a subsequent
+	// corrupt-newest restore must fall back inside the retained set.
+	GCBeforeFallback = "gc-before-fallback"
 	// TruncatedSegment makes the file backend commit a checkpoint whose
 	// data file is truncated mid-record.
 	TruncatedSegment = "truncated-segment"
@@ -46,7 +54,7 @@ const (
 )
 
 // crashPoints are the points that panic when hit.
-var crashPoints = []string{BeforeBarrier, AfterBarrier, MidSnapshot, MidMigration}
+var crashPoints = []string{BeforeBarrier, AfterBarrier, MidSnapshot, MidMigration, MidDeltaCommit, GCBeforeFallback}
 
 // corruptionPoints are consulted by the file backend via Active.
 var corruptionPoints = []string{TruncatedSegment, FlippedCRC}

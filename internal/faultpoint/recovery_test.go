@@ -132,15 +132,27 @@ func lopsidedInput(rng *rand.Rand, nR, nS int, keys int64) []squall.Tuple {
 //  5. splice shard i of run 1 cut at the restored checkpoint's
 //     Emitted[i] with all of run 2 and compare against the oracle.
 func crashAndRecover(t *testing.T, point string, cfg squall.Config, tuples []squall.Tuple, ckptAt, armAt int) {
+	crashAndRecoverBackend(t, point, cfg, tuples, ckptAt, armAt, nil)
+}
+
+// crashAndRecoverBackend is crashAndRecover with a backend decorator:
+// wrap (nil = identity) interposes on the FileBackend both for the
+// live operator's commits and for the restore walk, so the whole
+// cycle can run through a flaky/retrying storage stack.
+func crashAndRecoverBackend(t *testing.T, point string, cfg squall.Config, tuples []squall.Tuple, ckptAt, armAt int, wrap func(squall.Backend) squall.Backend) {
 	t.Helper()
 	defer faultpoint.Reset()
 
 	pred := cfg.Pred
 	want := oracle(pred, tuples)
 	dir := t.TempDir()
-	backend, err := squall.NewFileBackend(dir)
+	fileBackend, err := squall.NewFileBackend(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	var backend squall.Backend = fileBackend
+	if wrap != nil {
+		backend = wrap(backend)
 	}
 
 	run1 := newShardLog(64)
@@ -225,12 +237,63 @@ func TestRecoveryFromCrashPoints(t *testing.T) {
 		faultpoint.BeforeBarrier,
 		faultpoint.AfterBarrier,
 		faultpoint.MidSnapshot,
+		// The checkpoint walked into the crash is a delta (the baseline
+		// committed a full base), so MidDeltaCommit kills the backend in
+		// the orphan-tail-blob window and restore falls back to the base.
+		faultpoint.MidDeltaCommit,
 	} {
 		t.Run(point, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(31))
 			tuples := mixedInput(rng, 3000, 53)
 			cfg := squall.Config{J: 8, Pred: pred, Seed: 11}
 			crashAndRecover(t, point, cfg, tuples, 1200, 2100)
+		})
+	}
+}
+
+// TestRecoveryFromCrashAfterGCPrune runs the gc-before-fallback point
+// with CheckpointKeep 1: the armed checkpoint's commit prunes the
+// baseline generation and the crash lands right after, so restore must
+// succeed from the shrunken retained set (the delta manifest pins the
+// pruned base's blob).
+func TestRecoveryFromCrashAfterGCPrune(t *testing.T) {
+	pred := squall.EquiJoin("eq", nil)
+	rng := rand.New(rand.NewSource(36))
+	tuples := mixedInput(rng, 3000, 53)
+	cfg := squall.Config{J: 8, Pred: pred, Seed: 11, CheckpointKeep: 1}
+	crashAndRecover(t, faultpoint.GCBeforeFallback, cfg, tuples, 1200, 2100)
+}
+
+// TestRecoveryFromCrashPointsFlakyBackend replays the crash matrix
+// through a flaky storage service smoothed by a RetryBackend: every
+// commit and every restore read rides probabilistic injected errors.
+// OpTimeout is disabled so backend calls stay on the runner's
+// goroutine — the armed crash must surface as a task death, not kill
+// the retry helper goroutine.
+func TestRecoveryFromCrashPointsFlakyBackend(t *testing.T) {
+	pred := squall.EquiJoin("eq", nil)
+	for _, point := range []string{
+		faultpoint.BeforeBarrier,
+		faultpoint.AfterBarrier,
+		faultpoint.MidSnapshot,
+		faultpoint.MidDeltaCommit,
+		faultpoint.GCBeforeFallback,
+	} {
+		t.Run(point, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(37))
+			tuples := mixedInput(rng, 3000, 53)
+			cfg := squall.Config{J: 8, Pred: pred, Seed: 11}
+			wrap := func(inner squall.Backend) squall.Backend {
+				flaky := squall.NewFlakyBackend(inner, 0.3, 101)
+				return squall.NewRetryBackend(flaky, squall.RetryOptions{
+					MaxRetries: 12,
+					BaseDelay:  time.Millisecond,
+					MaxDelay:   4 * time.Millisecond,
+					OpTimeout:  -1,
+					Seed:       5,
+				})
+			}
+			crashAndRecoverBackend(t, point, cfg, tuples, 1200, 2100, wrap)
 		})
 	}
 }
@@ -426,7 +489,8 @@ func TestFaultpointRegistry(t *testing.T) {
 	names := faultpoint.Names()
 	wantNames := []string{
 		faultpoint.BeforeBarrier, faultpoint.AfterBarrier, faultpoint.MidSnapshot,
-		faultpoint.MidMigration, faultpoint.TruncatedSegment, faultpoint.FlippedCRC,
+		faultpoint.MidMigration, faultpoint.MidDeltaCommit, faultpoint.GCBeforeFallback,
+		faultpoint.TruncatedSegment, faultpoint.FlippedCRC,
 	}
 	if len(names) != len(wantNames) {
 		t.Fatalf("Names() = %v, want %d points", names, len(wantNames))

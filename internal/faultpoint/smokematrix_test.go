@@ -1,0 +1,103 @@
+// Recovery smoke matrix: the crash/restore drill repeated across
+// backend flavors (mem, file) and injected backend error rates
+// (0, 0.1, 0.5), with the retry layer riding out the injected
+// failures. CI's recovery-smoke job fans the cells out via
+// SQUALL_SMOKE_BACKEND / SQUALL_SMOKE_FLAKY; with neither set the
+// whole matrix runs in-process so a plain `go test` covers it too.
+package faultpoint_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	squall "repro"
+)
+
+type smokeCell struct {
+	backend string  // "mem" or "file"
+	rate    float64 // injected backend error probability
+}
+
+// smokeMatrix returns the cells to run: the single cell pinned by the
+// environment, or the full 2x3 matrix when the variables are unset.
+func smokeMatrix(t *testing.T) []smokeCell {
+	be := os.Getenv("SQUALL_SMOKE_BACKEND")
+	fr := os.Getenv("SQUALL_SMOKE_FLAKY")
+	if be == "" && fr == "" {
+		var cells []smokeCell
+		for _, b := range []string{"mem", "file"} {
+			for _, r := range []float64{0, 0.1, 0.5} {
+				cells = append(cells, smokeCell{backend: b, rate: r})
+			}
+		}
+		return cells
+	}
+	cell := smokeCell{backend: "mem"}
+	if be != "" {
+		if be != "mem" && be != "file" {
+			t.Fatalf("SQUALL_SMOKE_BACKEND=%q, want mem or file", be)
+		}
+		cell.backend = be
+	}
+	if fr != "" {
+		r, err := strconv.ParseFloat(fr, 64)
+		if err != nil || r < 0 || r > 1 {
+			t.Fatalf("SQUALL_SMOKE_FLAKY=%q, want a probability in [0,1]", fr)
+		}
+		cell.rate = r
+	}
+	return []smokeCell{cell}
+}
+
+// TestRecoverySmokeFlakyMatrix runs the two-checkpoint crash/restore
+// drill for every matrix cell: commit two generations through a flaky
+// backend behind the retry layer, drop the operator, restore, replay,
+// and require the spliced output to be pair-for-pair exact. At rate
+// 0.5 every individual backend op is a coin flip, so a green cell
+// means the retry budget genuinely absorbs a hostile storage plane.
+func TestRecoverySmokeFlakyMatrix(t *testing.T) {
+	for _, cell := range smokeMatrix(t) {
+		cell := cell
+		t.Run(fmt.Sprintf("%s-rate%.1f", cell.backend, cell.rate), func(t *testing.T) {
+			var inner squall.Backend
+			if cell.backend == "file" {
+				fb, err := squall.NewFileBackend(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				inner = fb
+			} else {
+				inner = squall.NewMemBackend()
+			}
+			backend := inner
+			if cell.rate > 0 {
+				// OpTimeout -1 keeps retried ops inline on the caller's
+				// goroutine; the injected failures here are instant, so
+				// the watchdog goroutine buys nothing.
+				backend = squall.NewRetryBackend(
+					squall.NewFlakyBackend(inner, cell.rate, 73),
+					squall.RetryOptions{
+						MaxRetries: 16,
+						BaseDelay:  50 * time.Microsecond,
+						MaxDelay:   time.Millisecond,
+						OpTimeout:  -1,
+						Seed:       9,
+					})
+			}
+
+			pred := squall.EquiJoin("eq", nil)
+			rng := rand.New(rand.NewSource(46))
+			tuples := mixedInput(rng, 2400, 43)
+
+			op, run1 := runToTwoCheckpoints(t, backend, pred, tuples)
+			info := recoverAndCheck(t, backend, pred, op, run1, tuples)
+			if len(info.SkippedGenerations) != 0 {
+				t.Fatalf("healthy chain skipped generations %v", info.SkippedGenerations)
+			}
+		})
+	}
+}

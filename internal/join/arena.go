@@ -96,6 +96,25 @@ type tupleArena struct {
 	// are reserved capacity, empty until appends reach them.
 	tail int
 	n    int
+	// mutGen counts destructive rebuilds (Retain, Drain). Appends and
+	// adoptions leave it alone: they only extend the chunk list, so a
+	// block-prefix watermark taken before them still names the same
+	// bytes. A rebuild invalidates every outstanding watermark, which
+	// the incremental-checkpoint plane detects by comparing mutGen.
+	mutGen uint64
+}
+
+// immutablePrefix returns how many leading chunks are frozen: every
+// chunk before tail (full, or a partial adopted tail that will never
+// grow), plus the tail itself once it fills. Chunks inside the prefix
+// never change again unless mutGen moves, so a delta snapshot may ship
+// only chunks at indexes >= a previously recorded prefix.
+func (a *tupleArena) immutablePrefix() int {
+	p := a.tail
+	if p < len(a.chunks) && a.chunks[p].n == arenaChunk {
+		p++
+	}
+	return p
 }
 
 // grab returns the chunk (and its index) the next append lands in,

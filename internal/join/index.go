@@ -620,6 +620,9 @@ func (h *HashIndex) Retain(keep func(Tuple) bool) int {
 		}
 		return true
 	})
+	// The rebuild relocated every survivor: invalidate block-prefix
+	// watermarks taken against the old arena.
+	fresh.arena.mutGen = h.arena.mutGen + 1
 	*h = *fresh
 	return removed
 }
@@ -737,6 +740,9 @@ func (s *ScanIndex) Retain(keep func(Tuple) bool) int {
 		}
 		return true
 	})
+	// The rebuild relocated every survivor: invalidate block-prefix
+	// watermarks taken against the old arena.
+	fresh.mutGen = s.arena.mutGen + 1
 	s.arena = fresh
 	s.bytes = bytes
 	return removed

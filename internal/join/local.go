@@ -229,6 +229,28 @@ func (l *Local) Retain(side matrix.Side, keep func(Tuple) bool) int {
 func (l *Local) Drain(fn func(Tuple)) {
 	l.r.Scan(func(t Tuple) bool { fn(t); return true })
 	l.s.Scan(func(t Tuple) bool { fn(t); return true })
-	l.r = NewIndex(l.pred)
-	l.s = NewIndex(l.pred)
+	l.r = bumpedReplacement(l.pred, l.r)
+	l.s = bumpedReplacement(l.pred, l.s)
+}
+
+// bumpedReplacement builds a fresh empty index to replace old,
+// carrying old's arena mutation generation forward plus one so
+// block-prefix watermarks taken against old cannot validate against
+// the (differently populated) replacement.
+func bumpedReplacement(pred Predicate, old Index) Index {
+	fresh := NewIndex(pred)
+	gen := uint64(0)
+	switch v := old.(type) {
+	case *HashIndex:
+		gen = v.arena.mutGen + 1
+	case *ScanIndex:
+		gen = v.arena.mutGen + 1
+	}
+	switch v := fresh.(type) {
+	case *HashIndex:
+		v.arena.mutGen = gen
+	case *ScanIndex:
+		v.arena.mutGen = gen
+	}
+	return fresh
 }

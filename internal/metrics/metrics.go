@@ -88,6 +88,11 @@ type Operator struct {
 	// Checkpoints counts committed barrier checkpoints (snapshot made
 	// durable and the replay log trimmed to the cut).
 	Checkpoints atomic.Int64
+	// CheckpointFailures counts barrier checkpoints whose backend
+	// commit failed after retries. Under the Degrade policy the
+	// operator keeps joining (the replay log stays untrimmed, so no
+	// durability is silently lost); each failed boundary bumps this.
+	CheckpointFailures atomic.Int64
 	// MigrationNanos accumulates wall time from each elementary epoch
 	// step's broadcast to its last joiner ack — migration steps and
 	// elastic expansions alike: the drain time of the relocated state
@@ -166,6 +171,7 @@ func Merged(ms ...*Operator) *Operator {
 		out.BatchFlushIdle.Add(m.BatchFlushIdle.Load())
 		out.BatchFlushSignal.Add(m.BatchFlushSignal.Load())
 		out.Checkpoints.Add(m.Checkpoints.Load())
+		out.CheckpointFailures.Add(m.CheckpointFailures.Load())
 		out.MigBatchesSent.Add(m.MigBatchesSent.Load())
 		out.MigBatchedMessages.Add(m.MigBatchedMessages.Load())
 		out.MigrationNanos.Add(m.MigrationNanos.Load())

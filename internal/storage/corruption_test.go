@@ -2,6 +2,7 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -127,9 +128,38 @@ func TestDecodeSnapshotBitflipSweep(t *testing.T) {
 	}
 }
 
+// loadNewest is the test shim for the pre-generation "Latest" call:
+// newest generation's chain, or nil blobs on an empty backend.
+func loadNewest(t *testing.T, b Backend) ([]Blob, error) {
+	t.Helper()
+	gens, err := b.Generations()
+	if err != nil {
+		return nil, err
+	}
+	if len(gens) == 0 {
+		return nil, nil
+	}
+	return b.Load(gens[0])
+}
+
+// manifestPath names gen's manifest file (one manifest per committed
+// generation since the keep-K backend).
+func manifestPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("MANIFEST-%016x", gen))
+}
+
 // TestFileBackendCorruption munges the on-disk files behind a committed
 // checkpoint: every corruption must surface as an ErrCorrupt-wrapped
-// error from Latest, never a panic and never silently-wrong data.
+// error from Load, never a panic and never silently-wrong data.
+//
+// Regression note (durable rename): writeAtomic fsyncs the parent
+// directory after every manifest/blob rename. Without the directory
+// sync a power loss after Write returns could roll the directory back
+// to a state where the manifest entry itself is missing — the blob
+// validates but the generation silently vanishes, which is worse than
+// any corruption below because nothing ever reports it. The cases here
+// only exercise the detectable half (torn file contents); the
+// directory fsync is what keeps the undetectable half from existing.
 func TestFileBackendCorruption(t *testing.T) {
 	blob := fixtureSnapshot(4).Encode()
 	cases := []struct {
@@ -137,7 +167,7 @@ func TestFileBackendCorruption(t *testing.T) {
 		munge func(t *testing.T, dir string)
 	}{
 		{"truncated manifest", func(t *testing.T, dir string) {
-			m := filepath.Join(dir, "MANIFEST")
+			m := manifestPath(dir, 4)
 			data, err := os.ReadFile(m)
 			if err != nil {
 				t.Fatal(err)
@@ -147,7 +177,7 @@ func TestFileBackendCorruption(t *testing.T) {
 			}
 		}},
 		{"manifest byte flipped", func(t *testing.T, dir string) {
-			m := filepath.Join(dir, "MANIFEST")
+			m := manifestPath(dir, 4)
 			data, err := os.ReadFile(m)
 			if err != nil {
 				t.Fatal(err)
@@ -191,13 +221,13 @@ func TestFileBackendCorruption(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := b.Write(4, blob); err != nil {
+			if err := b.Write(4, blob, nil); err != nil {
 				t.Fatalf("write: %v", err)
 			}
 			tc.munge(t, dir)
-			_, _, _, lerr := b.Latest()
+			_, lerr := loadNewest(t, b)
 			if lerr == nil {
-				t.Fatal("Latest returned a corrupted checkpoint without error")
+				t.Fatal("Load returned a corrupted checkpoint without error")
 			}
 			if !errors.Is(lerr, ErrCorrupt) {
 				t.Fatalf("error %v does not wrap ErrCorrupt", lerr)
@@ -220,37 +250,91 @@ func TestFileBackendEmptyDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id, data, ok, err := b.Latest()
-	if err != nil || ok || id != 0 || data != nil {
-		t.Fatalf("empty backend: id=%d ok=%v err=%v", id, ok, err)
+	gens, err := b.Generations()
+	if err != nil || len(gens) != 0 {
+		t.Fatalf("empty backend: gens=%v err=%v", gens, err)
 	}
 }
 
-// TestFileBackendOverwriteKeepsLatest: committing id n+1 replaces id n
-// and garbage-collects its blob.
-func TestFileBackendOverwriteKeepsLatest(t *testing.T) {
+// TestFileBackendKeepGC: with keep K (default 2), committing id n
+// retains the newest K generations and garbage-collects blobs only
+// the dropped generations reference.
+func TestFileBackendKeepGC(t *testing.T) {
 	dir := t.TempDir()
 	b, err := NewFileBackend(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Write(1, fixtureSnapshot(1).Encode()); err != nil {
-		t.Fatal(err)
+	for id := uint64(1); id <= 3; id++ {
+		if err := b.Write(id, fixtureSnapshot(id).Encode(), nil); err != nil {
+			t.Fatal(err)
+		}
 	}
-	second := fixtureSnapshot(2).Encode()
-	if err := b.Write(2, second); err != nil {
-		t.Fatal(err)
+	gens, err := b.Generations()
+	if err != nil || len(gens) != 2 || gens[0] != 3 || gens[1] != 2 {
+		t.Fatalf("generations: %v err=%v", gens, err)
 	}
-	id, data, ok, err := b.Latest()
-	if err != nil || !ok || id != 2 {
-		t.Fatalf("latest: id=%d ok=%v err=%v", id, ok, err)
+	blobs, err := b.Load(3)
+	if err != nil || len(blobs) != 1 || blobs[0].Gen != 3 {
+		t.Fatalf("load newest: %v err=%v", blobs, err)
 	}
-	if string(data) != string(second) {
-		t.Fatal("latest returned stale blob bytes")
+	if string(blobs[0].Data) != string(fixtureSnapshot(3).Encode()) {
+		t.Fatal("load returned stale blob bytes")
 	}
 	snaps, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.snap"))
-	if len(snaps) != 1 {
-		t.Fatalf("old blobs not collected: %v", snaps)
+	if len(snaps) != 2 {
+		t.Fatalf("want 2 retained blobs, got %v", snaps)
+	}
+	manifests, _ := filepath.Glob(filepath.Join(dir, "MANIFEST-*"))
+	if len(manifests) != 2 {
+		t.Fatalf("want 2 retained manifests, got %v", manifests)
+	}
+	if _, err := os.Stat(manifestPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("generation 1 manifest not collected: %v", err)
+	}
+}
+
+// TestFileBackendDeltaChainGC: a delta generation's manifest pins its
+// base blobs past the base's own manifest being GC'd, so Load of a
+// retained delta always finds its whole chain.
+func TestFileBackendDeltaChainGC(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gen 1 full; 2 and 3 are deltas over it. Keep 2 drops gen 1's
+	// manifest after 3 commits, but blobs 1 and 2 stay referenced.
+	if err := b.Write(1, []byte("base-blob"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(2, []byte("delta-two"), []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(3, []byte("delta-three"), []uint64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	gens, err := b.Generations()
+	if err != nil || len(gens) != 2 || gens[0] != 3 || gens[1] != 2 {
+		t.Fatalf("generations: %v err=%v", gens, err)
+	}
+	blobs, err := b.Load(3)
+	if err != nil {
+		t.Fatalf("load chain: %v", err)
+	}
+	want := []string{"base-blob", "delta-two", "delta-three"}
+	if len(blobs) != 3 {
+		t.Fatalf("chain length %d, want 3", len(blobs))
+	}
+	for i, w := range want {
+		if blobs[i].Gen != uint64(i+1) || string(blobs[i].Data) != w {
+			t.Fatalf("chain[%d] = gen %d %q, want gen %d %q",
+				i, blobs[i].Gen, blobs[i].Data, i+1, w)
+		}
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.snap"))
+	if len(snaps) != 3 {
+		t.Fatalf("want 3 live blobs (base pinned by deltas), got %v", snaps)
 	}
 }
 

@@ -1,0 +1,170 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error a FlakyBackend returns on an injected
+// failure. It does not wrap ErrCorrupt, so it is Retryable.
+var ErrInjected = errors.New("injected backend error")
+
+// FlakyOp scripts one Write's behavior for a FlakyBackend. Scripted
+// ops are consumed in order, one per Write, before the probabilistic
+// error rate applies.
+type FlakyOp struct {
+	// Err fails the Write without touching the inner backend.
+	Err error
+	// ShortWrite truncates the blob to the given byte count before
+	// passing it to the inner backend. The inner backend commits a
+	// structurally valid generation whose payload then fails snapshot
+	// decode — the fallback-restore path. Negative means half.
+	ShortWrite int
+	// Latency delays the op before anything else.
+	Latency time.Duration
+}
+
+// FlakyBackend decorates a Backend with fault injection: a
+// probabilistic per-operation error rate, fixed latency, and scripted
+// per-Write behavior (errors, short writes). It is the storage-plane
+// analogue of internal/faultpoint — where faultpoints model crashes of
+// this process, FlakyBackend models a misbehaving storage service.
+type FlakyBackend struct {
+	inner Backend
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	errRate float64
+	latency time.Duration
+	script  []FlakyOp
+
+	// Injections counts injected failures (scripted errors included);
+	// Ops counts every operation seen.
+	injections int64
+	ops        int64
+}
+
+// NewFlakyBackend wraps inner. errRate ∈ [0,1] is the probability any
+// operation fails with ErrInjected; seed 0 seeds from the clock.
+func NewFlakyBackend(inner Backend, errRate float64, seed int64) *FlakyBackend {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &FlakyBackend{inner: inner, rng: rand.New(rand.NewSource(seed)), errRate: errRate}
+}
+
+// SetErrRate adjusts the probabilistic error rate at runtime — tests
+// use it to open and close a 100%-failure window.
+func (b *FlakyBackend) SetErrRate(rate float64) {
+	b.mu.Lock()
+	b.errRate = rate
+	b.mu.Unlock()
+}
+
+// SetLatency sets a fixed delay applied to every operation.
+func (b *FlakyBackend) SetLatency(d time.Duration) {
+	b.mu.Lock()
+	b.latency = d
+	b.mu.Unlock()
+}
+
+// Script appends scripted ops consumed by subsequent Writes, one per
+// Write, before the probabilistic rate applies.
+func (b *FlakyBackend) Script(ops ...FlakyOp) {
+	b.mu.Lock()
+	b.script = append(b.script, ops...)
+	b.mu.Unlock()
+}
+
+// Injections returns how many operations failed by injection.
+func (b *FlakyBackend) Injections() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.injections
+}
+
+// Ops returns how many operations were attempted.
+func (b *FlakyBackend) Ops() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ops
+}
+
+// roll applies latency and the probabilistic error rate. It returns
+// ErrInjected when the op should fail.
+func (b *FlakyBackend) roll() error {
+	b.mu.Lock()
+	b.ops++
+	d := b.latency
+	fail := b.errRate > 0 && b.rng.Float64() < b.errRate
+	if fail {
+		b.injections++
+	}
+	b.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if fail {
+		return ErrInjected
+	}
+	return nil
+}
+
+// Write consumes one scripted op if present, else rolls the error
+// rate, then forwards to the inner backend.
+func (b *FlakyBackend) Write(gen uint64, data []byte, deps []uint64) error {
+	b.mu.Lock()
+	if len(b.script) > 0 {
+		op := b.script[0]
+		b.script = b.script[1:]
+		b.ops++
+		if op.Err != nil {
+			b.injections++
+		}
+		b.mu.Unlock()
+		if op.Latency > 0 {
+			time.Sleep(op.Latency)
+		}
+		if op.Err != nil {
+			return op.Err
+		}
+		if op.ShortWrite != 0 {
+			n := op.ShortWrite
+			if n < 0 || n > len(data) {
+				n = len(data) / 2
+			}
+			data = data[:n]
+		}
+		return b.inner.Write(gen, data, deps)
+	}
+	b.mu.Unlock()
+	if err := b.roll(); err != nil {
+		return err
+	}
+	return b.inner.Write(gen, data, deps)
+}
+
+// Generations rolls the error rate, then forwards.
+func (b *FlakyBackend) Generations() ([]uint64, error) {
+	if err := b.roll(); err != nil {
+		return nil, err
+	}
+	return b.inner.Generations()
+}
+
+// Load rolls the error rate, then forwards.
+func (b *FlakyBackend) Load(gen uint64) ([]Blob, error) {
+	if err := b.roll(); err != nil {
+		return nil, err
+	}
+	return b.inner.Load(gen)
+}
+
+// SetKeep forwards to the inner backend when it has a retention knob.
+func (b *FlakyBackend) SetKeep(k int) {
+	if ks, ok := b.inner.(KeepSetter); ok {
+		ks.SetKeep(k)
+	}
+}

@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Retryable classifies a backend error: transient I/O failures are
+// worth retrying, validation failures are not — a blob that fails its
+// checksum fails it on every read, so ErrCorrupt is fatal and the
+// caller should fall back to an older generation instead.
+func Retryable(err error) bool {
+	return err != nil && !errors.Is(err, ErrCorrupt)
+}
+
+// RetryOptions tunes a RetryBackend. The zero value is usable: 3
+// retries, 10ms base delay doubling to a 1s cap, 10s per-operation
+// timeout.
+type RetryOptions struct {
+	// MaxRetries is how many times an operation is re-attempted after
+	// the first failure. 0 means the default (3); negative disables
+	// retries entirely.
+	MaxRetries int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt. 0 means 10ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 means 1s.
+	MaxDelay time.Duration
+	// OpTimeout bounds one attempt (not the whole retry loop). 0 means
+	// 10s; negative disables the timeout.
+	OpTimeout time.Duration
+	// Seed makes the jitter deterministic for tests. 0 seeds from the
+	// clock.
+	Seed int64
+
+	// sleep replaces time.Sleep in tests.
+	sleep func(time.Duration)
+}
+
+// RetryBackend decorates any Backend with per-operation timeout and
+// capped exponential backoff with jitter. Only Retryable errors are
+// retried; ErrCorrupt passes straight through so fallback restore can
+// act on it.
+type RetryBackend struct {
+	inner Backend
+	opts  RetryOptions
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRetryBackend wraps inner.
+func NewRetryBackend(inner Backend, opts RetryOptions) *RetryBackend {
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 3
+	}
+	if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.BaseDelay == 0 {
+		opts.BaseDelay = 10 * time.Millisecond
+	}
+	if opts.MaxDelay == 0 {
+		opts.MaxDelay = time.Second
+	}
+	if opts.OpTimeout == 0 {
+		opts.OpTimeout = 10 * time.Second
+	}
+	if opts.sleep == nil {
+		opts.sleep = time.Sleep
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &RetryBackend{inner: inner, opts: opts, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ErrOpTimeout tags an attempt that exceeded OpTimeout. It is
+// retryable.
+var ErrOpTimeout = errors.New("backend operation timed out")
+
+// do runs one attempt under the per-operation timeout. On timeout the
+// attempt's goroutine is abandoned (a stuck disk write cannot be
+// cancelled from here) and its eventual result discarded.
+func (b *RetryBackend) do(op func() error) error {
+	if b.opts.OpTimeout < 0 {
+		return op()
+	}
+	done := make(chan error, 1)
+	go func() { done <- op() }()
+	t := time.NewTimer(b.opts.OpTimeout)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		return fmt.Errorf("storage: %w after %v", ErrOpTimeout, b.opts.OpTimeout)
+	}
+}
+
+// retry runs op with backoff until it succeeds, returns a fatal error,
+// or exhausts MaxRetries.
+func (b *RetryBackend) retry(what string, op func() error) error {
+	var err error
+	delay := b.opts.BaseDelay
+	for attempt := 0; ; attempt++ {
+		err = b.do(op)
+		if err == nil || !Retryable(err) {
+			return err
+		}
+		if attempt >= b.opts.MaxRetries {
+			return fmt.Errorf("storage: %s failed after %d attempts: %w", what, attempt+1, err)
+		}
+		b.opts.sleep(b.jitter(delay))
+		if delay *= 2; delay > b.opts.MaxDelay {
+			delay = b.opts.MaxDelay
+		}
+	}
+}
+
+// jitter spreads a delay over [delay/2, delay) so retries from
+// concurrent operators don't synchronize.
+func (b *RetryBackend) jitter(delay time.Duration) time.Duration {
+	if delay <= 1 {
+		return delay
+	}
+	b.mu.Lock()
+	j := time.Duration(b.rng.Int63n(int64(delay / 2)))
+	b.mu.Unlock()
+	return delay/2 + j
+}
+
+// Write retries the inner Write.
+func (b *RetryBackend) Write(gen uint64, data []byte, deps []uint64) error {
+	return b.retry("write", func() error { return b.inner.Write(gen, data, deps) })
+}
+
+// Generations retries the inner Generations.
+func (b *RetryBackend) Generations() ([]uint64, error) {
+	var gens []uint64
+	err := b.retry("generations", func() error {
+		var err error
+		gens, err = b.inner.Generations()
+		return err
+	})
+	return gens, err
+}
+
+// Load retries the inner Load. ErrCorrupt is returned immediately.
+func (b *RetryBackend) Load(gen uint64) ([]Blob, error) {
+	var blobs []Blob
+	err := b.retry("load", func() error {
+		var err error
+		blobs, err = b.inner.Load(gen)
+		return err
+	})
+	return blobs, err
+}
+
+// SetKeep forwards to the inner backend when it has a retention knob.
+func (b *RetryBackend) SetKeep(k int) {
+	if ks, ok := b.inner.(KeepSetter); ok {
+		ks.SetKeep(k)
+	}
+}

@@ -1,0 +1,304 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeBackend is a scriptable Backend for retry-plane tests: each
+// operation consumes the next scripted error (nil = success), and a
+// non-nil block channel makes Write hang until it is closed.
+type fakeBackend struct {
+	errs     []error
+	attempts int
+	block    chan struct{}
+	inner    *MemBackend
+}
+
+func newFakeBackend() *fakeBackend { return &fakeBackend{inner: NewMemBackend()} }
+
+func (f *fakeBackend) next() error {
+	f.attempts++
+	if len(f.errs) == 0 {
+		return nil
+	}
+	err := f.errs[0]
+	f.errs = f.errs[1:]
+	return err
+}
+
+func (f *fakeBackend) Write(gen uint64, data []byte, deps []uint64) error {
+	if f.block != nil {
+		<-f.block
+	}
+	if err := f.next(); err != nil {
+		return err
+	}
+	return f.inner.Write(gen, data, deps)
+}
+
+func (f *fakeBackend) Generations() ([]uint64, error) {
+	if err := f.next(); err != nil {
+		return nil, err
+	}
+	return f.inner.Generations()
+}
+
+func (f *fakeBackend) Load(gen uint64) ([]Blob, error) {
+	if err := f.next(); err != nil {
+		return nil, err
+	}
+	return f.inner.Load(gen)
+}
+
+func TestRetryableClassifier(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"corrupt", ErrCorrupt, false},
+		{"wrapped corrupt", fmt.Errorf("load gen 3: %w", ErrCorrupt), false},
+		{"injected", ErrInjected, true},
+		{"op timeout", ErrOpTimeout, true},
+		{"generic io", errors.New("disk unplugged"), true},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// retrySleeps builds RetryOptions whose sleep records each backoff
+// delay instead of sleeping.
+func retrySleeps(opts RetryOptions, delays *[]time.Duration) RetryOptions {
+	opts.sleep = func(d time.Duration) { *delays = append(*delays, d) }
+	return opts
+}
+
+func TestRetryBackendRidesOutTransientErrors(t *testing.T) {
+	inner := newFakeBackend()
+	inner.errs = []error{ErrInjected, errors.New("io glitch")}
+	var delays []time.Duration
+	b := NewRetryBackend(inner, retrySleeps(RetryOptions{
+		MaxRetries: 3, BaseDelay: 10 * time.Millisecond, Seed: 7,
+	}, &delays))
+
+	if err := b.Write(1, []byte("payload"), nil); err != nil {
+		t.Fatalf("write through two transient errors: %v", err)
+	}
+	if inner.attempts != 3 {
+		t.Fatalf("inner saw %d attempts, want 3", inner.attempts)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("recorded %d backoff sleeps, want 2: %v", len(delays), delays)
+	}
+	// Jitter spreads delay over [d/2, d); the second attempt doubles.
+	if delays[0] < 5*time.Millisecond || delays[0] >= 10*time.Millisecond {
+		t.Fatalf("first backoff %v outside [5ms, 10ms)", delays[0])
+	}
+	if delays[1] < 10*time.Millisecond || delays[1] >= 20*time.Millisecond {
+		t.Fatalf("second backoff %v outside [10ms, 20ms)", delays[1])
+	}
+	if gens, err := b.Generations(); err != nil || len(gens) != 1 || gens[0] != 1 {
+		t.Fatalf("generations after retried write: %v, %v", gens, err)
+	}
+}
+
+func TestRetryBackendBackoffCaps(t *testing.T) {
+	inner := newFakeBackend()
+	for i := 0; i < 6; i++ {
+		inner.errs = append(inner.errs, ErrInjected)
+	}
+	var delays []time.Duration
+	b := NewRetryBackend(inner, retrySleeps(RetryOptions{
+		MaxRetries: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond, Seed: 3,
+	}, &delays))
+	if err := b.Write(1, []byte("x"), nil); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if len(delays) != 6 {
+		t.Fatalf("recorded %d sleeps, want 6", len(delays))
+	}
+	for i, d := range delays {
+		if d >= 40*time.Millisecond {
+			t.Fatalf("backoff %d = %v reached the 40ms cap (jitter keeps it strictly below)", i, d)
+		}
+	}
+	// Delays 3..5 all draw from the capped 40ms bucket: >= cap/2.
+	for i := 3; i < 6; i++ {
+		if delays[i] < 20*time.Millisecond {
+			t.Fatalf("capped backoff %d = %v below cap/2", i, delays[i])
+		}
+	}
+}
+
+func TestRetryBackendDoesNotRetryCorrupt(t *testing.T) {
+	inner := newFakeBackend()
+	inner.errs = []error{fmt.Errorf("manifest rot: %w", ErrCorrupt)}
+	var delays []time.Duration
+	b := NewRetryBackend(inner, retrySleeps(RetryOptions{MaxRetries: 5, Seed: 1}, &delays))
+	_, err := b.Load(9)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("load error %v does not wrap ErrCorrupt", err)
+	}
+	if inner.attempts != 1 {
+		t.Fatalf("corrupt load was attempted %d times, want exactly 1", inner.attempts)
+	}
+	if len(delays) != 0 {
+		t.Fatalf("corrupt load slept %v before failing", delays)
+	}
+}
+
+func TestRetryBackendExhaustsRetries(t *testing.T) {
+	inner := newFakeBackend()
+	for i := 0; i < 10; i++ {
+		inner.errs = append(inner.errs, ErrInjected)
+	}
+	var delays []time.Duration
+	b := NewRetryBackend(inner, retrySleeps(RetryOptions{MaxRetries: 2, Seed: 5}, &delays))
+	err := b.Write(1, []byte("x"), nil)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("exhausted write error %v does not wrap the last inner error", err)
+	}
+	if inner.attempts != 3 {
+		t.Fatalf("inner saw %d attempts, want 3 (1 + 2 retries)", inner.attempts)
+	}
+}
+
+func TestRetryBackendOpTimeout(t *testing.T) {
+	inner := newFakeBackend()
+	inner.block = make(chan struct{})
+	defer close(inner.block) // release the abandoned goroutine
+	var delays []time.Duration
+	b := NewRetryBackend(inner, retrySleeps(RetryOptions{
+		MaxRetries: -1, OpTimeout: 5 * time.Millisecond, Seed: 2,
+	}, &delays))
+	err := b.Write(1, []byte("x"), nil)
+	if !errors.Is(err, ErrOpTimeout) {
+		t.Fatalf("stuck write error %v does not wrap ErrOpTimeout", err)
+	}
+}
+
+func TestFlakyBackendScriptOrder(t *testing.T) {
+	inner := NewMemBackend()
+	inner.SetKeep(4) // keep every generation this test writes
+	b := NewFlakyBackend(inner, 0, 42)
+	b.Script(
+		FlakyOp{Err: ErrInjected},
+		FlakyOp{ShortWrite: 3},
+		FlakyOp{},
+	)
+
+	if err := b.Write(1, []byte("first-payload"), nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("scripted error write: %v, want ErrInjected", err)
+	}
+	if err := b.Write(1, []byte("short-payload"), nil); err != nil {
+		t.Fatalf("scripted short write: %v", err)
+	}
+	if err := b.Write(2, []byte("clean-payload"), nil); err != nil {
+		t.Fatalf("scripted clean write: %v", err)
+	}
+	// Script exhausted; errRate 0 → plain pass-through.
+	if err := b.Write(3, []byte("tail"), nil); err != nil {
+		t.Fatalf("post-script write: %v", err)
+	}
+
+	if got := b.Injections(); got != 1 {
+		t.Fatalf("Injections() = %d, want 1", got)
+	}
+	if got := b.Ops(); got != 4 {
+		t.Fatalf("Ops() = %d, want 4", got)
+	}
+	blobs, err := inner.Load(1)
+	if err != nil {
+		t.Fatalf("load short-written gen: %v", err)
+	}
+	if string(blobs[0].Data) != "sho" {
+		t.Fatalf("short write committed %q, want the 3-byte prefix", blobs[0].Data)
+	}
+}
+
+// TestFlakyBackendShortWriteDrivesFallback: a short write commits a
+// generation the backend itself accepts (blob CRC is computed over the
+// truncated bytes), so the rot only surfaces at snapshot decode — the
+// exact shape the fallback-restore walk exists for.
+func TestFlakyBackendShortWriteDrivesFallback(t *testing.T) {
+	inner := NewMemBackend()
+	b := NewFlakyBackend(inner, 0, 1)
+
+	good := fixtureSnapshot(1).Encode()
+	if err := b.Write(1, good, nil); err != nil {
+		t.Fatalf("write good gen: %v", err)
+	}
+	b.Script(FlakyOp{ShortWrite: -1})
+	bad := fixtureSnapshot(2).Encode()
+	if err := b.Write(2, bad, nil); err != nil {
+		t.Fatalf("short write committed with error: %v", err)
+	}
+
+	gens, err := b.Generations()
+	if err != nil || len(gens) != 2 || gens[0] != 2 {
+		t.Fatalf("generations = %v, %v", gens, err)
+	}
+	blobs, err := b.Load(2)
+	if err != nil {
+		t.Fatalf("backend-level load of short-written gen: %v", err)
+	}
+	if _, err := DecodeOperatorSnapshotChain(blobs); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("decode of short-written snapshot: %v, want ErrCorrupt", err)
+	}
+	blobs, err = b.Load(1)
+	if err != nil {
+		t.Fatalf("fallback load: %v", err)
+	}
+	snap, err := DecodeOperatorSnapshotChain(blobs)
+	if err != nil || snap.ID != 1 {
+		t.Fatalf("fallback decode: %v, %v", snap, err)
+	}
+}
+
+func TestFlakyBackendDeterministicUnderSeed(t *testing.T) {
+	pattern := func() []bool {
+		b := NewFlakyBackend(NewMemBackend(), 0.5, 99)
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, b.Write(uint64(i+1), []byte("x"), nil) != nil)
+		}
+		return out
+	}
+	a, c := pattern(), pattern()
+	fails := 0
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("op %d differs across identically-seeded backends", i)
+		}
+		if a[i] {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("rate-0.5 backend failed %d/%d ops; injection looks stuck", fails, len(a))
+	}
+}
+
+func TestRetryBackendOverFlakyOutage(t *testing.T) {
+	inner := NewMemBackend()
+	flaky := NewFlakyBackend(inner, 0, 11)
+	flaky.Script(FlakyOp{Err: ErrInjected}, FlakyOp{Err: ErrInjected})
+	var delays []time.Duration
+	b := NewRetryBackend(flaky, retrySleeps(RetryOptions{MaxRetries: 3, Seed: 8}, &delays))
+	if err := b.Write(1, []byte("x"), nil); err != nil {
+		t.Fatalf("retry over flaky: %v", err)
+	}
+	if flaky.Injections() != 2 {
+		t.Fatalf("Injections() = %d, want 2", flaky.Injections())
+	}
+	if gens, _ := inner.Generations(); len(gens) != 1 {
+		t.Fatalf("inner generations = %v, want the one committed write", gens)
+	}
+}

@@ -32,8 +32,10 @@ import (
 // shorter-but-valid checkpoint.
 
 const (
-	snapMagic   = "SQLCKPT1"
-	snapVersion = 1
+	snapMagic = "SQLCKPT1"
+	// Version 2 added BaseID to the header (base+delta checkpoint
+	// chains) and the kind byte to the per-joiner store payload.
+	snapVersion = 2
 )
 
 const (
@@ -58,14 +60,24 @@ type JoinerSnapshot struct {
 	// Emitted counts the pairs the joiner had emitted when it reached
 	// the barrier: the cut position in its output stream.
 	Emitted int64
-	// State is the store snapshot (Store.AppendSnapshot).
+	// State is the store snapshot payload committed in this generation
+	// (Store.AppendSnapshot or a delta from Store.AppendSnapshotSince).
 	State []byte
+	// StateChain is the joiner's payloads across the whole checkpoint
+	// chain, base first, ending with State. DecodeOperatorSnapshotChain
+	// fills it; a single-generation decode leaves it nil and State is
+	// the full story.
+	StateChain [][]byte
 }
 
 // OperatorSnapshot is a decoded checkpoint: everything needed to
 // rebuild the operator at the barrier's consistent cut.
 type OperatorSnapshot struct {
-	ID      uint64
+	ID uint64
+	// BaseID is the generation this snapshot's deltas stack on: the
+	// previous link of the checkpoint chain. 0 marks a full snapshot
+	// (chain base).
+	BaseID  uint64
 	Epoch   uint32
 	Mapping matrix.Mapping
 	Table   []int // cell index → joiner id
@@ -100,6 +112,7 @@ func (s *OperatorSnapshot) Encode() []byte {
 	p = append(p, snapMagic...)
 	p = binary.LittleEndian.AppendUint32(p, snapVersion)
 	p = binary.LittleEndian.AppendUint64(p, s.ID)
+	p = binary.LittleEndian.AppendUint64(p, s.BaseID)
 	buf = appendRecord(buf, recHeader, p)
 
 	p = p[:0]
@@ -228,6 +241,7 @@ func DecodeOperatorSnapshot(id uint64, data []byte) (*OperatorSnapshot, error) {
 			magic := r.bytes(len(snapMagic))
 			ver := r.u32()
 			gotID := r.u64()
+			baseID := r.u64()
 			if r.bad || string(magic) != snapMagic {
 				return nil, corruptf("checkpoint header malformed")
 			}
@@ -238,6 +252,7 @@ func DecodeOperatorSnapshot(id uint64, data []byte) (*OperatorSnapshot, error) {
 				return nil, corruptf("checkpoint blob carries id %d, manifest committed id %d (stale blob)", gotID, id)
 			}
 			s.ID = gotID
+			s.BaseID = baseID
 			sawHeader = true
 		case recMeta:
 			s.Epoch = r.u32()
@@ -314,63 +329,283 @@ func DecodeOperatorSnapshot(id uint64, data []byte) (*OperatorSnapshot, error) {
 	return s, nil
 }
 
-// AppendSnapshot appends the store's serialized state to buf: the
+// DecodeOperatorSnapshotChain decodes a base-first blob chain as
+// returned by Backend.Load and resolves it into the newest snapshot,
+// with each joiner's StateChain carrying its per-generation store
+// payloads base first. The chain links are cross-checked: the base
+// must be a full snapshot (BaseID 0) and every later blob must name
+// its predecessor, so a backend that assembled the wrong files fails
+// decode instead of restoring a frankenstate.
+func DecodeOperatorSnapshotChain(blobs []Blob) (*OperatorSnapshot, error) {
+	if len(blobs) == 0 {
+		return nil, corruptf("empty checkpoint chain")
+	}
+	snaps := make([]*OperatorSnapshot, len(blobs))
+	for i, b := range blobs {
+		s, err := DecodeOperatorSnapshot(b.Gen, b.Data)
+		if err != nil {
+			return nil, err
+		}
+		snaps[i] = s
+	}
+	if snaps[0].BaseID != 0 {
+		return nil, corruptf("checkpoint chain base %d is a delta on generation %d", snaps[0].ID, snaps[0].BaseID)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].BaseID != snaps[i-1].ID {
+			return nil, corruptf("checkpoint chain link %d stacks on generation %d, not its predecessor %d",
+				snaps[i].ID, snaps[i].BaseID, snaps[i-1].ID)
+		}
+	}
+	head := snaps[len(snaps)-1]
+	for ji := range head.Joiners {
+		j := &head.Joiners[ji]
+		var chain [][]byte
+		for _, s := range snaps {
+			for k := range s.Joiners {
+				if s.Joiners[k].ID == j.ID {
+					chain = append(chain, s.Joiners[k].State)
+					break
+				}
+			}
+		}
+		j.StateChain = chain
+	}
+	return head, nil
+}
+
+// Store snapshot payload framing (the bytes inside one JoinerSnapshot
+// State):
+//
+//	u8  kind        0 = full (self-contained), 1 = delta (needs chain)
+//	u32 memLen      length of the memory-tier payload
+//	    mem         join.Local encoding (full or delta per side)
+//	    spill R     full:  u32 count, then count records
+//	    spill S     delta: u32 prevCount, u32 newCount, then
+//	                newCount-prevCount records appended since the base
+const (
+	storeSnapFull  = 0
+	storeSnapDelta = 1
+)
+
+// SpillMark is one spill segment's incremental-checkpoint watermark: a
+// (rewrites, record count) pair. Between retain rewrites the segment
+// file is append-only, so the first N records are frozen while
+// rewrites holds.
+type SpillMark struct {
+	Rewrites uint64
+	N        uint32
+}
+
+// StoreWatermark names everything a Store had durably shipped as of
+// one committed checkpoint. A later AppendSnapshotSince ships only
+// state past it; any rebuild (index retain, spill rewrite) invalidates
+// the affected component and degrades it to a full encoding.
+type StoreWatermark struct {
+	Mem   join.LocalWatermark
+	Spill [2]SpillMark
+}
+
+func (s *Store) spillMark(side matrix.Side) SpillMark {
+	if seg := s.segs[side]; seg != nil {
+		return SpillMark{Rewrites: seg.rewrites, N: uint32(seg.len())}
+	}
+	return SpillMark{}
+}
+
+// AppendSnapshot appends the store's full serialized state to buf: the
 // memory tier as whole arena blocks (join.Local.AppendSnapshot), then
 // each side's spilled records in append order, re-using the spill
 // segment's record encoding.
 func (s *Store) AppendSnapshot(buf []byte) []byte {
-	buf = s.mem.AppendSnapshot(buf)
-	var scratch []byte
-	for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
-		n := 0
-		if seg := s.segs[side]; seg != nil {
-			n = seg.len()
+	out, _, _ := s.AppendSnapshotSince(buf, nil)
+	return out
+}
+
+// AppendSnapshotSince appends a snapshot that ships only state stored
+// since wm was captured, when possible. A nil wm, or one invalidated
+// by a spill-segment rewrite, produces a full snapshot (per-index
+// rebuilds degrade just that index inside the memory payload). The
+// returned watermark is valid to delta against only once this payload
+// has durably committed. full reports whether the payload is
+// self-contained.
+func (s *Store) AppendSnapshotSince(buf []byte, wm *StoreWatermark) (out []byte, next StoreWatermark, full bool) {
+	sides := [2]matrix.Side{matrix.SideR, matrix.SideS}
+	next.Spill[matrix.SideR] = s.spillMark(matrix.SideR)
+	next.Spill[matrix.SideS] = s.spillMark(matrix.SideS)
+
+	spillOK := wm != nil
+	if wm != nil {
+		for _, side := range sides {
+			m, cur := wm.Spill[side], next.Spill[side]
+			if m.Rewrites != cur.Rewrites || m.N > cur.N {
+				spillOK = false
+			}
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
-		if seg := s.segs[side]; seg != nil {
+	}
+
+	var scratch []byte
+	if !spillOK {
+		buf = append(buf, storeSnapFull)
+		lenOff := len(buf)
+		buf = binary.LittleEndian.AppendUint32(buf, 0)
+		buf = s.mem.AppendSnapshot(buf)
+		next.Mem = s.mem.Watermark()
+		binary.LittleEndian.PutUint32(buf[lenOff:], uint32(len(buf)-lenOff-4))
+		for _, side := range sides {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(int(next.Spill[side].N)))
+			if seg := s.segs[side]; seg != nil {
+				seg.scan(func(t join.Tuple) bool {
+					scratch = encodeRecordInto(scratch, t)
+					buf = append(buf, scratch...)
+					return true
+				}, &s.Metrics)
+			}
+		}
+		return buf, next, true
+	}
+
+	buf = append(buf, storeSnapDelta)
+	lenOff := len(buf)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	buf, next.Mem, _ = s.mem.AppendSnapshotSince(buf, &wm.Mem)
+	binary.LittleEndian.PutUint32(buf[lenOff:], uint32(len(buf)-lenOff-4))
+	for _, side := range sides {
+		prev := int(wm.Spill[side].N)
+		cur := int(next.Spill[side].N)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(prev))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(cur))
+		if seg := s.segs[side]; seg != nil && cur > prev {
+			i := 0
 			seg.scan(func(t join.Tuple) bool {
-				scratch = encodeRecordInto(scratch, t)
-				buf = append(buf, scratch...)
+				if i >= prev {
+					scratch = encodeRecordInto(scratch, t)
+					buf = append(buf, scratch...)
+				}
+				i++
 				return true
 			}, &s.Metrics)
 		}
 	}
-	return buf
+	return buf, next, false
 }
 
-// RestoreSnapshot installs a snapshot produced by AppendSnapshot into
-// a freshly constructed store. The memory tier is rebuilt through the
-// arena-adoption merge path; spilled records re-enter through Insert,
-// so the memory budget re-applies and overflow spills again. The
-// restored memory tier may exceed CapBytes when the snapshot was taken
-// unbudgeted — the budget gates inserts, not installs.
-func (s *Store) RestoreSnapshot(data []byte) error {
-	n, err := s.mem.LoadSnapshot(data)
-	if err != nil {
-		return fmt.Errorf("storage: restore memory tier: %w", err)
+// storeSnap is one parsed store payload, held decoded so a chain can
+// be resolved before installation.
+type storeSnap struct {
+	kind byte
+	mem  []byte
+	// spill[side]: for a full payload prev is 0 and recs is the whole
+	// record list; for a delta prev is the base's record count and recs
+	// the appended suffix.
+	prev [2]int
+	recs [2][]join.Tuple
+}
+
+func parseStoreSnapshot(data []byte) (storeSnap, error) {
+	var ss storeSnap
+	if len(data) < 5 {
+		return ss, corruptf("store snapshot truncated (%d bytes)", len(data))
 	}
-	off := n
+	ss.kind = data[0]
+	if ss.kind != storeSnapFull && ss.kind != storeSnapDelta {
+		return ss, corruptf("store snapshot has unknown kind %d", ss.kind)
+	}
+	memLen := int(binary.LittleEndian.Uint32(data[1:]))
+	off := 5
+	if memLen < 0 || off+memLen > len(data) {
+		return ss, corruptf("store snapshot memory tier claims %d bytes, %d remain", memLen, len(data)-off)
+	}
+	ss.mem = data[off : off+memLen]
+	off += memLen
 	for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
-		if off+4 > len(data) {
-			return corruptf("store snapshot truncated before side %d spill count", side)
+		var cnt int
+		if ss.kind == storeSnapDelta {
+			if off+8 > len(data) {
+				return ss, corruptf("store snapshot truncated before side %d spill cursors", side)
+			}
+			prev := int(binary.LittleEndian.Uint32(data[off:]))
+			cur := int(binary.LittleEndian.Uint32(data[off+4:]))
+			off += 8
+			if cur < prev {
+				return ss, corruptf("store snapshot side %d spill shrank %d -> %d without a rewrite", side, prev, cur)
+			}
+			ss.prev[side] = prev
+			cnt = cur - prev
+		} else {
+			if off+4 > len(data) {
+				return ss, corruptf("store snapshot truncated before side %d spill count", side)
+			}
+			cnt = int(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
 		}
-		cnt := int(binary.LittleEndian.Uint32(data[off:]))
-		off += 4
 		for i := 0; i < cnt; i++ {
 			if off+recordHeader > len(data) {
-				return corruptf("store snapshot spill record %d/%d truncated", i, cnt)
+				return ss, corruptf("store snapshot spill record %d/%d truncated", i, cnt)
 			}
 			plen := int(binary.LittleEndian.Uint32(data[off+38:]))
 			if plen < 0 || off+recordHeader+plen > len(data) {
-				return corruptf("store snapshot spill record %d/%d payload truncated", i, cnt)
+				return ss, corruptf("store snapshot spill record %d/%d payload truncated", i, cnt)
 			}
 			t, consumed := decodeRecord(data[off:])
 			off += consumed
-			s.Insert(t)
+			ss.recs[side] = append(ss.recs[side], t)
 		}
 	}
 	if off != len(data) {
-		return corruptf("store snapshot has %d trailing bytes", len(data)-off)
+		return ss, corruptf("store snapshot has %d trailing bytes", len(data)-off)
+	}
+	return ss, nil
+}
+
+// RestoreSnapshot installs a single self-contained snapshot. See
+// RestoreSnapshotChain.
+func (s *Store) RestoreSnapshot(data []byte) error {
+	return s.RestoreSnapshotChain([][]byte{data})
+}
+
+// RestoreSnapshotChain installs a base-first chain of payloads — one
+// full snapshot and the deltas committed after it — into a freshly
+// constructed store. The memory tier is rebuilt by splicing each
+// delta's blocks onto its base and adopting the result wholesale;
+// spilled records re-enter through Insert, so the memory budget
+// re-applies and overflow spills again. The restored memory tier may
+// exceed CapBytes when the snapshot was taken unbudgeted — the budget
+// gates inserts, not installs.
+func (s *Store) RestoreSnapshotChain(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return corruptf("empty store snapshot chain")
+	}
+	parsed := make([]storeSnap, len(payloads))
+	for i, p := range payloads {
+		var err error
+		if parsed[i], err = parseStoreSnapshot(p); err != nil {
+			return err
+		}
+	}
+	mems := make([][]byte, len(parsed))
+	for i := range parsed {
+		mems[i] = parsed[i].mem
+	}
+	if err := s.mem.LoadSnapshotChain(mems); err != nil {
+		return fmt.Errorf("storage: restore memory tier: %w", err)
+	}
+	for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
+		var logical []join.Tuple
+		for i, ss := range parsed {
+			if ss.kind == storeSnapFull {
+				logical = append(logical[:0], ss.recs[side]...)
+				continue
+			}
+			if ss.prev[side] != len(logical) {
+				return corruptf("store snapshot chain link %d expects %d side-%d spill records, base resolves to %d",
+					i, ss.prev[side], side, len(logical))
+			}
+			logical = append(logical, ss.recs[side]...)
+		}
+		for _, t := range logical {
+			s.Insert(t)
+		}
 	}
 	return nil
 }

@@ -267,6 +267,10 @@ type segment struct {
 	off   int64
 	n     int
 	bytes int64
+	// rewrites counts retain rewrites. Between rewrites the record file
+	// is append-only, so a (rewrites, n) pair names a stable record
+	// prefix — the spill tier's incremental-checkpoint watermark.
+	rewrites uint64
 	// scratch is the reusable record-encoding buffer: append encodes
 	// every spilled tuple into it instead of allocating a fresh buffer
 	// per record, so sustained spilling costs disk writes, not garbage.
@@ -468,9 +472,11 @@ func (g *segment) retain(keep func(join.Tuple) bool, cfg Config, p join.Predicat
 		}
 		return true
 	}, m)
-	// Rewrite from scratch.
+	// Rewrite from scratch. Records relocate, so outstanding spill
+	// watermarks must stop validating.
 	_ = g.f.Truncate(0)
 	g.off, g.n, g.bytes = 0, 0, 0
+	g.rewrites++
 	g.dir = join.NewIndex(p)
 	mm := &Metrics{} // rewrite is not a new spill; count only the writes
 	for _, t := range kept {

@@ -103,6 +103,51 @@ func WithCheckpointEvery(n int64) Option {
 	return func(sc *stageConfig) { sc.cfg.CheckpointEvery = n }
 }
 
+// WithCheckpointKeep retains the newest k committed checkpoint
+// generations in the backend instead of only the latest, enabling
+// last-good fallback: when the newest generation is corrupt, Restore
+// falls back to the next retained one and replay covers the gap. The
+// replay log is trimmed only to the oldest retained generation's cut.
+// 0 (the default) means storage.DefaultKeep (2); values below 1 clamp
+// to 1.
+func WithCheckpointKeep(k int) Option {
+	return func(sc *stageConfig) { sc.cfg.CheckpointKeep = k }
+}
+
+// WithCheckpointCompactEvery bounds the incremental-checkpoint chain:
+// after n consecutive snapshots the next one is forced full, folding
+// the base+delta chain back to a single base. Between compactions each
+// checkpoint ships only arena blocks (and spill suffix) appended since
+// the previous committed one — the payload scales with the delta, not
+// the stored state. 0 (the default) means
+// core.DefaultCheckpointCompactEvery (8); 1 disables incremental
+// checkpoints (every snapshot full).
+func WithCheckpointCompactEvery(n int) Option {
+	return func(sc *stageConfig) { sc.cfg.CheckpointCompactEvery = n }
+}
+
+// CheckpointPolicy selects the operator's reaction to a checkpoint
+// commit that fails after the backend's retries: Degrade or FailStop.
+type CheckpointPolicy = core.CheckpointPolicy
+
+const (
+	// Degrade (the default) keeps the operator joining through backend
+	// outages: a failed checkpoint logs, bumps the CheckpointFailures
+	// metric, and leaves the replay log untrimmed, so the previous
+	// checkpoint stays fully recoverable; the next boundary retries.
+	Degrade = core.CkptDegrade
+	// FailStop cancels the operator on the first failed checkpoint
+	// commit; the wrapped backend error surfaces from Finish (and from
+	// the blocked Checkpoint call).
+	FailStop = core.CkptFailStop
+)
+
+// WithCheckpointPolicy selects Degrade or FailStop behavior for failed
+// checkpoint commits.
+func WithCheckpointPolicy(p CheckpointPolicy) Option {
+	return func(sc *stageConfig) { sc.cfg.CheckpointPolicy = p }
+}
+
 // WithLatency attaches a latency sampler to the stage.
 func WithLatency(l *LatencySampler) Option { return func(sc *stageConfig) { sc.cfg.Latency = l } }
 

@@ -25,5 +25,6 @@ GO="${GO:-go}"
   "$GO" test -bench '^BenchmarkPipelineChain$' -benchtime=3x -run '^$' . ;
   "$GO" test -bench '^BenchmarkScalingIngest$' -benchtime=2x -run '^$' . ;
   "$GO" test -bench '^BenchmarkScalingFanout$' -benchtime=2x -run '^$' . ;
-  "$GO" test -bench '^BenchmarkCheckpoint$' -benchtime=3x -run '^$' .
+  "$GO" test -bench '^BenchmarkCheckpoint$' -benchtime=3x -run '^$' . ;
+  "$GO" test -bench '^BenchmarkCheckpointIncremental$' -benchtime=15x -run '^$' .
 ) | "$GO" run ./cmd/benchdelta "$@"
