@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/faultpoint"
@@ -220,10 +222,17 @@ type blobMeta struct {
 }
 
 // NewFileBackend returns a backend rooted at dir, creating it if
-// needed.
+// needed. Temp files left behind by a crash mid-writeAtomic are swept
+// here: they were never committed (the rename is the commit point), so
+// removing them can only reclaim space, never lose a generation.
 func NewFileBackend(dir string) (*FileBackend, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create backend dir: %w", err)
+	}
+	if leftovers, err := filepath.Glob(filepath.Join(dir, "*.tmp-*")); err == nil {
+		for _, p := range leftovers {
+			_ = os.Remove(p)
+		}
 	}
 	return &FileBackend{dir: dir, keep: DefaultKeep, meta: make(map[uint64]blobMeta)}, nil
 }
@@ -409,6 +418,23 @@ func (b *FileBackend) gc() {
 	}
 }
 
+// parseGenName extracts the generation from a manifest file name. The
+// suffix must be exactly the 16 hex digits manifestName writes —
+// anything longer (a MANIFEST-<gen>.tmp-XXXX leftover from a crash
+// mid-writeAtomic) is not a committed generation and must not occupy a
+// keep slot or surface through Generations.
+func parseGenName(base string) (uint64, bool) {
+	s := base[len(manifestPrefix):]
+	if len(s) != 16 {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
+}
+
 // listGens returns committed generations (manifest files present),
 // newest first, skipping files whose names do not parse. Caller holds
 // b.mu.
@@ -419,9 +445,8 @@ func (b *FileBackend) listGens() []uint64 {
 	}
 	gens := make([]uint64, 0, len(paths))
 	for _, p := range paths {
-		base := filepath.Base(p)
-		var g uint64
-		if _, err := fmt.Sscanf(base[len(manifestPrefix):], "%016x", &g); err != nil {
+		g, ok := parseGenName(filepath.Base(p))
+		if !ok {
 			continue
 		}
 		gens = append(gens, g)
@@ -442,7 +467,13 @@ func (b *FileBackend) Generations() ([]uint64, error) {
 func (b *FileBackend) parseManifest(gen uint64) ([]uint64, []blobMeta, error) {
 	m, err := os.ReadFile(filepath.Join(b.dir, manifestName(gen)))
 	if err != nil {
-		return nil, nil, fmt.Errorf("storage: read manifest for generation %d: %w (%w)", gen, err, ErrCorrupt)
+		// A missing manifest is a broken generation (corrupt, fall back);
+		// any other read failure is transient I/O trouble the caller
+		// should retry rather than silently fall past to stale state.
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, nil, fmt.Errorf("storage: read manifest for generation %d: %w (%w)", gen, err, ErrCorrupt)
+		}
+		return nil, nil, fmt.Errorf("storage: read manifest for generation %d: %w", gen, err)
 	}
 	// magic + gen + count + >=1 entry(8+4+1+8+4) + manifestCRC
 	minLen := len(manifestMagic) + 8 + 4 + 25 + 4
@@ -528,7 +559,12 @@ func (b *FileBackend) Load(gen uint64) ([]Blob, error) {
 	for i, e := range metas {
 		data, err := os.ReadFile(filepath.Join(b.dir, e.name))
 		if err != nil {
-			return nil, fmt.Errorf("storage: read checkpoint blob: %w (%w)", err, ErrCorrupt)
+			// Missing blob = broken chain (corrupt); other read failures
+			// are transient and retryable, not grounds for fallback.
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil, fmt.Errorf("storage: read checkpoint blob: %w (%w)", err, ErrCorrupt)
+			}
+			return nil, fmt.Errorf("storage: read checkpoint blob: %w", err)
 		}
 		if uint64(len(data)) != e.size {
 			return nil, fmt.Errorf("storage: checkpoint blob %s is %d bytes, manifest says %d: %w",

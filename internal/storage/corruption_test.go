@@ -424,3 +424,91 @@ func TestStoreRestoreSnapshotCorruption(t *testing.T) {
 		}
 	})
 }
+
+// TestFileBackendManifestTempLeftovers: a crash during writeAtomic can
+// leave a MANIFEST-<gen>.tmp-XXXX temp file behind. It was never
+// committed (the rename is the commit point), so it must not parse as
+// a generation — a phantom would occupy a keep slot, surface through
+// Generations, and abort blob GC — and reopening the backend sweeps it.
+func TestFileBackendManifestTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(1); id <= 2; id++ {
+		if err := b.Write(id, fixtureSnapshot(id).Encode(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leftover := filepath.Join(dir, manifestName(3)+".tmp-12345")
+	if err := os.WriteFile(leftover, []byte("partial manifest"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	gens, err := b.Generations()
+	if err != nil || len(gens) != 2 || gens[0] != 2 || gens[1] != 1 {
+		t.Fatalf("generations with temp leftover: %v err=%v, want [2 1]", gens, err)
+	}
+	// A new commit must still GC the oldest real generation: the phantom
+	// may not count against keep or poison the surviving-chain walk.
+	if err := b.Write(3, fixtureSnapshot(3).Encode(), nil); err != nil {
+		t.Fatal(err)
+	}
+	gens, err = b.Generations()
+	if err != nil || len(gens) != 2 || gens[0] != 3 || gens[1] != 2 {
+		t.Fatalf("generations after commit over leftover: %v err=%v, want [3 2]", gens, err)
+	}
+	if _, err := os.Stat(manifestPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatalf("generation 1 manifest not collected: %v", err)
+	}
+
+	// Reopening the directory sweeps crash leftovers.
+	if _, err := NewFileBackend(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+		t.Fatalf("temp leftover survived reopen: %v", err)
+	}
+}
+
+// TestFileBackendTransientReadErrorIsNotCorrupt: only a *missing* file
+// is corruption (fall back to an older generation); any other read
+// failure is transient I/O trouble that must surface unwrapped so the
+// caller retries instead of silently restoring stale state. A
+// directory in the file's place yields exactly such a non-NotExist
+// read error.
+func TestFileBackendTransientReadErrorIsNotCorrupt(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		target func(t *testing.T, dir string) string
+	}{
+		{"manifest", func(t *testing.T, dir string) string { return manifestPath(dir, 4) }},
+		{"blob", snapPath},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			b, err := NewFileBackend(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Write(4, fixtureSnapshot(4).Encode(), nil); err != nil {
+				t.Fatal(err)
+			}
+			p := tc.target(t, dir)
+			if err := os.Remove(p); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Mkdir(p, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			_, lerr := b.Load(4)
+			if lerr == nil {
+				t.Fatal("Load succeeded reading a directory")
+			}
+			if errors.Is(lerr, ErrCorrupt) {
+				t.Fatalf("transient read error %v wraps ErrCorrupt; fallback would skip a live generation", lerr)
+			}
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -187,4 +188,45 @@ func TestDeltaWatermarkRecoversFailedCommit(t *testing.T) {
 		t.Fatalf("restore base + re-covering delta: %v", err)
 	}
 	diffCounts(t, "re-covered chain vs live", storeCounts(dst), storeCounts(src))
+}
+
+// TestRestoreChainDecodeErrorIsCorrupt: a chain that passes every CRC
+// but is logically inconsistent at the join layer (here: a delta
+// payload with its base generation missing, so the splice finds no
+// full record) must classify as ErrCorrupt — Restore then falls back
+// to an older generation instead of aborting, like every other
+// corruption class.
+func TestRestoreChainDecodeErrorIsCorrupt(t *testing.T) {
+	p := join.EquiJoin("eq", nil)
+	src := NewStore(p, Config{})
+	defer src.Close()
+	emit, _ := join.CountingEmit()
+	var seq uint64
+	add := func(n int) {
+		for i := 0; i < n; i++ {
+			seq++
+			src.Add(join.Tuple{Rel: matrix.Side(int(seq) % 2), Key: int64(seq % 7), Size: 8, Seq: seq}, emit)
+		}
+	}
+
+	add(40)
+	_, wm, full := src.AppendSnapshotSince(nil, nil)
+	if !full {
+		t.Fatal("base payload not full")
+	}
+	add(40)
+	delta, _, full := src.AppendSnapshotSince(nil, &wm)
+	if full {
+		t.Fatal("second payload unexpectedly full; the test needs a delta")
+	}
+
+	dst := NewStore(p, Config{})
+	defer dst.Close()
+	err := dst.RestoreSnapshotChain([][]byte{delta})
+	if err == nil {
+		t.Fatal("restore accepted a baseless delta chain")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("baseless-chain error %v does not wrap ErrCorrupt; Restore would abort instead of falling back", err)
+	}
 }

@@ -83,37 +83,48 @@ func NewRetryBackend(inner Backend, opts RetryOptions) *RetryBackend {
 // retryable.
 var ErrOpTimeout = errors.New("backend operation timed out")
 
-// do runs one attempt under the per-operation timeout. On timeout the
-// attempt's goroutine is abandoned (a stuck disk write cannot be
-// cancelled from here) and its eventual result discarded.
-func (b *RetryBackend) do(op func() error) error {
+// doOnce runs one attempt under the per-operation timeout. On timeout
+// the attempt's goroutine is abandoned (a stuck disk write cannot be
+// cancelled from here); its eventual result lands in the attempt's own
+// buffered channel that nobody reads, so it can never race with a
+// later attempt's result or with the caller consuming the value we
+// actually returned.
+func doOnce[T any](b *RetryBackend, op func() (T, error)) (T, error) {
 	if b.opts.OpTimeout < 0 {
 		return op()
 	}
-	done := make(chan error, 1)
-	go func() { done <- op() }()
+	type result struct {
+		val T
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		val, err := op()
+		done <- result{val, err}
+	}()
 	t := time.NewTimer(b.opts.OpTimeout)
 	defer t.Stop()
 	select {
-	case err := <-done:
-		return err
+	case r := <-done:
+		return r.val, r.err
 	case <-t.C:
-		return fmt.Errorf("storage: %w after %v", ErrOpTimeout, b.opts.OpTimeout)
+		var zero T
+		return zero, fmt.Errorf("storage: %w after %v", ErrOpTimeout, b.opts.OpTimeout)
 	}
 }
 
 // retry runs op with backoff until it succeeds, returns a fatal error,
 // or exhausts MaxRetries.
-func (b *RetryBackend) retry(what string, op func() error) error {
-	var err error
+func retry[T any](b *RetryBackend, what string, op func() (T, error)) (T, error) {
 	delay := b.opts.BaseDelay
 	for attempt := 0; ; attempt++ {
-		err = b.do(op)
+		val, err := doOnce(b, op)
 		if err == nil || !Retryable(err) {
-			return err
+			return val, err
 		}
 		if attempt >= b.opts.MaxRetries {
-			return fmt.Errorf("storage: %s failed after %d attempts: %w", what, attempt+1, err)
+			var zero T
+			return zero, fmt.Errorf("storage: %s failed after %d attempts: %w", what, attempt+1, err)
 		}
 		b.opts.sleep(b.jitter(delay))
 		if delay *= 2; delay > b.opts.MaxDelay {
@@ -136,29 +147,20 @@ func (b *RetryBackend) jitter(delay time.Duration) time.Duration {
 
 // Write retries the inner Write.
 func (b *RetryBackend) Write(gen uint64, data []byte, deps []uint64) error {
-	return b.retry("write", func() error { return b.inner.Write(gen, data, deps) })
+	_, err := retry(b, "write", func() (struct{}, error) {
+		return struct{}{}, b.inner.Write(gen, data, deps)
+	})
+	return err
 }
 
 // Generations retries the inner Generations.
 func (b *RetryBackend) Generations() ([]uint64, error) {
-	var gens []uint64
-	err := b.retry("generations", func() error {
-		var err error
-		gens, err = b.inner.Generations()
-		return err
-	})
-	return gens, err
+	return retry(b, "generations", b.inner.Generations)
 }
 
 // Load retries the inner Load. ErrCorrupt is returned immediately.
 func (b *RetryBackend) Load(gen uint64) ([]Blob, error) {
-	var blobs []Blob
-	err := b.retry("load", func() error {
-		var err error
-		blobs, err = b.inner.Load(gen)
-		return err
-	})
-	return blobs, err
+	return retry(b, "load", func() ([]Blob, error) { return b.inner.Load(gen) })
 }
 
 // SetKeep forwards to the inner backend when it has a retention knob.

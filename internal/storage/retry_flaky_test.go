@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -301,4 +302,62 @@ func TestRetryBackendOverFlakyOutage(t *testing.T) {
 	if gens, _ := inner.Generations(); len(gens) != 1 {
 		t.Fatalf("inner generations = %v, want the one committed write", gens)
 	}
+}
+
+// slowFirstLoadBackend blocks its first Load until the *second* Load
+// arrives, then finishes with a poisoned result. It models a stuck
+// disk read that completes concurrently with the retry attempt that
+// replaced it — the abandoned goroutine's result must not be visible
+// anywhere the retry layer or its caller can observe it.
+type slowFirstLoadBackend struct {
+	mu      sync.Mutex
+	calls   int
+	release chan struct{}
+	done    chan struct{}
+}
+
+func (s *slowFirstLoadBackend) Write(uint64, []byte, []uint64) error { return nil }
+func (s *slowFirstLoadBackend) Generations() ([]uint64, error)       { return []uint64{1}, nil }
+
+func (s *slowFirstLoadBackend) Load(gen uint64) ([]Blob, error) {
+	s.mu.Lock()
+	s.calls++
+	first := s.calls == 1
+	s.mu.Unlock()
+	if first {
+		<-s.release
+		defer close(s.done)
+		return []Blob{{Gen: gen, Data: []byte("stale-abandoned-attempt")}}, nil
+	}
+	// Un-stick the abandoned first attempt so it races this one: no
+	// happens-before edge orders its result delivery against ours or
+	// against the caller reading the value Load returns.
+	close(s.release)
+	return []Blob{{Gen: gen, Data: []byte("fresh-retry-attempt")}}, nil
+}
+
+// TestRetryBackendAbandonedAttemptCannotCorruptResult: an attempt that
+// outlives its OpTimeout is abandoned, but its goroutine still
+// eventually produces a result. That result must be discarded — under
+// -race this test fails if the abandoned attempt can write into state
+// shared with a later attempt or with the value returned to the
+// caller (a torn slice-header write could hand Restore corrupted data
+// with a nil error).
+func TestRetryBackendAbandonedAttemptCannotCorruptResult(t *testing.T) {
+	inner := &slowFirstLoadBackend{release: make(chan struct{}), done: make(chan struct{})}
+	var delays []time.Duration
+	b := NewRetryBackend(inner, retrySleeps(RetryOptions{
+		MaxRetries: 1, OpTimeout: 5 * time.Millisecond, Seed: 4,
+	}, &delays))
+
+	blobs, err := b.Load(1)
+	if err != nil {
+		t.Fatalf("load after timed-out first attempt: %v", err)
+	}
+	if len(blobs) != 1 || string(blobs[0].Data) != "fresh-retry-attempt" {
+		t.Fatalf("load returned %q, want the retry attempt's result", blobs)
+	}
+	// Let the abandoned attempt finish before the test exits so the
+	// race detector observes both sides.
+	<-inner.done
 }

@@ -588,7 +588,11 @@ func (s *Store) RestoreSnapshotChain(payloads [][]byte) error {
 		mems[i] = parsed[i].mem
 	}
 	if err := s.mem.LoadSnapshotChain(mems); err != nil {
-		return fmt.Errorf("storage: restore memory tier: %w", err)
+		// Join-level chain decode failures (bad splice prefix, mixed
+		// record kinds, no full base) are corruption the CRCs cannot see:
+		// classify them so Restore falls back to an older generation
+		// instead of aborting.
+		return fmt.Errorf("storage: restore memory tier: %w: %w", err, ErrCorrupt)
 	}
 	for _, side := range [2]matrix.Side{matrix.SideR, matrix.SideS} {
 		var logical []join.Tuple
