@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build build-examples test race bench bench-delta profile profile-fanout lint fmt recover-smoke
+.PHONY: all build build-examples test race bench bench-delta profile profile-fanout lint fmt recover-smoke dist-smoke
 
 all: build lint test
 
@@ -25,8 +25,17 @@ race:
 # The crash-recovery drill (mirrored by CI's recovery-smoke job): kill
 # the operator at every armed faultpoint under the race detector,
 # restore from the latest checkpoint, replay, and verify exactness.
+# The transport chaos case rides the same matrix: SQUALL_SMOKE_FLAKY
+# doubles as the link fault rate for dropped/duplicated/torn frames.
 recover-smoke:
-	$(GO) test -race -count=1 ./internal/faultpoint/ ./internal/storage/ -run 'Recovery|Corrupt|Leak|Faultpoint|Backend'
+	$(GO) test -race -count=1 ./internal/faultpoint/ ./internal/storage/ ./internal/transport/ -run 'Recovery|Corrupt|Leak|Faultpoint|Backend|Chaos'
+
+# The distributed smoke drill (mirrored by CI's distributed-smoke
+# job): two real joinworker processes, a ~120k-tuple skewed equi-join
+# with forced migration over the TCP links, exact pair-count agreement
+# with the single-process run, and clean process teardown.
+dist-smoke:
+	GO=$(GO) ./scripts/distsmoke.sh
 
 # Full benchmark suite; CI runs the 1x smoke variant of the same set.
 bench:

@@ -34,6 +34,12 @@
 //	BenchmarkScalingFanout/j=J/procs=P         ... ns/tuple    (output-dominated scaling row)
 //	BenchmarkCheckpoint/<mode>                 ... ms/ckpt     (checkpoint pause vs state size)
 //	BenchmarkCheckpointIncremental/<mode>      ... ms/ckpt     (delta-chain pause vs forced-full)
+//	BenchmarkTransportLink/<carrier>           ... ns/envelope (chan pipe vs loopback TCP)
+//
+// Transport rows (PR 10) are informational like the checkpoint rows:
+// the chan/tcp gap is the price of crossing a process boundary, not a
+// regression, and TCP loopback latency is kernel-shaped. The local
+// data path the tolerance gate protects does not run any link code.
 //
 // Usage:
 //
@@ -88,6 +94,14 @@ type incrementalPoint struct {
 	PayloadMB       float64 `json:"payload_mb,omitempty"`
 }
 
+// transportPoint is one committed data-plane link measurement (PR 10):
+// the per-envelope cost of a carrier (in-process chan pipe or loopback
+// TCP).
+type transportPoint struct {
+	Mode          string  `json:"mode"` // "chan" or "tcp"
+	NsPerEnvelope float64 `json:"ns_per_envelope"`
+}
+
 // trajectory mirrors the BENCH_PR*.json schema. Older files only have
 // Results; SendBatchResults and FanoutResults appear from PR 3 on,
 // StoreBuildResults from PR 4, ChainResults from PR 5, ScalingResults
@@ -104,6 +118,8 @@ type trajectory struct {
 	CheckpointResults []checkpointPoint `json:"checkpoint_results"`
 	// IncrementalResults appears from PR 9 on.
 	IncrementalResults []incrementalPoint `json:"incremental_results"`
+	// TransportResults appears from PR 10 on.
+	TransportResults []transportPoint `json:"transport_results"`
 }
 
 // ingestLine matches e.g.
@@ -134,6 +150,10 @@ var checkpointLine = regexp.MustCompile(`^BenchmarkCheckpoint/(\S+?)(?:-\d+)?\s.
 // incrementalLine matches e.g.
 // BenchmarkCheckpointIncremental/frac=10pct/delta-4   15   22933188 ns/op   22.93 ms/ckpt   1.887 payload-MB
 var incrementalLine = regexp.MustCompile(`^BenchmarkCheckpointIncremental/(\S+?)(?:-\d+)?\s.*?([\d.]+) ms/ckpt`)
+
+// transportLine matches e.g.
+// BenchmarkTransportLink/tcp-4   50000   24034 ns/op   170.4 MB/s   24035 ns/envelope
+var transportLine = regexp.MustCompile(`^BenchmarkTransportLink/(\S+?)(?:-\d+)?\s.*?([\d.]+) ns/envelope`)
 
 func main() {
 	tolerance := flag.Float64("tolerance", 25,
@@ -174,6 +194,9 @@ func main() {
 	for _, r := range committed.IncrementalResults {
 		base["incremental/"+r.Mode] = r.MsPerCheckpoint
 	}
+	for _, r := range committed.TransportResults {
+		base["transport/"+r.Mode] = r.NsPerEnvelope
+	}
 
 	// curScaling[bench][j][procs] = ns/tuple of the current run, for
 	// the -minscale speedup gate.
@@ -184,13 +207,19 @@ func main() {
 	found := false
 	for sc.Scan() {
 		var (
-			key     string
-			ns      float64
-			unit    = "ns/tuple"
-			scaling bool
-			ckpt    bool
+			key       string
+			ns        float64
+			unit      = "ns/tuple"
+			scaling   bool
+			ckpt      bool
+			transport bool
 		)
-		if m := incrementalLine.FindStringSubmatch(sc.Text()); m != nil {
+		if m := transportLine.FindStringSubmatch(sc.Text()); m != nil {
+			key = "transport/" + m[1]
+			ns, _ = strconv.ParseFloat(m[2], 64)
+			unit = "ns/envelope"
+			transport = true
+		} else if m := incrementalLine.FindStringSubmatch(sc.Text()); m != nil {
 			key = "incremental/" + m[1]
 			ns, _ = strconv.ParseFloat(m[2], 64)
 			unit = "ms/ckpt"
@@ -244,6 +273,10 @@ func main() {
 				// Checkpoint pauses are bandwidth/fsync-shaped; the
 				// trajectory gates ingest-with-durability-off instead.
 				note = "  [checkpoint: not tolerance-gated]"
+			} else if transport {
+				// The chan/tcp gap is the price of a process boundary
+				// and loopback TCP is kernel-shaped; informational only.
+				note = "  [transport: not tolerance-gated]"
 			} else if *tolerance >= 0 && delta > *tolerance {
 				note = "  [REGRESSION]"
 				regressions = append(regressions,

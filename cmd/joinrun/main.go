@@ -23,6 +23,12 @@
 // -checkpoint-keep sets the fallback-restore retention depth, and
 // -flaky-backend injects probabilistic backend failures so the retry
 // and degrade paths can be drilled from the command line.
+//
+// Distributed mode (single-grid operators only): -workers addr,addr
+// places the joiners on running worker processes (cmd/joinworker, or
+// joinrun -listen) over TCP links; -listen turns this process into
+// such a worker instead of driving a query. Distributed runs exclude
+// checkpointing.
 package main
 
 import (
@@ -30,9 +36,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	squall "repro"
@@ -64,7 +72,21 @@ func main() {
 		"retain this many checkpoint generations for last-good fallback restore (0 uses the library default; requires -checkpoint-dir)")
 	flakyBackend := flag.Float64("flaky-backend", 0,
 		"inject backend failures with this probability per operation, for recovery drills (0 disables, max 1; requires -checkpoint-dir; deterministic under -seed)")
+	workers := flag.String("workers", "",
+		"comma-separated joinworker addresses; places the joiners on those processes (dynamic/static ops only)")
+	listen := flag.String("listen", "",
+		"run as a worker process listening on this address instead of driving a query (host:port; :0 picks a free port)")
+	spillDir := flag.String("spilldir", "", "worker-local spill directory (requires -listen)")
 	flag.Parse()
+
+	if *listen != "" {
+		serveWorker(*listen, *spillDir)
+		return
+	}
+	if *spillDir != "" {
+		fmt.Fprintf(os.Stderr, "joinrun: -spilldir requires -listen\n")
+		os.Exit(2)
+	}
 
 	q, ok := workload.ByName(*query)
 	if !ok {
@@ -79,6 +101,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "joinrun: unknown -crash-at point %q; valid points: %s\n",
 			*crashAt, strings.Join(faultpoint.Names(), ", "))
 		os.Exit(2)
+	}
+	var workerAddrs []string
+	if *workers != "" {
+		workerAddrs = strings.Split(*workers, ",")
+		if *opName == "shj" || *opName == "grouped" {
+			// Fail fast instead of silently running single-process: only
+			// the single-grid operators place joiners on workers.
+			fmt.Fprintf(os.Stderr, "joinrun: -workers is not supported by -op %s\n", *opName)
+			os.Exit(2)
+		}
+		if *checkpointDir != "" || *checkpointEvery > 0 || *crashAt != "" {
+			fmt.Fprintf(os.Stderr, "joinrun: -workers excludes checkpointing (-checkpoint-dir/-checkpoint-every/-crash-at)\n")
+			os.Exit(2)
+		}
 	}
 	durable := *checkpointDir != "" || *checkpointEvery > 0 || *crashAt != ""
 	if durable && (*opName == "shj" || *opName == "grouped") {
@@ -139,7 +175,7 @@ func main() {
 	var out atomic.Int64
 	emit := func(squall.Pair) { out.Add(1) }
 	engine, report := buildEngine(*opName, q, *j, r, s, *seed, *emitWorkers,
-		backend, *checkpointEvery, *checkpointKeep, emit)
+		backend, *checkpointEvery, *checkpointKeep, workerAddrs, emit)
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -213,7 +249,8 @@ func main() {
 // buildEngine wires the requested engine through the options API and
 // returns it plus an engine-specific postscript for the report.
 func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emitWorkers int,
-	backend squall.Backend, checkpointEvery int64, checkpointKeep int, emit func(squall.Pair)) (squall.Engine, func()) {
+	backend squall.Backend, checkpointEvery int64, checkpointKeep int,
+	workerAddrs []string, emit func(squall.Pair)) (squall.Engine, func()) {
 	switch name {
 	case "dynamic", "staticmid", "staticopt":
 		// Fail fast, like the raw constructor used to: a non-power-of-two
@@ -233,6 +270,9 @@ func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emitWor
 		}
 		if emitWorkers >= 0 {
 			opts = append(opts, squall.WithEmitWorkers(emitWorkers))
+		}
+		if len(workerAddrs) > 0 {
+			opts = append(opts, squall.WithWorkers(workerAddrs...))
 		}
 		if backend != nil {
 			opts = append(opts, squall.WithBackend(backend))
@@ -278,4 +318,27 @@ func buildEngine(name string, q workload.Query, j int, r, s, seed int64, emitWor
 		os.Exit(2)
 		return nil, nil
 	}
+}
+
+// serveWorker runs the process as one worker of a distributed stage:
+// bind, announce the actual address (relevant with a :0 port), serve a
+// single coordinator session, exit. Functionally the same as
+// cmd/joinworker, folded in here so smoke scripts need only one
+// binary.
+func serveWorker(addr, spillDir string) {
+	ws, err := squall.NewWorkerServer(addr, squall.WithStorage(squall.StorageConfig{Dir: spillDir}))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "joinrun: %v\n", err)
+		os.Exit(1)
+	}
+	defer ws.Close()
+	fmt.Printf("joinrun: listening %s\n", ws.Addr())
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := ws.Serve(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "joinrun: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("joinrun: worker session complete")
 }

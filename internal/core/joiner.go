@@ -185,6 +185,12 @@ type migTarget struct {
 	dest int
 	want func(side matrix.Side, u uint64) bool
 	pend []message
+	// blocks accumulates stored tuples bound for a target in another
+	// process: instead of per-tuple kMigTuple messages they ship as
+	// serialized columnar arena blocks (kMigBlocks), which the receiver
+	// installs through whole-block adoption. Lazily allocated on the
+	// first remote-bound tuple; nil for local targets.
+	blocks *join.BlockEncoder
 }
 
 // migState is the in-flight migration context.
@@ -447,6 +453,8 @@ func (w *joiner) handle(m message) {
 		w.ensureMig(m.epoch, m.mapping, m.expand)
 	case kMigTuple:
 		w.onMigTuple(m)
+	case kMigBlocks:
+		w.onMigBlocks(m)
 	case kMigDone:
 		if w.mig == nil || w.mig.epoch != m.epoch {
 			panic(fmt.Sprintf("core: joiner %d got MigDone for epoch %d outside migration", w.id, m.epoch))
@@ -621,29 +629,63 @@ func (w *joiner) ensureMig(epoch uint32, newMapping matrix.Mapping, expand bool)
 func (w *joiner) forwardMig(t join.Tuple, probeOnly bool) {
 	for i := range w.mig.targets {
 		tgt := &w.mig.targets[i]
-		if tgt.want(t.Rel, t.U) {
-			if tgt.pend == nil {
-				tgt.pend = getBatch(w.migBatch)
+		if !tgt.want(t.Rel, t.U) {
+			continue
+		}
+		if !probeOnly && w.topo.isRemote(tgt.dest) {
+			// Remote target: accumulate into arena blocks and ship them
+			// whole (kMigBlocks), so the receiver adopts state without
+			// re-inserting tuple by tuple. Probe-only traffic (only the
+			// grouped mode produces it, which distributed mode rejects)
+			// keeps the per-tuple path below as a safety net.
+			if tgt.blocks == nil {
+				tgt.blocks = &join.BlockEncoder{}
 			}
-			tgt.pend = append(tgt.pend, message{
-				kind: kMigTuple, tuple: t, epoch: w.mig.epoch, from: w.id, probeOnly: probeOnly,
-			})
-			if len(tgt.pend) >= w.migBatch {
-				w.migFlush(tgt)
+			tgt.blocks.Add(t)
+			w.met.MigratedOut.Add(1)
+			if tgt.blocks.Len() >= migBlockFlush {
+				w.migFlushBlocks(tgt)
 			}
-			if !probeOnly {
-				w.met.MigratedOut.Add(1)
-			}
+			continue
+		}
+		if tgt.pend == nil {
+			tgt.pend = getBatch(w.migBatch)
+		}
+		tgt.pend = append(tgt.pend, message{
+			kind: kMigTuple, tuple: t, epoch: w.mig.epoch, from: w.id, probeOnly: probeOnly,
+		})
+		if len(tgt.pend) >= w.migBatch {
+			w.migFlush(tgt)
+		}
+		if !probeOnly {
+			w.met.MigratedOut.Add(1)
 		}
 	}
 }
 
-// migFlush ships one target's pending kMigTuple envelope.
+// migFlush ships one target's pending state: buffered arena blocks
+// (remote targets) and the pending kMigTuple envelope. Both precede
+// any kMigDone the caller sends next, which is all FIFO needs.
 func (w *joiner) migFlush(tgt *migTarget) {
+	w.migFlushBlocks(tgt)
 	if len(tgt.pend) > 0 {
 		w.topo.pushMigBatch(tgt.dest, tgt.pend)
 		tgt.pend = nil
 	}
+}
+
+// migFlushBlocks ships a remote target's buffered arena blocks as one
+// kMigBlocks message, the serialized payload riding tuple.Payload.
+func (w *joiner) migFlushBlocks(tgt *migTarget) {
+	if tgt.blocks == nil || tgt.blocks.Len() == 0 {
+		return
+	}
+	w.topo.pushMig(tgt.dest, message{
+		kind:  kMigBlocks,
+		epoch: w.mig.epoch,
+		from:  w.id,
+		tuple: join.Tuple{Payload: tgt.blocks.AppendTo(nil)},
+	})
 }
 
 // migFlushAll ships every target's pending envelope.
@@ -764,6 +806,45 @@ func (w *joiner) onMigTuple(m message) {
 		w.mig.mu.Insert(t)
 		w.met.MigratedIn.Add(1)
 	}
+	w.updateStored()
+}
+
+// onMigBlocks processes a whole run of migrated-in state shipped as
+// serialized arena blocks from a sender in another process: each tuple
+// runs the same probes as the per-tuple kMigTuple path (∆′, then the
+// buffered probe-only traffic), but installation is one whole-block
+// adoption into µ instead of per-tuple inserts. The sender only blocks
+// stored tuples, so every decoded tuple is stored (probeOnly = false).
+func (w *joiner) onMigBlocks(m message) {
+	if w.mig == nil || m.epoch != w.mig.epoch {
+		panic(fmt.Sprintf("core: joiner %d: migration blocks for epoch %d outside migration", w.id, m.epoch))
+	}
+	bs, err := join.DecodeBlocks(m.tuple.Payload)
+	if err != nil {
+		// The transport CRC already vouched for the bytes, so this is a
+		// codec bug, not line noise; the runner converts the panic into
+		// an operator error.
+		panic(fmt.Sprintf("core: joiner %d: %v", w.id, err))
+	}
+	var n int64
+	bs.Scan(func(t join.Tuple) bool {
+		n++
+		w.mig.dp.Probe(t, w.emit)
+		w.mig.probeBuf.Probe(t, func(p join.Pair) {
+			probe := p.R
+			if t.Rel == matrix.SideR {
+				probe = p.S
+			}
+			if t.Seq < probe.Seq {
+				w.emit(p)
+			}
+		})
+		return true
+	})
+	w.met.InputTuples.Add(n)
+	w.met.InputBytes.Add(bs.Bytes())
+	w.met.MigratedIn.Add(n)
+	w.mig.mu.AdoptBlocks(bs)
 	w.updateStored()
 }
 

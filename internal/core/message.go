@@ -45,6 +45,13 @@ const (
 	// marker carries no payload, and reusing the fields keeps the
 	// message layout unchanged (message_test.go pins it).
 	kCkpt
+	// kMigBlocks carries a whole run of relocated state tuples
+	// serialized as columnar arena blocks (join.BlockEncoder) — the
+	// wire form migration takes when its target lives in another
+	// process, so the receiver adopts blocks instead of re-inserting
+	// tuple by tuple. The serialized blob rides in tuple.Payload; no
+	// new message fields (message_test.go pins the layout).
+	kMigBlocks
 )
 
 // message is the unit exchanged on all operator links. Both the data

@@ -23,10 +23,22 @@ import (
 type topology struct {
 	ports atomic.Pointer[[]*joinerPorts]
 	met   *metrics.Operator
+	// remote, when non-nil, maps joiner id -> the link peer hosting it
+	// (nil entry = in this process); pushData/pushMigBatch consult it
+	// so senders are network-transparent. It is installed before Start
+	// and never grows — distributed mode rejects elastic expansion —
+	// and stays nil in single-process operators, where the only cost is
+	// one nil check per push.
+	remote []*remotePeer
 	// stop is the operator's cancellation signal (the runner's Done
 	// channel): bounded-link sends select on it so a reshuffler can
 	// never block forever against a stopped joiner's inbox.
 	stop <-chan struct{}
+}
+
+// isRemote reports whether joiner id lives in another process.
+func (tp *topology) isRemote(id int) bool {
+	return tp.remote != nil && id < len(tp.remote) && tp.remote[id] != nil
 }
 
 type joinerPorts struct {
@@ -71,6 +83,12 @@ func (tp *topology) add(ports []*joinerPorts) {
 // cancelled mid-send the batch is dropped — the topology is unwinding
 // and exactness no longer applies.
 func (tp *topology) pushData(id int, b []message) {
+	if tp.isRemote(id) {
+		// Blocking in the link write: the TCP window is the remote
+		// analogue of the bounded inbox's backpressure.
+		tp.remote[id].sendData(id, b)
+		return
+	}
 	select {
 	case (*tp.ports.Load())[id].dataIn <- b:
 	case <-tp.stop:
@@ -92,6 +110,12 @@ func (tp *topology) pushMig(id int, m message) {
 func (tp *topology) pushMigBatch(id int, b []message) {
 	tp.met.MigBatchesSent.Add(1)
 	tp.met.MigBatchedMessages.Add(int64(len(b)))
+	if tp.isRemote(id) {
+		// Queued, never blocking: same contract as the in-process
+		// unbounded migration link.
+		tp.remote[id].queueMig(id, b)
+		return
+	}
 	p := (*tp.ports.Load())[id]
 	p.migIn.Push(b)
 	select {
@@ -233,6 +257,22 @@ type Config struct {
 	// honest under trickle traffic. 0 means DefaultBatchLinger;
 	// negative disables the timer (idle and barrier flushes remain).
 	BatchLinger time.Duration
+	// Workers lists worker process addresses (cmd/joinworker) hosting
+	// remote joiners: this process becomes the coordinator — it runs
+	// the reshufflers, the controller, and the user sink — and reaches
+	// each worker's joiners over one transport link. Distributed mode
+	// requires a serializable predicate (equi or band, no residual) and
+	// excludes checkpointing (Backend) and elastic expansion
+	// (MaxTuplesPerJoiner); empty keeps everything in-process.
+	Workers []string
+	// Placement maps joiner id -> index into Workers, with -1 keeping
+	// that joiner in the coordinator process. nil spreads joiners over
+	// the workers in contiguous blocks with none kept locally.
+	Placement []int
+	// hosted, on a worker process, masks which joiner ids this
+	// Operator actually runs (set from the coordinator's hello by
+	// ServeWorker; nil everywhere else).
+	hosted []bool
 	// MigBatchSize is the migration-plane envelope capacity in
 	// messages: during a migration each joiner accumulates outgoing
 	// relocated-state tuples (kMigTuple) into per-destination
@@ -316,6 +356,27 @@ func (c *Config) fill() {
 	if c.CheckpointCompactEvery < 1 {
 		c.CheckpointCompactEvery = 1
 	}
+	if len(c.Workers) > 0 {
+		if c.Backend != nil {
+			panic("core: checkpointing requires a single-process operator (no Workers)")
+		}
+		if c.MaxTuplesPerJoiner > 0 {
+			panic("core: elastic expansion requires a single-process operator (no Workers)")
+		}
+		if c.Pred.Kind == join.Theta || c.Pred.Residual != nil {
+			panic("core: remote workers require a serializable predicate (equi or band join, no residual)")
+		}
+		if c.Placement != nil {
+			if len(c.Placement) != c.J {
+				panic(fmt.Sprintf("core: placement has %d entries for J=%d", len(c.Placement), c.J))
+			}
+			for id, w := range c.Placement {
+				if w < -1 || w >= len(c.Workers) {
+					panic(fmt.Sprintf("core: joiner %d placed on worker %d of %d", id, w, len(c.Workers)))
+				}
+			}
+		}
+	}
 }
 
 // ErrFinished is returned by Send/SendBatch after Finish has closed
@@ -392,6 +453,12 @@ type Operator struct {
 	// finishedCh closes when Finish completes, releasing the context
 	// watcher goroutine of StartContext.
 	finishedCh chan struct{}
+
+	// place is the joiner-id -> worker-index table (-1 = this process;
+	// nil without Workers); peers the per-worker link endpoints, dialed
+	// by StartContext.
+	place []int
+	peers []*remotePeer
 
 	mu      sync.Mutex
 	joiners []*joiner
@@ -510,15 +577,31 @@ func NewOperator(cfg Config) *Operator {
 		op.ctl.scale = int64(cfg.NumReshufflers)
 	}
 
+	if len(cfg.Workers) > 0 {
+		op.place = placementFor(&op.cfg)
+	}
 	ports := make([]*joinerPorts, cfg.J)
 	for i := range ports {
 		ports[i] = newJoinerPorts(cfg.DataQueueCap, cfg.BatchSize)
 	}
 	op.topo.add(ports)
 	for id := 0; id < cfg.J; id++ {
+		if !op.hostsJoiner(id) {
+			continue
+		}
 		op.joiners = append(op.joiners, op.newJoiner(id, cfg.Initial.CellOf(id), cfg.Initial, 0, nil))
 	}
 	return op
+}
+
+// hostsJoiner reports whether joiner id runs in this process: all of
+// them in single-process mode, the locally placed subset on a
+// coordinator, the hello-masked subset on a worker.
+func (op *Operator) hostsJoiner(id int) bool {
+	if op.cfg.hosted != nil {
+		return op.cfg.hosted[id]
+	}
+	return op.place == nil || op.place[id] < 0
 }
 
 // newJoiner constructs a joiner task; birth, when non-nil, pre-arms an
@@ -678,6 +761,17 @@ func (op *Operator) StartContext(ctx context.Context) {
 	}
 	op.started = true
 	op.lifeMu.Unlock()
+	if op.place != nil {
+		// Dial the workers before any task launches: topo.remote must
+		// be installed before the first reshuffler push. StartContext
+		// has no error return, so a failed dial cancels the runner —
+		// Send and Finish surface it as their stop cause.
+		if err := op.connectWorkers(); err != nil {
+			op.runner.Cancel(err)
+			op.runner.WatchContext(ctx, op.finishedCh)
+			return
+		}
+	}
 	// Rebuild joiner sinks now that Emit/EmitBatch are final (a nil
 	// sink still counts results in emitBatchFor's accounting).
 	for _, w := range op.joiners {
@@ -1015,6 +1109,14 @@ func (op *Operator) Finish() error {
 		// against running twice).
 		close(op.ckptQuit)
 		op.ckptWG.Wait()
+	}
+	// All tasks (including per-peer receivers and writers) have exited;
+	// detach the cancellation watchers and close the worker links.
+	for _, p := range op.peers {
+		if p.release != nil {
+			p.release()
+		}
+		_ = p.link.Close()
 	}
 	op.mu.Lock()
 	for _, w := range op.joiners {

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/matrix"
+)
+
+// randomWireTuple builds a tuple exercising every encoded field,
+// including dummies and payload-bearing tuples.
+func randomWireTuple(rng *rand.Rand) join.Tuple {
+	t := join.Tuple{
+		Rel:   matrix.Side(rng.Intn(2)),
+		Key:   rng.Int63() - rng.Int63(),
+		Aux:   rng.Int63() - rng.Int63(),
+		Size:  int32(rng.Intn(1 << 16)),
+		U:     rng.Uint64(),
+		Seq:   rng.Uint64(),
+		Dummy: rng.Intn(8) == 0,
+	}
+	if rng.Intn(3) == 0 {
+		t.Payload = make([]byte, 1+rng.Intn(256))
+		rng.Read(t.Payload)
+	}
+	return t
+}
+
+func randomMessage(rng *rand.Rand) message {
+	kinds := []msgKind{kTuple, kSignal, kEOS, kMigBegin, kMigTuple, kMigDone, kCkpt, kMigBlocks}
+	m := message{
+		tuple:     randomWireTuple(rng),
+		mapping:   matrix.Mapping{N: 1 << rng.Intn(4), M: 1 << rng.Intn(4)},
+		from:      rng.Intn(64),
+		epoch:     rng.Uint32(),
+		kind:      kinds[rng.Intn(len(kinds))],
+		expand:    rng.Intn(4) == 0,
+		probeOnly: rng.Intn(4) == 0,
+	}
+	if m.kind == kMigBlocks {
+		// The serialized block blob rides the payload.
+		m.tuple.Payload = make([]byte, 64+rng.Intn(512))
+		rng.Read(m.tuple.Payload)
+	}
+	return m
+}
+
+func sameTuple(a, b join.Tuple) bool {
+	return a.Rel == b.Rel && a.Key == b.Key && a.Aux == b.Aux && a.Size == b.Size &&
+		a.U == b.U && a.Seq == b.Seq && a.Dummy == b.Dummy && bytes.Equal(a.Payload, b.Payload)
+}
+
+func sameMessage(a, b message) bool {
+	return sameTuple(a.tuple, b.tuple) && a.mapping == b.mapping && a.from == b.from &&
+		a.epoch == b.epoch && a.kind == b.kind && a.expand == b.expand && a.probeOnly == b.probeOnly
+}
+
+// TestEnvelopeRoundTrip encodes random batches — every message kind,
+// dummy tuples, payload-bearing tuples, empty batches — and requires
+// decodeEnvelope (and the envelopeDest peek) to reproduce them
+// exactly.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 100; round++ {
+		dest := rng.Intn(256)
+		batch := make([]message, rng.Intn(40))
+		for i := range batch {
+			batch[i] = randomMessage(rng)
+		}
+		payload := appendEnvelope(nil, dest, batch)
+
+		if d, err := envelopeDest(payload); err != nil || d != dest {
+			t.Fatalf("round %d: envelopeDest = %d, %v; want %d", round, d, err, dest)
+		}
+		d, got, err := decodeEnvelope(payload)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if d != dest || len(got) != len(batch) {
+			t.Fatalf("round %d: dest=%d len=%d, want dest=%d len=%d", round, d, len(got), dest, len(batch))
+		}
+		for i := range batch {
+			if !sameMessage(got[i], batch[i]) {
+				t.Fatalf("round %d message %d: got %+v, want %+v", round, i, got[i], batch[i])
+			}
+		}
+		putBatch(got)
+	}
+}
+
+// TestEnvelopeRejectsCorruption truncates an envelope at every byte
+// boundary and corrupts the count field: every case must return an
+// error, never panic or misparse. (On the wire the frame CRC catches
+// these first; this guards the codec against version-skewed or buggy
+// peers.)
+func TestEnvelopeRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	batch := []message{randomMessage(rng), randomMessage(rng), randomMessage(rng)}
+	payload := appendEnvelope(nil, 3, batch)
+
+	for cut := 0; cut < len(payload); cut++ {
+		if _, _, err := decodeEnvelope(payload[:cut]); err == nil {
+			t.Fatalf("cut=%d: truncated envelope decoded", cut)
+		}
+	}
+	huge := append([]byte(nil), payload...)
+	huge[4], huge[5], huge[6], huge[7] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := decodeEnvelope(huge); err == nil {
+		t.Fatal("absurd message count decoded")
+	}
+	trailing := append(append([]byte(nil), payload...), 0xAA)
+	if _, _, err := decodeEnvelope(trailing); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	for _, id := range []int{0, 1, 63, 1 << 20} {
+		got, err := decodeAck(appendAck(nil, id))
+		if err != nil || got != id {
+			t.Fatalf("ack %d: got %d, %v", id, got, err)
+		}
+	}
+	if _, err := decodeAck([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short ack decoded")
+	}
+	if _, err := decodeAck([]byte{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("long ack decoded")
+	}
+}
+
+func TestPairsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var scratch []join.Pair
+	for round := 0; round < 50; round++ {
+		id := rng.Intn(64)
+		pairs := make([]join.Pair, rng.Intn(20))
+		for i := range pairs {
+			pairs[i] = join.Pair{R: randomWireTuple(rng), S: randomWireTuple(rng)}
+		}
+		payload := appendPairs(nil, id, pairs)
+		gotID, got, err := decodePairsInto(scratch, payload)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if gotID != id || len(got) != len(pairs) {
+			t.Fatalf("round %d: id=%d len=%d, want id=%d len=%d", round, gotID, len(got), id, len(pairs))
+		}
+		for i := range pairs {
+			if !sameTuple(got[i].R, pairs[i].R) || !sameTuple(got[i].S, pairs[i].S) {
+				t.Fatalf("round %d pair %d mismatch", round, i)
+			}
+		}
+		scratch = got // reuse across frames, like the receiver does
+
+		for cut := 0; cut < len(payload); cut += 7 {
+			if _, _, err := decodePairsInto(nil, payload[:cut]); err == nil && cut < len(payload) {
+				t.Fatalf("round %d cut=%d: truncated pairs decoded", round, cut)
+			}
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := helloMsg{
+		J: 8, NumRe: 2, Ids: []int{2, 3, 4}, PredKind: uint8(join.Band), PredWidth: 5,
+		PredName: "band5", Seed: 42, InitialN: 2, InitialM: 4, BatchSize: 128,
+		MigBatchSize: 256, DataQueueCap: 16, CapBytes: 1 << 20,
+	}
+	got, err := decodeHello(encodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.J != h.J || got.NumRe != h.NumRe || len(got.Ids) != 3 ||
+		got.PredKind != h.PredKind || got.PredWidth != h.PredWidth || got.PredName != h.PredName ||
+		got.Seed != h.Seed || got.CapBytes != h.CapBytes {
+		t.Fatalf("hello round trip: got %+v", got)
+	}
+	p := helloPred(got)
+	if p.Kind != join.Band || p.Width != 5 || p.Name != "band5" {
+		t.Fatalf("helloPred: %+v", p)
+	}
+
+	for _, bad := range []helloMsg{
+		{J: 0, NumRe: 1, Ids: []int{0}},
+		{J: 8, NumRe: 0, Ids: []int{0}},
+		{J: 8, NumRe: 1},
+		{J: 8, NumRe: 1, Ids: []int{8}},
+		{J: 8, NumRe: 1, Ids: []int{-1}},
+	} {
+		if _, err := decodeHello(encodeHello(bad)); err == nil {
+			t.Fatalf("invalid hello %+v decoded", bad)
+		}
+	}
+	if _, err := decodeHello([]byte("{not json")); err == nil {
+		t.Fatal("garbage hello decoded")
+	}
+}

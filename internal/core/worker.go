@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/dataflow"
+	"repro/internal/join"
+	"repro/internal/matrix"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Worker side of the distributed data plane: a worker process hosts a
+// subset of the joiner ids behind a listener and speaks to exactly one
+// coordinator over one link. The coordinator's hello carries the job
+// description; from it the worker builds an Operator with the same
+// controller table and mappings — but starts only its hosted joiners,
+// no reshufflers and no controller. Hosted joiners see the identical
+// topology API, so the whole epoch/migration protocol runs unchanged;
+// only the edges are links instead of channels.
+
+// WorkerConfig configures a worker process's local resources. The job
+// itself (predicate, joiner ids, batch sizes, store budget) arrives in
+// the coordinator's hello frame.
+type WorkerConfig struct {
+	// SpillDir is the worker-local spill directory for budgeted stores
+	// ("" = OS temp), replacing the coordinator's path, which need not
+	// exist on this machine.
+	SpillDir string
+}
+
+// ServeWorker accepts one coordinator session on lis and runs its
+// hosted joiners to completion. It returns nil after a clean stream
+// (all hosted joiners drained, Done sent) and a *LinkError when the
+// coordinator link fails mid-stream. Cancelling ctx aborts the accept
+// and the session.
+func ServeWorker(ctx context.Context, lis transport.Listener, wcfg WorkerConfig) error {
+	accepted := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = lis.Close()
+		case <-accepted:
+		}
+	}()
+	link, err := lis.Accept()
+	close(accepted)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	hf, err := link.Recv()
+	if err != nil {
+		_ = link.Close()
+		return &LinkError{Worker: "coordinator", Err: err}
+	}
+	if hf.Kind != transport.KindHello {
+		_ = link.Close()
+		return &LinkError{Worker: "coordinator", Err: fmt.Errorf("first frame is %v, want hello", hf.Kind)}
+	}
+	h, err := decodeHello(hf.Payload)
+	if err != nil {
+		_ = link.Close()
+		return &LinkError{Worker: "coordinator", Err: err}
+	}
+	return runWorkerSession(ctx, link, h, wcfg)
+}
+
+func runWorkerSession(ctx context.Context, link transport.Link, h helloMsg, wcfg WorkerConfig) error {
+	hosted := make([]bool, h.J)
+	for _, id := range h.Ids {
+		hosted[id] = true
+	}
+	cfg := Config{
+		J:              h.J,
+		Pred:           helloPred(h),
+		Initial:        matrix.Mapping{N: h.InitialN, M: h.InitialM},
+		NumReshufflers: h.NumRe,
+		Seed:           h.Seed,
+		BatchSize:      h.BatchSize,
+		MigBatchSize:   h.MigBatchSize,
+		DataQueueCap:   h.DataQueueCap,
+		Storage:        storage.Config{CapBytes: h.CapBytes, Dir: wcfg.SpillDir},
+		hosted:         hosted,
+	}
+	op := NewOperator(cfg)
+	peer := newRemotePeer("coordinator", link, op.stop, func(err error) { op.runner.Cancel(err) })
+	peer.release = dataflow.CloseOnDone(op.stop, link)
+	remote := make([]*remotePeer, h.J)
+	for id := range remote {
+		if !hosted[id] {
+			remote[id] = peer
+		}
+	}
+	op.topo.remote = remote
+
+	// Hosted joiners emit through the uplink: per-joiner accounting
+	// stays in this process's gauges, the pair run ships to the
+	// coordinator's sink (which owns latency sampling and shard
+	// identity). queuePairs serializes before returning, so the buffer
+	// is immediately reusable — the EmitBatch no-retention contract.
+	for _, w := range op.joiners {
+		w := w
+		w.emitBatch = func(ps []join.Pair) {
+			if len(ps) == 0 {
+				return
+			}
+			w.met.OutputPairs.Add(int64(len(ps)))
+			peer.queuePairs(w.id, ps)
+		}
+		w.emit = w.emitOne
+	}
+
+	// jdone closes when every hosted joiner has exited cleanly; it
+	// sequences the final acks and the Done frame after all pairs, and
+	// tells the reader a subsequent EOF is the coordinator hanging up.
+	jdone := make(chan struct{})
+	var liveJoiners atomic.Int64
+	liveJoiners.Store(int64(len(op.joiners)))
+	for _, w := range op.joiners {
+		w := w
+		op.runner.Go(fmt.Sprintf("joiner-%d", w.id), func() error {
+			if err := w.run(); err != nil {
+				return err
+			}
+			if liveJoiners.Add(-1) == 0 {
+				close(jdone)
+			}
+			return nil
+		})
+	}
+
+	// Ack forwarder: hosted joiners ack migrations into the local
+	// controller channel (no controller runs here); forward each to the
+	// coordinator, then — after the last joiner exits — drain stragglers
+	// and queue Done, which the writer sends after everything queued
+	// before it and then exits.
+	op.runner.Go("uplink-acks", func() error {
+		for {
+			select {
+			case id := <-op.ctl.ackCh:
+				peer.queueAck(id)
+			case <-jdone:
+				for {
+					select {
+					case id := <-op.ctl.ackCh:
+						peer.queueAck(id)
+					default:
+						peer.queueDone()
+						return nil
+					}
+				}
+			case <-op.stop:
+				return nil
+			}
+		}
+	})
+
+	op.runner.Go("uplink-send", peer.writer)
+
+	op.runner.Go("uplink-recv", func() error {
+		for {
+			f, rerr := link.Recv()
+			if rerr != nil {
+				// After a clean finish the coordinator closing the link
+				// is the expected end of session, not a failure.
+				select {
+				case <-jdone:
+					return nil
+				default:
+				}
+				select {
+				case <-op.stop:
+					return nil
+				default:
+				}
+				return &LinkError{Worker: "coordinator", Err: rerr}
+			}
+			switch f.Kind {
+			case transport.KindData, transport.KindMig:
+				dest, b, derr := decodeEnvelope(f.Payload)
+				if derr != nil {
+					return &LinkError{Worker: "coordinator", Err: derr}
+				}
+				if dest < 0 || dest >= h.J || !hosted[dest] {
+					putBatch(b)
+					return &LinkError{Worker: "coordinator", Err: fmt.Errorf("envelope for joiner %d, not hosted here", dest)}
+				}
+				if f.Kind == transport.KindData {
+					op.topo.pushData(dest, b)
+				} else {
+					op.topo.pushMigBatch(dest, b)
+				}
+			case transport.KindError:
+				return &LinkError{Worker: "coordinator", Err: fmt.Errorf("peer reported: %s", f.Payload)}
+			default:
+				return &LinkError{Worker: "coordinator", Err: fmt.Errorf("unexpected %v frame", f.Kind)}
+			}
+		}
+	})
+
+	sessionDone := make(chan struct{})
+	op.runner.WatchContext(ctx, sessionDone)
+	err := op.runner.Wait()
+	close(sessionDone)
+	if err != nil {
+		// Best-effort typed report before the link drops; the
+		// coordinator surfaces it (or the cut stream) as a LinkError.
+		_ = link.Send(transport.Frame{Kind: transport.KindError, Payload: []byte(err.Error())})
+	}
+	peer.release()
+	_ = link.Close()
+	for _, w := range op.joiners {
+		_ = w.state.Close()
+	}
+	return err
+}

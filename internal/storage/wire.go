@@ -1,0 +1,64 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/join"
+)
+
+// The spill segment's record encoding doubles as the tuple wire format
+// of the distributed data plane: internal/core serializes batch
+// envelopes (and result pairs) record by record through these exported
+// wrappers, so one codec covers disk and network and a format change
+// cannot fork the two.
+
+// RecordHeaderLen is the fixed prefix of an encoded record; the full
+// record is RecordHeaderLen plus the payload length it encodes.
+const RecordHeaderLen = recordHeader
+
+// AppendRecord appends t in the record encoding onto buf and returns
+// the extended slice.
+func AppendRecord(buf []byte, t join.Tuple) []byte {
+	n := len(buf)
+	need := recordHeader + len(t.Payload)
+	if cap(buf)-n < need {
+		nb := make([]byte, n, (n+need)*3/2+64)
+		copy(nb, buf)
+		buf = nb
+	}
+	encodeRecordInto(buf[n:n:cap(buf)], t)
+	return buf[:n+need]
+}
+
+// ReadRecord decodes one record from the front of buf, returning the
+// tuple and the bytes consumed. Unlike the spill tier's internal
+// decoder — which reads records it wrote at offsets it knows — this
+// entry point bounds-checks, so a truncated network payload surfaces
+// as an error instead of a panic.
+func ReadRecord(buf []byte) (join.Tuple, int, error) {
+	if len(buf) < recordHeader {
+		return join.Tuple{}, 0, fmt.Errorf("storage: record truncated: %d of %d header bytes", len(buf), recordHeader)
+	}
+	plen := int(binary.LittleEndian.Uint32(buf[38:]))
+	if len(buf) < recordHeader+plen {
+		return join.Tuple{}, 0, fmt.Errorf("storage: record payload truncated: %d of %d bytes", len(buf)-recordHeader, plen)
+	}
+	t, n := decodeRecord(buf)
+	return t, n, nil
+}
+
+// AdoptBlocks installs a decoded migrated-state block set, consuming
+// it. An unbudgeted store adopts the arena blocks wholesale (the
+// MergeFrom fast path); a budgeted store re-inserts per tuple so the
+// spill budget keeps applying.
+func (s *Store) AdoptBlocks(bs *join.BlockSet) {
+	if s.cfg.CapBytes == 0 {
+		s.mem.AdoptBlocks(bs)
+		return
+	}
+	bs.Scan(func(t join.Tuple) bool {
+		s.Insert(t)
+		return true
+	})
+}

@@ -1,0 +1,358 @@
+// Package transport is the network-transparent data plane under the
+// distributed operator: a Link/Listener abstraction over the
+// reshuffler→joiner and migration edges, with an in-process pipe
+// implementation (tests, benchmarks) and a TCP implementation
+// (multi-process workers).
+//
+// Every frame on a link is length-prefixed and CRC'd behind a
+// versioned magic, so a truncated stream, a flipped bit, or a peer
+// speaking a future protocol revision surfaces as a typed error
+// (ErrBadFrame, ErrVersionSkew) instead of a misparse or a panic. The
+// frame payload is opaque here; internal/core serializes batch
+// envelopes into it reusing the spill segment's record encoding.
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind discriminates frames on a link. The zero value is invalid so a
+// zeroed header can never masquerade as a real frame.
+type Kind uint8
+
+const (
+	// KindHello is the coordinator's opening frame on a worker link:
+	// the job description (joiner ids hosted, predicate, batch sizes).
+	KindHello Kind = 1 + iota
+	// KindData carries one reshuffler→joiner batch envelope.
+	KindData
+	// KindMig carries one joiner→joiner migration-plane envelope.
+	KindMig
+	// KindAck carries a joiner's migration-finalized ack for the
+	// controller.
+	KindAck
+	// KindPairs carries a run of result pairs from a remote joiner
+	// back to the coordinator's sink.
+	KindPairs
+	// KindDone is a worker's final frame: every hosted joiner has
+	// exited cleanly.
+	KindDone
+	// KindError carries a peer's fatal error text before it closes.
+	KindError
+
+	kindEnd
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindData:
+		return "data"
+	case KindMig:
+		return "mig"
+	case KindAck:
+		return "ack"
+	case KindPairs:
+		return "pairs"
+	case KindDone:
+		return "done"
+	case KindError:
+		return "error"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Version is the wire protocol revision, carried in every frame
+// header. A reader that sees a different version rejects the frame
+// with ErrVersionSkew — cleanly, because the magic still matched.
+const Version = 1
+
+// Frame header: magic "SQW" + version byte, kind, reserved, payload
+// length (LE u32), CRC-32 (IEEE) of the payload (LE u32).
+const (
+	headerSize = 3 + 1 + 1 + 1 + 4 + 4
+	// MaxFramePayload bounds a frame so a corrupt length field cannot
+	// provoke a multi-gigabyte allocation before the CRC check.
+	MaxFramePayload = 1 << 28
+)
+
+var frameMagic = [3]byte{'S', 'Q', 'W'}
+
+var (
+	// ErrBadFrame reports a structurally invalid frame: bad magic,
+	// invalid kind, oversized or truncated payload, or a CRC mismatch.
+	ErrBadFrame = errors.New("transport: bad frame")
+	// ErrVersionSkew reports a well-formed frame from a different
+	// protocol revision.
+	ErrVersionSkew = errors.New("transport: protocol version skew")
+	// ErrClosed reports an operation on a link closed by this side.
+	ErrClosed = errors.New("transport: link closed")
+)
+
+// Frame is one unit on a link: a kind tag and an opaque payload.
+type Frame struct {
+	Kind    Kind
+	Payload []byte
+}
+
+// AppendFrame serializes f onto buf and returns the extended slice.
+func AppendFrame(buf []byte, f Frame) []byte {
+	buf = append(buf, frameMagic[0], frameMagic[1], frameMagic[2], Version)
+	buf = append(buf, byte(f.Kind), 0)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(f.Payload))
+	return append(buf, f.Payload...)
+}
+
+// ReadFrame reads one frame from r. A clean end of stream before any
+// header byte returns io.EOF; a stream cut mid-frame, a corrupt
+// header, or a failed CRC returns an error wrapping ErrBadFrame; a
+// valid header from another protocol revision returns an error
+// wrapping ErrVersionSkew. The returned payload is freshly allocated.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return Frame{}, fmt.Errorf("%w: stream cut mid-header", ErrBadFrame)
+		}
+		return Frame{}, err
+	}
+	if hdr[0] != frameMagic[0] || hdr[1] != frameMagic[1] || hdr[2] != frameMagic[2] {
+		return Frame{}, fmt.Errorf("%w: bad magic %q", ErrBadFrame, hdr[:3])
+	}
+	if hdr[3] != Version {
+		return Frame{}, fmt.Errorf("%w: frame version %d, this build speaks %d", ErrVersionSkew, hdr[3], Version)
+	}
+	kind := Kind(hdr[4])
+	if kind == 0 || kind >= kindEnd {
+		return Frame{}, fmt.Errorf("%w: unknown kind %d", ErrBadFrame, hdr[4])
+	}
+	plen := binary.LittleEndian.Uint32(hdr[6:])
+	if plen > MaxFramePayload {
+		return Frame{}, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadFrame, plen)
+	}
+	want := binary.LittleEndian.Uint32(hdr[10:])
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("%w: stream cut mid-payload: %v", ErrBadFrame, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return Frame{}, fmt.Errorf("%w: payload crc %08x, header says %08x", ErrBadFrame, got, want)
+	}
+	return Frame{Kind: kind, Payload: payload}, nil
+}
+
+// Link is one bidirectional frame stream between two processes (or two
+// ends of an in-process pipe).
+//
+// Send is safe for concurrent use and does not retain f.Payload. Recv
+// must be called from a single goroutine. Close unblocks both; a Recv
+// or Send interrupted by Close returns an error wrapping ErrClosed.
+type Link interface {
+	Send(f Frame) error
+	Recv() (Frame, error)
+	Close() error
+}
+
+// rawSender is the optional fault-injection hook: a link that can put
+// raw pre-encoded (possibly deliberately mangled) bytes on the wire.
+// Loopback uses it to simulate short writes.
+type rawSender interface {
+	sendRaw(b []byte) error
+}
+
+// Listener accepts links.
+type Listener interface {
+	Accept() (Link, error)
+	Addr() string
+	Close() error
+}
+
+// ---------------------------------------------------------------------
+// TCP implementation.
+
+type tcpLink struct {
+	conn net.Conn
+	br   *bufio.Reader
+
+	wmu    sync.Mutex
+	wbuf   []byte
+	closed atomic.Bool
+}
+
+func newTCPLink(conn net.Conn) *tcpLink {
+	return &tcpLink{conn: conn, br: bufio.NewReaderSize(conn, 1<<16)}
+}
+
+// Dial connects to a listening peer.
+func Dial(addr string) (Link, error) { return DialTimeout(addr, 0) }
+
+// DialTimeout is Dial with a connect deadline; 0 means the OS default.
+func DialTimeout(addr string, d time.Duration) (Link, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Envelopes are already batched; waiting for Nagle coalescing
+		// only adds latency under the request-response phases
+		// (hello, acks).
+		_ = tc.SetNoDelay(true)
+	}
+	return newTCPLink(conn), nil
+}
+
+func (l *tcpLink) Send(f Frame) error {
+	l.wmu.Lock()
+	l.wbuf = AppendFrame(l.wbuf[:0], f)
+	_, err := l.conn.Write(l.wbuf)
+	l.wmu.Unlock()
+	return l.sendErr(err)
+}
+
+func (l *tcpLink) sendRaw(b []byte) error {
+	l.wmu.Lock()
+	_, err := l.conn.Write(b)
+	l.wmu.Unlock()
+	return l.sendErr(err)
+}
+
+func (l *tcpLink) sendErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if l.closed.Load() {
+		return fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	return fmt.Errorf("transport: send: %w", err)
+}
+
+func (l *tcpLink) Recv() (Frame, error) {
+	f, err := ReadFrame(l.br)
+	if err != nil && l.closed.Load() {
+		return Frame{}, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	return f, err
+}
+
+func (l *tcpLink) Close() error {
+	l.closed.Store(true)
+	return l.conn.Close()
+}
+
+type tcpListener struct {
+	ln net.Listener
+}
+
+// Listen starts a TCP listener on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{ln: ln}, nil
+}
+
+func (tl *tcpListener) Accept() (Link, error) {
+	conn, err := tl.ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return newTCPLink(conn), nil
+}
+
+func (tl *tcpListener) Addr() string { return tl.ln.Addr().String() }
+
+func (tl *tcpListener) Close() error { return tl.ln.Close() }
+
+// ---------------------------------------------------------------------
+// In-process pipe implementation.
+
+// pipeCap is a pipe direction's buffered frame depth: enough to keep a
+// sender off the scheduler in benchmarks, small enough to preserve the
+// channel path's backpressure semantics.
+const pipeCap = 64
+
+// pipeHalf is one end of an in-process link. Frames travel encoded —
+// the same AppendFrame/ReadFrame codec as TCP — so the pipe exercises
+// the full serialization path and the two implementations only differ
+// in what carries the bytes.
+type pipeHalf struct {
+	out chan []byte
+	in  chan []byte
+	// done closes when either end closes; both ends share one channel
+	// so a Close unblocks the peer too.
+	done      chan struct{}
+	closeOnce *sync.Once
+}
+
+// Pipe returns two connected in-process links: frames sent on one are
+// received by the other. It is the channel-path implementation the
+// local operator semantics are defined by, and the chan side of
+// BenchmarkTransportLink.
+func Pipe() (Link, Link) {
+	ab := make(chan []byte, pipeCap)
+	ba := make(chan []byte, pipeCap)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	a := &pipeHalf{out: ab, in: ba, done: done, closeOnce: once}
+	b := &pipeHalf{out: ba, in: ab, done: done, closeOnce: once}
+	return a, b
+}
+
+func (p *pipeHalf) Send(f Frame) error {
+	return p.sendRaw(AppendFrame(nil, f))
+}
+
+func (p *pipeHalf) sendRaw(b []byte) error {
+	select {
+	case <-p.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case p.out <- b:
+		return nil
+	case <-p.done:
+		return ErrClosed
+	}
+}
+
+func (p *pipeHalf) Recv() (Frame, error) {
+	// Drain buffered frames even after a close: the closing side may
+	// have queued its final frames (Done) just before closing.
+	select {
+	case b := <-p.in:
+		return ReadFrame(bytes.NewReader(b))
+	default:
+	}
+	select {
+	case b := <-p.in:
+		return ReadFrame(bytes.NewReader(b))
+	case <-p.done:
+		return Frame{}, io.EOF
+	}
+}
+
+func (p *pipeHalf) Close() error {
+	p.closeOnce.Do(func() { close(p.done) })
+	return nil
+}

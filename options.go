@@ -21,6 +21,9 @@ type stageConfig struct {
 	// grouped forces the power-of-two group decomposition even when J
 	// is a power of two (one group); it is implied when J is not.
 	grouped bool
+	// listen is the worker-mode listen address (WithListen), consumed
+	// by ServeWorker rather than a stage builder.
+	listen string
 }
 
 // DefaultJoiners is the joiner-task count used when WithJoiners is not
@@ -248,6 +251,11 @@ func (sc stageConfig) build(pred Predicate, sink Sink) Engine {
 		}
 	}
 	if sc.grouped || !isPow2(sc.cfg.J) {
+		if len(sc.cfg.Workers) > 0 {
+			// Like WithBackend below: silently dropping WithWorkers would
+			// run everything locally, not just fall back on tuning.
+			panic("squall: WithWorkers requires the single-grid operator (power-of-two joiners, no WithGrouped)")
+		}
 		if sc.cfg.Backend != nil {
 			// Unlike the perf options above, silently dropping WithBackend
 			// would change durability semantics, not just tuning — refuse.

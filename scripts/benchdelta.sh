@@ -26,5 +26,6 @@ GO="${GO:-go}"
   "$GO" test -bench '^BenchmarkScalingIngest$' -benchtime=2x -run '^$' . ;
   "$GO" test -bench '^BenchmarkScalingFanout$' -benchtime=2x -run '^$' . ;
   "$GO" test -bench '^BenchmarkCheckpoint$' -benchtime=3x -run '^$' . ;
-  "$GO" test -bench '^BenchmarkCheckpointIncremental$' -benchtime=15x -run '^$' .
+  "$GO" test -bench '^BenchmarkCheckpointIncremental$' -benchtime=15x -run '^$' . ;
+  "$GO" test -bench '^BenchmarkTransportLink$' -benchtime=5000x -run '^$' ./internal/transport/
 ) | "$GO" run ./cmd/benchdelta "$@"

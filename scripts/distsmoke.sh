@@ -1,0 +1,95 @@
+#!/usr/bin/env sh
+# Distributed smoke drill (mirrored by CI's distributed-smoke job):
+# build joinrun and joinworker, start two worker processes on free
+# localhost ports, run a skewed ~100k-tuple equi-join once
+# single-process and once with the joiners placed on the workers, and
+# require identical pair counts, at least one adaptive migration over
+# the links, and a clean exit from every process. This is the
+# multi-binary path the in-repo e2e test (distributed_test.go) cannot
+# cover: the real CLI surface, real signals, real process teardown.
+set -eu
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+
+bindir="$(mktemp -d)"
+w1pid=""
+w2pid=""
+cleanup() {
+  [ -n "$w1pid" ] && kill "$w1pid" 2>/dev/null || true
+  [ -n "$w2pid" ] && kill "$w2pid" 2>/dev/null || true
+  rm -rf "$bindir"
+}
+trap cleanup EXIT
+
+echo "distsmoke: building joinrun and joinworker"
+"$GO" build -o "$bindir/joinrun" ./cmd/joinrun
+"$GO" build -o "$bindir/joinworker" ./cmd/joinworker
+
+# wait_addr polls a worker log for its bound-address announcement.
+wait_addr() {
+  i=0
+  while [ "$i" -lt 100 ]; do
+    addr="$(sed -n 's/^joinworker: listening //p' "$1")"
+    if [ -n "$addr" ]; then
+      echo "$addr"
+      return 0
+    fi
+    i=$((i + 1))
+    sleep 0.1
+  done
+  echo "distsmoke: worker never announced its address ($1)" >&2
+  cat "$1" >&2
+  return 1
+}
+
+"$bindir/joinworker" -listen 127.0.0.1:0 >"$bindir/w1.log" 2>&1 &
+w1pid=$!
+"$bindir/joinworker" -listen 127.0.0.1:0 >"$bindir/w2.log" 2>&1 &
+w2pid=$!
+addr1="$(wait_addr "$bindir/w1.log")"
+addr2="$(wait_addr "$bindir/w2.log")"
+echo "distsmoke: workers on $addr1 and $addr2"
+
+# SF 0.2 puts ~120k tuples through the links — big enough that the
+# stream is still running when the adaptive controller migrates.
+run="-query EQ5 -op dynamic -j 8 -sf 0.2 -zipf Z2 -seed 42"
+
+echo "distsmoke: single-process reference run"
+"$bindir/joinrun" $run >"$bindir/base.log"
+echo "distsmoke: distributed run against the two workers"
+"$bindir/joinrun" $run -workers "$addr1,$addr2" >"$bindir/dist.log"
+
+pairs_base="$(sed -n 's/^output  *\([0-9]*\) pairs$/\1/p' "$bindir/base.log")"
+pairs_dist="$(sed -n 's/^output  *\([0-9]*\) pairs$/\1/p' "$bindir/dist.log")"
+migrations="$(sed -n 's/.*(migrations=\([0-9]*\))$/\1/p' "$bindir/dist.log")"
+
+echo "distsmoke: base=$pairs_base pairs, distributed=$pairs_dist pairs, migrations=$migrations"
+if [ -z "$pairs_base" ] || [ "$pairs_base" != "$pairs_dist" ]; then
+  echo "distsmoke: FAILED pair-count mismatch (base=$pairs_base distributed=$pairs_dist)" >&2
+  cat "$bindir/dist.log" >&2
+  exit 1
+fi
+if [ -z "$migrations" ] || [ "$migrations" -eq 0 ]; then
+  echo "distsmoke: FAILED no migrations crossed the links (migrations=$migrations)" >&2
+  exit 1
+fi
+
+# Both workers serve exactly one session and exit 0 on a clean stream.
+if ! wait "$w1pid"; then
+  echo "distsmoke: FAILED worker 1 exited non-zero" >&2
+  cat "$bindir/w1.log" >&2
+  exit 1
+fi
+if ! wait "$w2pid"; then
+  echo "distsmoke: FAILED worker 2 exited non-zero" >&2
+  cat "$bindir/w2.log" >&2
+  exit 1
+fi
+w1pid=""
+w2pid=""
+if ! grep -q "session complete" "$bindir/w1.log" || ! grep -q "session complete" "$bindir/w2.log"; then
+  echo "distsmoke: FAILED a worker did not report a complete session" >&2
+  cat "$bindir/w1.log" "$bindir/w2.log" >&2
+  exit 1
+fi
+echo "distsmoke: PASSED"
